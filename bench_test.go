@@ -1,0 +1,609 @@
+// Benchmark harness for the reproduction: one benchmark per figure of the
+// paper (Figs. 1-6 — the paper's evaluation is qualitative, so each flow is
+// reproduced as a measured protocol execution on the in-process HTTP
+// substrate), plus the model-comparison and scaling experiments derived
+// from Sections III, V and VIII. EXPERIMENTS.md records the results.
+//
+// Run with: go test -bench=. -benchmem
+package umac_test
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	appgallery "umac/internal/apps/gallery"
+	appstorage "umac/internal/apps/storage"
+	"umac/internal/baseline/localacl"
+	"umac/internal/baseline/pullmodel"
+	"umac/internal/baseline/umastate"
+	"umac/internal/core"
+	"umac/internal/httpsig"
+	"umac/internal/pep"
+	"umac/internal/policy"
+	"umac/internal/requester"
+	"umac/internal/sim"
+	"umac/internal/token"
+)
+
+// benchWorld builds the standard fixture: bob's host with n resources in
+// realm "travel", paired, protected, friends-read policy linked, alice in
+// friends.
+func benchWorld(b *testing.B, n int) (*sim.World, *sim.SimpleHost) {
+	b.Helper()
+	w := sim.NewWorld()
+	b.Cleanup(w.Close)
+	h := w.AddHost("webpics")
+	ids := make([]core.ResourceID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = core.ResourceID(fmt.Sprintf("photo-%04d", i))
+		h.AddResource("bob", "travel", ids[i], []byte("bench content"))
+	}
+	bob := sim.NewUserAgent("bob")
+	if err := bob.PairHost(h, w.AMServer.URL); err != nil {
+		b.Fatal(err)
+	}
+	if err := h.Enforcer.Protect("bob", "travel", ids, ""); err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.AM.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectGroup, Name: "friends"}, {Type: policy.SubjectOwner}},
+			Actions:  []core.Action{core.ActionRead, core.ActionList},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AM.LinkGeneral("bob", "travel", p.ID); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AM.AddGroupMember("bob", "bob", "friends", "alice"); err != nil {
+		b.Fatal(err)
+	}
+	return w, h
+}
+
+// --- E1 / Fig. 1: the full architecture round-trip ---
+// store resource → protect → compose policy leg → token → access →
+// decision → enforce, once per iteration with a fresh realm.
+func BenchmarkFig1ArchitectureRoundTrip(b *testing.B) {
+	w, h := benchWorld(b, 1)
+	pol, err := w.AM.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectEveryone}},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		realm := core.RealmID(fmt.Sprintf("realm-%d", i))
+		res := core.ResourceID(fmt.Sprintf("res-%d", i))
+		h.AddResource("bob", realm, res, []byte("x")) // (1) store
+		if err := h.Enforcer.Protect("bob", realm, []core.ResourceID{res}, ""); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.AM.LinkGeneral("bob", realm, pol.ID); err != nil { // (2) policy
+			b.Fatal(err)
+		}
+		client := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+		if _, err := client.Fetch(h.ResourceURL(res), core.ActionRead); err != nil { // (3)-(6)
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2 / Fig. 2: full first-access protocol ---
+// Fresh requester and cold host cache per iteration: 401 referral → token
+// request/issue → retry with token → decision query → serve.
+func BenchmarkFig2FullProtocolFirstAccess(b *testing.B) {
+	_, h := benchWorld(b, 1)
+	url := h.ResourceURL("photo-0000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Enforcer.Cache().Invalidate()
+		client := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+		if _, err := client.Fetch(url, core.ActionRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7 / §V.B.6: subsequent access with cached decision ---
+// Warm token and warm decision cache: the Host enforces locally.
+func BenchmarkFig2SubsequentAccessCached(b *testing.B) {
+	_, h := benchWorld(b, 1)
+	url := h.ResourceURL("photo-0000")
+	client := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+	if _, err := client.Fetch(url, core.ActionRead); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Fetch(url, core.ActionRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3 / Fig. 3: trust establishment (pairing handshake) ---
+// The full browser-redirect + code-exchange flow per iteration.
+func BenchmarkFig3TrustEstablishment(b *testing.B) {
+	w := sim.NewWorld()
+	b.Cleanup(w.Close)
+	h := w.AddHost("webpics")
+	bob := sim.NewUserAgent("bob")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bob.PairHost(h, w.AMServer.URL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4 / Fig. 4: policy composition and linking ---
+func BenchmarkFig4PolicyComposition(b *testing.B) {
+	w, _ := benchWorld(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := w.AM.CreatePolicy("bob", policy.Policy{
+			Owner: "bob", Name: fmt.Sprintf("p-%d", i), Kind: policy.KindGeneral,
+			Rules: []policy.Rule{{
+				Effect:   policy.EffectPermit,
+				Subjects: []policy.Subject{{Type: policy.SubjectGroup, Name: "friends"}},
+				Actions:  []core.Action{core.ActionRead},
+			}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.AM.LinkGeneral("bob", core.RealmID(fmt.Sprintf("r-%d", i)), p.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5 / Fig. 5: authorization-token issuance over HTTP ---
+func BenchmarkFig5ObtainAuthorizationToken(b *testing.B) {
+	w, _ := benchWorld(b, 1)
+	client := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ObtainToken(w.AMServer.URL, "webpics", "travel", "photo-0000", core.ActionRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6 / Fig. 6: token-bearing access with decision query ---
+// Warm token, cold decision cache: each access costs exactly one signed
+// Host→AM decision query.
+func BenchmarkFig6AccessWithDecisionQuery(b *testing.B) {
+	_, h := benchWorld(b, 1)
+	url := h.ResourceURL("photo-0000")
+	client := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+	if _, err := client.Fetch(url, core.ActionRead); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Enforcer.Cache().Invalidate()
+		if _, err := client.Fetch(url, core.ActionRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: per-access cost of each protocol model at steady state ---
+func BenchmarkModelComparison(b *testing.B) {
+	b.Run("push-token-cached", func(b *testing.B) {
+		_, h := benchWorld(b, 1)
+		url := h.ResourceURL("photo-0000")
+		client := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+		if _, err := client.Fetch(url, core.ActionRead); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Fetch(url, core.ActionRead); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pull-per-access", func(b *testing.B) {
+		w, h := benchWorld(b, 1)
+		pairing, _ := h.Enforcer.PairingFor("bob")
+		pull := pullmodel.New(h.ID, nil, nil)
+		_ = w
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ok, err := pull.Check(pairing, "alice", "alice-browser", "travel", "photo-0000", core.ActionRead)
+			if err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("uma-state-per-access", func(b *testing.B) {
+		w, h := benchWorld(b, 1)
+		pairing, _ := h.Enforcer.PairingFor("bob")
+		rc := &umastate.RequesterClient{ID: "alice-browser", Subject: "alice"}
+		handle, err := rc.EstablishState(w.AMServer.URL, h.ID, "travel", "photo-0000", core.ActionRead)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enf := umastate.New(h.ID, nil, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ok, err := enf.Check(pairing, handle, "travel", "photo-0000", core.ActionRead)
+			if err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	b.Run("local-acl", func(b *testing.B) {
+		var m localacl.Matrix
+		m.Grant("bob", "photo-0000", "alice", core.ActionRead)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !m.Check("bob", "photo-0000", "alice", core.ActionRead) {
+				b.Fatal("denied")
+			}
+		}
+	})
+}
+
+// --- E8: policy engine micro-benchmarks ---
+func BenchmarkPolicyEngineEvaluate(b *testing.B) {
+	for _, rules := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("rules-%d", rules), func(b *testing.B) {
+			p := &policy.Policy{ID: "p", Owner: "bob", Kind: policy.KindGeneral}
+			for i := 0; i < rules-1; i++ {
+				p.Rules = append(p.Rules, policy.Rule{
+					Effect:   policy.EffectPermit,
+					Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: fmt.Sprintf("user-%d", i)}},
+					Actions:  []core.Action{core.ActionWrite},
+				})
+			}
+			p.Rules = append(p.Rules, policy.Rule{
+				Effect:   policy.EffectPermit,
+				Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+				Actions:  []core.Action{core.ActionRead},
+			})
+			e := policy.NewEngine(nil)
+			req := policy.Request{
+				Subject: "alice", Action: core.ActionRead, Owner: "bob", Realm: "travel",
+				Resource: core.ResourceRef{Host: "h", Resource: "r"},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionPermit {
+					b.Fatal("deny")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPolicyEngineGroupSize verifies membership checks stay O(1) in
+// group size (hash-set directory).
+func BenchmarkPolicyEngineGroupSize(b *testing.B) {
+	for _, size := range []int{10, 1000, 100000} {
+		b.Run(fmt.Sprintf("members-%d", size), func(b *testing.B) {
+			var dir policy.Directory
+			for i := 0; i < size; i++ {
+				dir.Add("bob", "friends", core.UserID(fmt.Sprintf("user-%d", i)))
+			}
+			e := policy.NewEngine(&dir)
+			p := &policy.Policy{
+				ID: "p", Owner: "bob", Kind: policy.KindGeneral,
+				Rules: []policy.Rule{{
+					Effect:   policy.EffectPermit,
+					Subjects: []policy.Subject{{Type: policy.SubjectGroup, Name: "friends"}},
+				}},
+			}
+			req := policy.Request{
+				Subject: core.UserID(fmt.Sprintf("user-%d", size-1)),
+				Action:  core.ActionRead, Owner: "bob", Realm: "travel",
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionPermit {
+					b.Fatal("deny")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAMDecideTotalPolicies shows decision cost is independent of the
+// total number of stored policies (only linked policies are evaluated).
+func BenchmarkAMDecideTotalPolicies(b *testing.B) {
+	for _, total := range []int{1, 100, 1000} {
+		b.Run(fmt.Sprintf("stored-%d", total), func(b *testing.B) {
+			w, h := benchWorld(b, 1)
+			for i := 0; i < total; i++ {
+				_, err := w.AM.CreatePolicy("bob", policy.Policy{
+					Owner: "bob", Name: fmt.Sprintf("noise-%d", i), Kind: policy.KindSpecific,
+					Rules: []policy.Rule{{Effect: policy.EffectDeny, Subjects: []policy.Subject{{Type: policy.SubjectEveryone}}}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			pairing, _ := h.Enforcer.PairingFor("bob")
+			tok, err := w.AM.IssueToken(core.TokenRequest{
+				Requester: "alice-browser", Subject: "alice", Host: "webpics",
+				Realm: "travel", Resource: "photo-0000", Action: core.ActionRead,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := core.DecisionQuery{
+				Host: "webpics", Realm: "travel", Resource: "photo-0000",
+				Action: core.ActionRead, Token: tok.Token,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec, err := w.AM.Decide(pairing.PairingID, q)
+				if err != nil || !dec.Permit() {
+					b.Fatalf("dec=%+v err=%v", dec, err)
+				}
+			}
+		})
+	}
+}
+
+// --- E10: consolidated audit summary over a growing event log ---
+func BenchmarkAuditConsolidatedSummary(b *testing.B) {
+	for _, events := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("events-%d", events), func(b *testing.B) {
+			w, h := benchWorld(b, 1)
+			pairing, _ := h.Enforcer.PairingFor("bob")
+			tok, err := w.AM.IssueToken(core.TokenRequest{
+				Requester: "alice-browser", Subject: "alice", Host: "webpics",
+				Realm: "travel", Resource: "photo-0000", Action: core.ActionRead,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < events; i++ {
+				w.AM.Decide(pairing.PairingID, core.DecisionQuery{
+					Host: "webpics", Realm: "travel", Resource: "photo-0000",
+					Action: core.ActionRead, Token: tok.Token,
+				})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := w.AM.Audit().Summarize("bob")
+				if s.PermitCount == 0 {
+					b.Fatal("empty summary")
+				}
+			}
+		})
+	}
+}
+
+// --- E11: consent and terms flows ---
+func BenchmarkConsentFlow(b *testing.B) {
+	w, h := benchWorld(b, 1)
+	h.AddResource("bob", "private", "diary", []byte("x"))
+	if err := h.Enforcer.Protect("bob", "private", []core.ResourceID{"diary"}, ""); err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.AM.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:     policy.EffectPermit,
+			Subjects:   []policy.Subject{{Type: policy.SubjectEveryone}},
+			Conditions: []policy.Condition{{Type: policy.CondRequireConsent}},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AM.LinkGeneral("bob", "private", p.ID); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := w.AM.IssueToken(core.TokenRequest{
+			Requester: "editor", Subject: "evelyn", Host: "webpics",
+			Realm: "private", Resource: "diary", Action: core.ActionRead,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.AM.ResolveConsent("bob", resp.PendingConsent, true); err != nil {
+			b.Fatal(err)
+		}
+		st, err := w.AM.ConsentStatus(resp.PendingConsent)
+		if err != nil || st.Token == "" {
+			b.Fatalf("st=%+v err=%v", st, err)
+		}
+	}
+}
+
+func BenchmarkTermsPaymentFlow(b *testing.B) {
+	w, h := benchWorld(b, 1)
+	h.AddResource("bob", "shop", "print", []byte("x"))
+	if err := h.Enforcer.Protect("bob", "shop", []core.ResourceID{"print"}, ""); err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.AM.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:     policy.EffectPermit,
+			Subjects:   []policy.Subject{{Type: policy.SubjectEveryone}},
+			Conditions: []policy.Condition{{Type: policy.CondRequireClaim, Claim: "payment"}},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AM.LinkGeneral("bob", "shop", p.ID); err != nil {
+		b.Fatal(err)
+	}
+	req := core.TokenRequest{
+		Requester: "kiosk", Subject: "carol", Host: "webpics",
+		Realm: "shop", Resource: "print", Action: core.ActionRead,
+		Claims: map[string]string{"payment": "rcpt"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := w.AM.IssueToken(req)
+		if err != nil || resp.Token == "" {
+			b.Fatalf("resp=%+v err=%v", resp, err)
+		}
+	}
+}
+
+// --- E12: cross-Host access — the gallery imports a photo from the
+// storage service, acting as a Requester under its own application
+// identity (Section VI).
+func BenchmarkCrossHostPhotoLoad(b *testing.B) {
+	w := sim.NewWorld()
+	b.Cleanup(w.Close)
+
+	st := appstorage.New(appstorage.Config{HostID: "storage", Tracer: w.Tracer})
+	stSrv := httptest.NewServer(st.Handler())
+	b.Cleanup(stSrv.Close)
+	st.Enforcer.SetBaseURL(stSrv.URL)
+
+	// A small real PNG in bob's travel directory.
+	img := image.NewRGBA(image.Rect(0, 0, 16, 16))
+	png, err := appgallery.EncodePNG(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Tree("bob").Put("/travel/pic.png", png); err != nil {
+		b.Fatal(err)
+	}
+
+	bob := sim.NewUserAgent("bob")
+	if err := bob.PairEnforcer(st.Enforcer, w.AMServer.URL); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Enforcer.Protect("bob", "travel", nil, ""); err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.AM.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectRequester, Name: "gallery"}},
+			Actions:  []core.Action{core.ActionRead},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AM.LinkGeneral("bob", "travel", p.ID); err != nil {
+		b.Fatal(err)
+	}
+
+	// The gallery-side requester client (what /import uses internally).
+	client := requester.New(requester.Config{ID: "gallery", Subject: "bob"})
+	url := appstorage.FileURL(stSrv.URL, "bob", "/travel/pic.png")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Fetch(url, core.ActionRead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkTokenMint(b *testing.B) {
+	s := token.NewService([]byte("bench-key-0123456789abcdefghijkl"), time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Mint("req", "sub", "host", "realm"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTokenValidate(b *testing.B) {
+	s := token.NewService([]byte("bench-key-0123456789abcdefghijkl"), time.Hour)
+	tok, _, err := s.Mint("req", "sub", "host", "realm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Validate(tok); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHTTPSigSignVerify(b *testing.B) {
+	v := httpsig.NewVerifier(httpsig.SecretSourceFunc(func(string) (string, bool) {
+		return "secret", true
+	}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, _ := http.NewRequest(http.MethodPost, "http://am/api/decision", nil)
+		if err := httpsig.Sign(req, "pair", "secret"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Verify(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorageFSPutGet(b *testing.B) {
+	var fs appstorage.FS
+	content := bytes.Repeat([]byte("x"), 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/travel/%d/file.bin", i%64)
+		if err := fs.Put(path, content); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.Get(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGalleryEditRotate(b *testing.B) {
+	img := image.NewRGBA(image.Rect(0, 0, 128, 128))
+	data, err := appgallery.EncodePNG(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := appgallery.ApplyEdit(data, appgallery.EditParams{Op: appgallery.OpRotate90}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecisionCache(b *testing.B) {
+	c := pep.NewDecisionCache()
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		c.Put(keys[i], true, 3600)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(keys[i%len(keys)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command amserver runs a standalone Authorization Manager.
+//
+// Usage:
+//
+//	amserver -addr :8080 -name my-am [-snapshot am-state.json] [-base-url http://am.example]
+//
+// State (policies, pairings, realms, groups) is persisted to the snapshot
+// file on shutdown and every -snapshot-every interval, and reloaded on
+// start. Browser-facing endpoints authenticate via the X-Umac-User header
+// (front it with a real SSO proxy in production).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"umac"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		name     = flag.String("name", "am", "AM display name")
+		baseURL  = flag.String("base-url", "", "externally reachable URL (default http://<addr>)")
+		snapshot = flag.String("snapshot", "", "state snapshot file (empty = in-memory only)")
+		every    = flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval")
+		tokenTTL = flag.Duration("token-ttl", 30*time.Minute, "authorization token lifetime")
+	)
+	flag.Parse()
+
+	st := umac.NewStore()
+	if *snapshot != "" {
+		loaded, err := umac.OpenStore(*snapshot)
+		if err != nil {
+			log.Fatalf("amserver: load snapshot: %v", err)
+		}
+		st = loaded
+	}
+	base := *baseURL
+	if base == "" {
+		base = "http://localhost" + *addr
+	}
+	authMgr := umac.NewAM(umac.AMConfig{
+		Name:     *name,
+		BaseURL:  base,
+		Store:    st,
+		TokenTTL: *tokenTTL,
+		Notifier: &umac.Outbox{},
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: authMgr.Handler()}
+	go func() {
+		log.Printf("amserver: %s listening on %s (base URL %s)", *name, *addr, base)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("amserver: %v", err)
+		}
+	}()
+
+	save := func() {
+		if *snapshot == "" {
+			return
+		}
+		if err := st.Snapshot(*snapshot); err != nil {
+			log.Printf("amserver: snapshot: %v", err)
+		}
+	}
+	if *snapshot != "" {
+		go func() {
+			ticker := time.NewTicker(*every)
+			defer ticker.Stop()
+			for range ticker.C {
+				save()
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println()
+	log.Print("amserver: shutting down")
+	save()
+	srv.Close()
+}

@@ -1,0 +1,59 @@
+// Command hostserver runs one of the prototype Host applications from
+// Section VI of the paper: the online storage service or the online photo
+// gallery. Both start in built-in ACL mode; users delegate to an AM through
+// the pairing flow (visit the printed pairing URL).
+//
+// Usage:
+//
+//	hostserver -app storage -addr :8081 -host-id storage
+//	hostserver -app gallery -addr :8082 -host-id gallery
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"umac/internal/apps/gallery"
+	"umac/internal/apps/storage"
+	"umac/internal/core"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "storage", "application to run: storage | gallery")
+		addr    = flag.String("addr", ":8081", "listen address")
+		hostID  = flag.String("host-id", "", "protocol host identity (default = app name)")
+		baseURL = flag.String("base-url", "", "externally reachable URL (default http://localhost<addr>)")
+	)
+	flag.Parse()
+
+	id := core.HostID(*hostID)
+	if id == "" {
+		id = core.HostID(*app)
+	}
+	base := *baseURL
+	if base == "" {
+		base = "http://localhost" + *addr
+	}
+
+	var handler http.Handler
+	switch *app {
+	case "storage":
+		a := storage.New(storage.Config{HostID: id})
+		a.Enforcer.SetBaseURL(base)
+		handler = a.Handler()
+	case "gallery":
+		a := gallery.New(gallery.Config{HostID: id})
+		a.Enforcer.SetBaseURL(base)
+		handler = a.Handler()
+	default:
+		log.Fatalf("hostserver: unknown app %q (want storage or gallery)", *app)
+	}
+
+	log.Printf("hostserver: %s (%s) listening on %s", *app, id, *addr)
+	log.Printf("hostserver: pair with an AM by driving a browser through the enforcer's pairing URL")
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		log.Fatalf("hostserver: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+// Command umacctl is the policy-management CLI: it converts between the
+// textual policy DSL and the JSON/XML interchange formats (the Section VI
+// REST export/import formats), talks to a running AM, and queries the
+// consolidated audit view.
+//
+// Subcommands:
+//
+//	umacctl parse  -owner bob < policies.umac        DSL → JSON
+//	umacctl format < policies.json                   JSON → DSL
+//	umacctl export -am URL -user bob [-format xml]   pull policies from an AM
+//	umacctl import -am URL -user bob < policies.json push policies to an AM
+//	umacctl audit  -am URL -user bob                 consolidated audit summary
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"umac"
+	"umac/internal/identity"
+	"umac/internal/policy"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "format":
+		cmdFormat(os.Args[2:])
+	case "export":
+		cmdExport(os.Args[2:])
+	case "import":
+		cmdImport(os.Args[2:])
+	case "audit":
+		cmdAudit(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: umacctl <parse|format|export|import|audit> [flags]")
+	os.Exit(2)
+}
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	owner := fs.String("owner", "", "policy owner")
+	fs.Parse(args)
+	if *owner == "" {
+		log.Fatal("umacctl parse: -owner required")
+	}
+	src, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policies, err := umac.ParsePolicies(umac.UserID(*owner), string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := policy.Export(os.Stdout, policies, policy.FormatJSON); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func cmdFormat(args []string) {
+	fs := flag.NewFlagSet("format", flag.ExitOnError)
+	format := fs.String("format", "json", "input format: json|xml")
+	fs.Parse(args)
+	f, err := policy.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policies, err := policy.Import(os.Stdin, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(umac.FormatPolicies(policies))
+}
+
+// amRequest performs an authenticated request against an AM.
+func amRequest(method, amURL, path, user string, body io.Reader) *http.Response {
+	req, err := http.NewRequest(method, strings.TrimSuffix(amURL, "/")+path, body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set(identity.DefaultUserHeader, user)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		log.Fatalf("umacctl: AM replied %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return resp
+}
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	amURL := fs.String("am", "", "AM base URL")
+	user := fs.String("user", "", "acting user")
+	format := fs.String("format", "json", "export format: json|xml")
+	fs.Parse(args)
+	if *amURL == "" || *user == "" {
+		log.Fatal("umacctl export: -am and -user required")
+	}
+	resp := amRequest(http.MethodGet, *amURL, "/policies/export?format="+*format, *user, nil)
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+}
+
+func cmdImport(args []string) {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	amURL := fs.String("am", "", "AM base URL")
+	user := fs.String("user", "", "acting user")
+	format := fs.String("format", "json", "import format: json|xml")
+	fs.Parse(args)
+	if *amURL == "" || *user == "" {
+		log.Fatal("umacctl import: -am and -user required")
+	}
+	resp := amRequest(http.MethodPost, *amURL, "/policies/import?format="+*format, *user, os.Stdin)
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+	fmt.Println()
+}
+
+func cmdAudit(args []string) {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	amURL := fs.String("am", "", "AM base URL")
+	user := fs.String("user", "", "acting user")
+	fs.Parse(args)
+	if *amURL == "" || *user == "" {
+		log.Fatal("umacctl audit: -am and -user required")
+	}
+	resp := amRequest(http.MethodGet, *amURL, "/audit/summary", *user, nil)
+	defer resp.Body.Close()
+	var summary map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&summary); err != nil {
+		log.Fatal(err)
+	}
+	out, _ := json.MarshalIndent(summary, "", "  ")
+	fmt.Println(string(out))
+}

@@ -1,0 +1,76 @@
+// Custodian demonstrates the Section V.D extension where "a User may only
+// be concerned with managing resources and a different entity, a Custodian,
+// may be responsible for composing access control policies for a User's Web
+// resources" — the setting behind the SMART project (students' resources,
+// institutional custodians).
+//
+// Run with: go run ./examples/custodian
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"umac"
+	"umac/internal/sim"
+)
+
+func main() {
+	world := sim.NewWorld()
+	defer world.Close()
+	host := world.AddHost("courseware")
+	host.AddResource("sam", "coursework", "essay.pdf", []byte("final essay"))
+
+	// Sam (a student) stores resources and pairs the Host with the AM…
+	sam := sim.NewUserAgent("sam")
+	if err := sam.PairHost(host, world.AMServer.URL); err != nil {
+		log.Fatal(err)
+	}
+	if err := host.Enforcer.Protect("sam", "coursework", []umac.ResourceID{"essay.pdf"}, ""); err != nil {
+		log.Fatal(err)
+	}
+	// …and appoints the university registrar as custodian.
+	if err := world.AM.AddCustodian("sam", "registrar"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sam appointed 'registrar' as custodian of his security settings")
+
+	// The registrar — not Sam — composes and links the policy.
+	policies, err := umac.ParsePolicies("sam", `
+policy "assessors-only" general {
+  permit group:assessors read
+  deny everyone write, delete
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := world.AM.CreatePolicy("registrar", policies[0]) // actor = custodian
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := world.AM.LinkGeneral("sam", "coursework", p.ID); err != nil {
+		log.Fatal(err)
+	}
+	if err := world.AM.AddGroupMember("registrar", "sam", "assessors", "prof-jones"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registrar composed policy", p.ID, "and enrolled prof-jones as assessor")
+
+	// The assessor reads the essay; a classmate cannot.
+	prof := umac.NewRequester(umac.RequesterConfig{ID: "grading-portal", Subject: "prof-jones"})
+	body, err := prof.Fetch(host.ResourceURL("essay.pdf"), umac.ActionRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prof-jones read %d bytes\n", len(body))
+
+	classmate := umac.NewRequester(umac.RequesterConfig{ID: "classmate-app", Subject: "kim"})
+	if _, err := classmate.Fetch(host.ResourceURL("essay.pdf"), umac.ActionRead); err != nil {
+		fmt.Println("kim denied:", err)
+	}
+
+	// A non-custodian cannot manage Sam's policies.
+	if _, err := world.AM.CreatePolicy("kim", policies[0]); err != nil {
+		fmt.Println("kim cannot compose policies for sam:", err)
+	}
+}

@@ -1,0 +1,77 @@
+// Paidaccess demonstrates the terms/claims extension (Sections V.D, VII):
+// "a User would be able to use a popular online gallery service to sell
+// photos even if such service did not provide such functionality
+// initially." The gallery Host knows nothing about payments — the AM
+// demands a payment-confirmation claim before issuing a token.
+//
+// Run with: go run ./examples/paidaccess
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"umac"
+	"umac/internal/audit"
+	"umac/internal/requester"
+	"umac/internal/sim"
+)
+
+func main() {
+	world := sim.NewWorld()
+	defer world.Close()
+	gallery := world.AddHost("webgallery")
+	gallery.AddResource("bob", "shop", "print-001.png", []byte("high-resolution print #001"))
+
+	bob := sim.NewUserAgent("bob")
+	if err := bob.PairHost(gallery, world.AMServer.URL); err != nil {
+		log.Fatal(err)
+	}
+	if err := gallery.Enforcer.Protect("bob", "shop", []umac.ResourceID{"print-001.png"}, ""); err != nil {
+		log.Fatal(err)
+	}
+
+	// The selling policy: anyone may download after presenting a payment
+	// confirmation claim. The gallery application needs no payment code.
+	policies, err := umac.ParsePolicies("bob", `
+policy "sell-prints" general {
+  permit everyone read if claim payment
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := world.AM.CreatePolicy("bob", policies[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := world.AM.LinkGeneral("bob", "shop", p.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Bob put print-001.png on sale via his AM (gallery has no payment feature)")
+
+	// A customer without payment: the AM answers with the required terms.
+	customer := umac.NewRequester(umac.RequesterConfig{ID: "print-kiosk", Subject: "carol"})
+	_, err = customer.Fetch(gallery.ResourceURL("print-001.png"), umac.ActionRead)
+	var terms *requester.TermsError
+	if errors.As(err, &terms) {
+		fmt.Println("AM demands terms before issuing a token:", terms.Terms)
+	} else {
+		log.Fatalf("expected terms error, got %v", err)
+	}
+
+	// The customer pays (out of band) and retries with the receipt claim.
+	fmt.Println("carol pays; the payment processor issues receipt rcpt-7781")
+	customer.SetClaim("payment", "rcpt-7781")
+	body, err := customer.Fetch(gallery.ResourceURL("print-001.png"), umac.ActionRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("carol downloaded %d bytes after satisfying the payment term\n", len(body))
+
+	// The sale is visible in Bob's consolidated audit.
+	events := world.AM.Audit().Query(audit.Filter{Owner: "bob", Type: audit.EventTokenIssued})
+	for _, e := range events {
+		fmt.Printf("audit: token issued to %s for %s/%s\n", e.Requester, e.Realm, e.Resource)
+	}
+}

@@ -1,0 +1,127 @@
+// Photosharing reproduces the paper's motivating scenario (Section II):
+// Bob documents trips with photos on WebPics, videos on WebVideos and trip
+// reports on WebDocs, and shares them with Alice and Chris.
+//
+// Without UMAC Bob would maintain separate ACLs in three incompatible
+// applications (shortcomings S1-S4). With UMAC he composes ONE policy and
+// ONE friends group at his AM; all three Hosts enforce it, and he audits
+// everything in one place.
+//
+// Run with: go run ./examples/photosharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"umac"
+	"umac/internal/core"
+	"umac/internal/sim"
+)
+
+func main() {
+	world := sim.NewWorld()
+	defer world.Close()
+
+	// Three independent Web 2.0 applications, each hosting part of Bob's
+	// content. Realm "trips" groups the trip content on every Host.
+	webpics := world.AddHost("webpics")
+	webvideos := world.AddHost("webvideos")
+	webdocs := world.AddHost("webdocs")
+	webpics.AddResource("bob", "trips", "kenya-2026/lion.jpg", []byte("photo: lion at dawn"))
+	webpics.AddResource("bob", "trips", "kenya-2026/camp.jpg", []byte("photo: camp"))
+	webvideos.AddResource("bob", "trips", "kenya-2026/safari.mp4", []byte("video: safari drive"))
+	webdocs.AddResource("bob", "trips", "kenya-2026/report.md", []byte("# Kenya 2026\nDay 1 …"))
+
+	// Bob delegates access control from all three Hosts to his single AM
+	// (Fig. 3, three times) and registers the realm at each (Fig. 4).
+	bob := sim.NewUserAgent("bob")
+	for _, h := range []*sim.SimpleHost{webpics, webvideos, webdocs} {
+		if err := bob.PairHost(h, world.AMServer.URL); err != nil {
+			log.Fatal(err)
+		}
+		if err := h.Enforcer.Protect("bob", "trips", nil, ""); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("Bob delegated WebPics, WebVideos and WebDocs to one AM")
+
+	// ONE policy in Bob's preferred language, ONE group — addressing S1
+	// (groups the apps lack), S2 (one language), S3 (one tool).
+	policies, err := umac.ParsePolicies("bob", `
+policy "share-trips" general {
+  permit group:friends, owner read, list
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := world.AM.CreatePolicy("bob", policies[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := world.AM.LinkGeneral("bob", "trips", p.ID); err != nil {
+		log.Fatal(err)
+	}
+	for _, friend := range []umac.UserID{"alice", "chris"} {
+		if err := world.AM.AddGroupMember("bob", "bob", "friends", friend); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("Bob composed ONE policy and ONE friends group covering all three apps")
+
+	// Alice and Chris browse everything across the three applications.
+	resources := map[*sim.SimpleHost][]umac.ResourceID{
+		webpics:   {"kenya-2026/lion.jpg", "kenya-2026/camp.jpg"},
+		webvideos: {"kenya-2026/safari.mp4"},
+		webdocs:   {"kenya-2026/report.md"},
+	}
+	for _, friend := range []umac.UserID{"alice", "chris"} {
+		client := umac.NewRequester(umac.RequesterConfig{
+			ID: umac.RequesterID(friend + "-browser"), Subject: friend,
+		})
+		n := 0
+		for h, ids := range resources {
+			for _, id := range ids {
+				if _, err := client.Fetch(h.ResourceURL(id), umac.ActionRead); err != nil {
+					log.Fatalf("%s reading %s at %s: %v", friend, id, h.ID, err)
+				}
+				n++
+			}
+		}
+		fmt.Printf("%s read %d resources across 3 applications\n", friend, n)
+	}
+
+	// Later: Bob shares with one more person — one group change, zero
+	// visits to the three applications (the Section II pain point).
+	if err := world.AM.AddGroupMember("bob", "bob", "friends", "dana"); err != nil {
+		log.Fatal(err)
+	}
+	dana := umac.NewRequester(umac.RequesterConfig{ID: "dana-browser", Subject: "dana"})
+	if _, err := dana.Fetch(webdocs.ResourceURL("kenya-2026/report.md"), umac.ActionRead); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dana added with a single group change — no per-app reconfiguration")
+
+	// A stranger is denied everywhere, decided centrally.
+	mallory := umac.NewRequester(umac.RequesterConfig{ID: "mallory-app", Subject: "mallory"})
+	denied := 0
+	for h, ids := range resources {
+		for _, id := range ids {
+			if _, err := mallory.Fetch(h.ResourceURL(id), umac.ActionRead); err != nil {
+				denied++
+			}
+		}
+	}
+	fmt.Printf("mallory denied %d/4 resources\n", denied)
+
+	// S4/R4: the consolidated audit view — one query, all Hosts.
+	s := world.AM.Audit().Summarize("bob")
+	fmt.Printf("\nConsolidated audit for bob (single query at the AM):\n")
+	fmt.Printf("  hosts: %v\n", s.Hosts)
+	fmt.Printf("  decisions: %d permit, %d deny, by %d distinct requesters\n",
+		s.PermitCount, s.DenyCount, s.RequesterCount)
+	for host, n := range s.DecisionsByHost {
+		fmt.Printf("    %-10s %d decisions\n", host, n)
+	}
+	_ = core.ActionRead
+}

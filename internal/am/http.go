@@ -1,0 +1,719 @@
+package am
+
+import (
+	"errors"
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"umac/internal/audit"
+	"umac/internal/core"
+	"umac/internal/httpsig"
+	"umac/internal/policy"
+	"umac/internal/webutil"
+)
+
+// Handler returns the AM's HTTP API:
+//
+//	Browser-facing (authenticated via Config.Auth):
+//	  GET    /pair/confirm            Fig. 3 user-consent leg
+//	  GET    /compose                 Fig. 4 policy-composition page
+//	  CRUD   /policies, /policies/{id}, /policies/export, /policies/import
+//	  POST   /links/general, /links/specific (+ DELETE)
+//	  CRUD   /groups/{group}/members, /custodians
+//	  GET    /audit, /audit/summary
+//	  GET    /consents, POST /consents/{ticket}
+//	  GET    /pairings, POST /pairings/{id}/revoke
+//
+//	Requester-facing (unauthenticated; Fig. 5):
+//	  POST   /token
+//	  GET    /token/status
+//
+//	Host-facing (HMAC-signed with the pairing secret; Figs. 3/4/6):
+//	  POST   /api/pair/exchange       (one-time code, pre-secret: unsigned)
+//	  POST   /api/protect
+//	  POST   /api/decision
+func (a *AM) Handler() http.Handler {
+	verifier := httpsig.NewVerifier(a)
+	mux := http.NewServeMux()
+
+	// --- Host-facing API ---
+	mux.HandleFunc("POST /api/pair/exchange", a.handlePairExchange)
+	mux.Handle("POST /api/protect", a.signed(verifier, a.handleProtect))
+	mux.Handle("POST /api/decision", a.signed(verifier, a.handleDecision))
+	mux.Handle("POST /api/decision/pull", a.signed(verifier, a.handlePullDecision))
+	mux.Handle("POST /api/decision/state", a.signed(verifier, a.handleStateDecision))
+
+	// --- Requester-facing ---
+	mux.HandleFunc("POST /token", a.handleToken)
+	mux.HandleFunc("GET /token/status", a.handleTokenStatus)
+	mux.HandleFunc("POST /state", a.handleEstablishState)
+
+	// --- Browser-facing ---
+	mux.Handle("GET /pair/confirm", a.authed(a.handlePairConfirm))
+	mux.Handle("GET /compose", a.authed(a.handleComposePage))
+
+	mux.Handle("GET /policies", a.authed(a.handlePolicyList))
+	mux.Handle("POST /policies", a.authed(a.handlePolicyCreate))
+	mux.Handle("GET /policies/export", a.authed(a.handlePolicyExport))
+	mux.Handle("POST /policies/import", a.authed(a.handlePolicyImport))
+	mux.Handle("GET /policies/{id}", a.authed(a.handlePolicyGet))
+	mux.Handle("PUT /policies/{id}", a.authed(a.handlePolicyUpdate))
+	mux.Handle("DELETE /policies/{id}", a.authed(a.handlePolicyDelete))
+
+	mux.Handle("POST /links/general", a.authed(a.handleLinkGeneral))
+	mux.Handle("POST /links/specific", a.authed(a.handleLinkSpecific))
+	mux.Handle("DELETE /links/general", a.authed(a.handleUnlinkGeneral))
+	mux.Handle("DELETE /links/specific", a.authed(a.handleUnlinkSpecific))
+
+	mux.Handle("GET /groups", a.authed(a.handleGroupList))
+	mux.Handle("GET /groups/{group}/members", a.authed(a.handleGroupMembers))
+	mux.Handle("POST /groups/{group}/members", a.authed(a.handleGroupAdd))
+	mux.Handle("DELETE /groups/{group}/members/{user}", a.authed(a.handleGroupRemove))
+
+	mux.Handle("GET /custodians", a.authed(a.handleCustodianList))
+	mux.Handle("POST /custodians", a.authed(a.handleCustodianAdd))
+	mux.Handle("DELETE /custodians/{user}", a.authed(a.handleCustodianRemove))
+
+	mux.Handle("GET /audit", a.authed(a.handleAudit))
+	mux.Handle("GET /audit/summary", a.authed(a.handleAuditSummary))
+
+	mux.Handle("GET /consents", a.authed(a.handleConsentList))
+	mux.Handle("POST /consents/{ticket}", a.authed(a.handleConsentResolve))
+
+	mux.Handle("GET /pairings", a.authed(a.handlePairingList))
+	mux.Handle("POST /pairings/{id}/revoke", a.authed(a.handlePairingRevoke))
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		webutil.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "am": a.name})
+	})
+	return mux
+}
+
+// authedHandler receives the authenticated actor.
+type authedHandler func(w http.ResponseWriter, r *http.Request, actor core.UserID)
+
+// authed wraps browser endpoints with authentication.
+func (a *AM) authed(h authedHandler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		actor, ok := a.auth.Authenticate(r)
+		if !ok {
+			webutil.WriteErrorf(w, http.StatusUnauthorized, "authentication required")
+			return
+		}
+		h(w, r, actor)
+	})
+}
+
+// signed wraps Host-facing endpoints with HMAC channel verification; the
+// handler receives the authenticated pairing ID.
+func (a *AM) signed(v *httpsig.Verifier, h func(w http.ResponseWriter, r *http.Request, pairingID string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pairingID, err := v.Verify(r)
+		if err != nil {
+			status := http.StatusUnauthorized
+			if errors.Is(err, httpsig.ErrReplay) {
+				status = http.StatusConflict
+			}
+			webutil.WriteError(w, status, err)
+			return
+		}
+		h(w, r, pairingID)
+	})
+}
+
+// ownerParam resolves the owner an actor is operating on: the explicit
+// ?owner= query value, defaulting to the actor. Management rights are
+// verified.
+func (a *AM) ownerParam(r *http.Request, actor core.UserID) (core.UserID, error) {
+	owner := core.UserID(r.FormValue("owner"))
+	if owner == "" {
+		owner = actor
+	}
+	if !a.CanManage(owner, actor) {
+		return "", fmt.Errorf("am: %s may not manage %s", actor, owner)
+	}
+	return owner, nil
+}
+
+// --- Pairing handlers ---
+
+func (a *AM) handlePairConfirm(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	q := r.URL.Query()
+	req := core.PairingRequest{
+		Host:     core.HostID(q.Get(core.ParamHost)),
+		HostName: q.Get("host_name"),
+		HostURL:  q.Get("host_url"),
+		User:     actor,
+	}
+	switch q.Get("scope") {
+	case "application":
+		req.Scope = core.PairingScopeApplication
+	case "resources":
+		req.Scope = core.PairingScopeResources
+		for _, res := range q[core.ParamResource] {
+			req.Resources = append(req.Resources, core.ResourceID(res))
+		}
+	default:
+		req.Scope = core.PairingScopeUser
+	}
+	returnTo := q.Get(core.ParamReturnTo)
+	code, err := a.ApprovePairing(req)
+	if err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if returnTo == "" {
+		webutil.WriteJSON(w, http.StatusOK, map[string]string{"code": code})
+		return
+	}
+	u, err := url.Parse(returnTo)
+	if err != nil {
+		webutil.WriteErrorf(w, http.StatusBadRequest, "bad return_to")
+		return
+	}
+	uq := u.Query()
+	uq.Set("code", code)
+	u.RawQuery = uq.Encode()
+	http.Redirect(w, r, u.String(), http.StatusFound)
+}
+
+type pairExchangeRequest struct {
+	Code string      `json:"code"`
+	Host core.HostID `json:"host"`
+}
+
+func (a *AM) handlePairExchange(w http.ResponseWriter, r *http.Request) {
+	var req pairExchangeRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := a.ExchangeCode(req.Code, req.Host)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (a *AM) handlePairingList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	pairings := a.Pairings(owner)
+	// Never leak channel secrets through the listing API.
+	for i := range pairings {
+		pairings[i].Secret = ""
+	}
+	webutil.WriteJSON(w, http.StatusOK, pairings)
+}
+
+func (a *AM) handlePairingRevoke(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	id := r.PathValue("id")
+	p, err := a.GetPairing(id)
+	if err != nil {
+		webutil.WriteError(w, http.StatusNotFound, err)
+		return
+	}
+	if !a.CanManage(p.User, actor) {
+		webutil.WriteErrorf(w, http.StatusForbidden, "am: %s may not revoke pairing of %s", actor, p.User)
+		return
+	}
+	if err := a.RevokePairing(id); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, map[string]string{"revoked": id})
+}
+
+// --- Host API handlers ---
+
+func (a *AM) handleProtect(w http.ResponseWriter, r *http.Request, pairingID string) {
+	var req core.ProtectRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := a.RegisterRealm(pairingID, req)
+	if err != nil {
+		webutil.WriteError(w, webutil.StatusFor(err), err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (a *AM) handleDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
+	var q core.DecisionQuery
+	if err := webutil.ReadJSON(r, &q); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := a.Decide(pairingID, q)
+	if err != nil {
+		webutil.WriteError(w, webutil.StatusFor(err), err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+// pullDecisionRequest is a tokenless decision query (pull-model baseline):
+// the Host asserts the identities it observed.
+type pullDecisionRequest struct {
+	Query     core.DecisionQuery `json:"query"`
+	Subject   core.UserID        `json:"subject,omitempty"`
+	Requester core.RequesterID   `json:"requester,omitempty"`
+}
+
+func (a *AM) handlePullDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
+	var req pullDecisionRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := a.PullDecide(pairingID, req.Query, req.Subject, req.Requester)
+	if err != nil {
+		webutil.WriteError(w, webutil.StatusFor(err), err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+// stateDecisionRequest is a decision query in the UMA-state baseline.
+type stateDecisionRequest struct {
+	Query  core.DecisionQuery `json:"query"`
+	Handle string             `json:"handle"`
+}
+
+func (a *AM) handleStateDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
+	var req stateDecisionRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := a.StateDecide(pairingID, req.Query, req.Handle)
+	if err != nil {
+		webutil.WriteError(w, webutil.StatusFor(err), err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (a *AM) handleEstablishState(w http.ResponseWriter, r *http.Request) {
+	var req core.TokenRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	handle, err := a.EstablishState(req)
+	if err != nil {
+		webutil.WriteError(w, webutil.StatusFor(err), err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, map[string]string{"handle": handle})
+}
+
+// --- Requester handlers ---
+
+func (a *AM) handleToken(w http.ResponseWriter, r *http.Request) {
+	var req core.TokenRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := a.IssueToken(req)
+	switch {
+	case errors.Is(err, core.ErrAccessDenied):
+		webutil.WriteError(w, http.StatusForbidden, err)
+	case err != nil:
+		webutil.WriteError(w, webutil.StatusFor(err), err)
+	case resp.Pending():
+		// 202: the request is accepted but the token is not ready —
+		// consent pending or terms outstanding (asynchronous flow).
+		webutil.WriteJSON(w, http.StatusAccepted, resp)
+	default:
+		webutil.WriteJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (a *AM) handleTokenStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := a.ConsentStatus(r.FormValue(core.ParamTicket))
+	if err != nil {
+		webutil.WriteError(w, http.StatusNotFound, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, st)
+}
+
+// --- Policy handlers ---
+
+func (a *AM) handlePolicyList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, a.ListPolicies(owner))
+}
+
+func (a *AM) handlePolicyCreate(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	var p policy.Policy
+	if err := webutil.ReadJSONLoose(r, &p); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if p.Owner == "" {
+		p.Owner = actor
+	}
+	created, err := a.CreatePolicy(actor, p)
+	if err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusCreated, created)
+}
+
+func (a *AM) handlePolicyGet(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	p, err := a.GetPolicy(core.PolicyID(r.PathValue("id")))
+	if err != nil {
+		webutil.WriteError(w, http.StatusNotFound, err)
+		return
+	}
+	if !a.CanManage(p.Owner, actor) {
+		webutil.WriteErrorf(w, http.StatusForbidden, "am: %s may not view policies of %s", actor, p.Owner)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, p)
+}
+
+func (a *AM) handlePolicyUpdate(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	var p policy.Policy
+	if err := webutil.ReadJSONLoose(r, &p); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	p.ID = core.PolicyID(r.PathValue("id"))
+	if err := a.UpdatePolicy(actor, p); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, p)
+}
+
+func (a *AM) handlePolicyDelete(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	if err := a.DeletePolicy(actor, core.PolicyID(r.PathValue("id"))); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *AM) handlePolicyExport(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	format, err := policy.ParseFormat(formatParam(r))
+	if err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	if err := a.ExportPolicies(w, owner, format); err != nil {
+		// Headers are gone; nothing more we can do than log via audit.
+		return
+	}
+}
+
+func (a *AM) handlePolicyImport(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	format, err := policy.ParseFormat(formatParam(r))
+	if err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := a.ImportPolicies(actor, owner, r.Body, format)
+	if err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, map[string]int{"imported": n})
+}
+
+// formatParam reads the serialization format from ?format= or Content-Type.
+func formatParam(r *http.Request) string {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return f
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		return ct
+	}
+	return "json"
+}
+
+// --- Link handlers ---
+
+type linkGeneralRequest struct {
+	Owner  core.UserID   `json:"owner,omitempty"`
+	Realm  core.RealmID  `json:"realm"`
+	Policy core.PolicyID `json:"policy"`
+}
+
+func (a *AM) handleLinkGeneral(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	var req linkGeneralRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := req.Owner
+	if owner == "" {
+		owner = actor
+	}
+	if !a.CanManage(owner, actor) {
+		webutil.WriteErrorf(w, http.StatusForbidden, "am: %s may not manage %s", actor, owner)
+		return
+	}
+	if err := a.LinkGeneral(owner, req.Realm, req.Policy); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, map[string]string{"linked": string(req.Realm)})
+}
+
+type linkSpecificRequest struct {
+	Owner    core.UserID     `json:"owner,omitempty"`
+	Host     core.HostID     `json:"host"`
+	Resource core.ResourceID `json:"resource"`
+	Policy   core.PolicyID   `json:"policy"`
+}
+
+func (a *AM) handleLinkSpecific(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	var req linkSpecificRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := req.Owner
+	if owner == "" {
+		owner = actor
+	}
+	if !a.CanManage(owner, actor) {
+		webutil.WriteErrorf(w, http.StatusForbidden, "am: %s may not manage %s", actor, owner)
+		return
+	}
+	if err := a.LinkSpecific(owner, req.Host, req.Resource, req.Policy); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, map[string]string{"linked": string(req.Resource)})
+}
+
+func (a *AM) handleUnlinkGeneral(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	if err := a.UnlinkGeneral(owner, core.RealmID(r.FormValue(core.ParamRealm))); err != nil {
+		webutil.WriteError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *AM) handleUnlinkSpecific(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	err = a.UnlinkSpecific(owner,
+		core.HostID(r.FormValue(core.ParamHost)),
+		core.ResourceID(r.FormValue(core.ParamResource)))
+	if err != nil {
+		webutil.WriteError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- Group handlers ---
+
+func (a *AM) handleGroupList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, a.Groups(owner))
+}
+
+func (a *AM) handleGroupMembers(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, a.GroupMembers(owner, r.PathValue("group")))
+}
+
+type groupMemberRequest struct {
+	Owner core.UserID `json:"owner,omitempty"`
+	User  core.UserID `json:"user"`
+}
+
+func (a *AM) handleGroupAdd(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	var req groupMemberRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := req.Owner
+	if owner == "" {
+		owner = actor
+	}
+	if err := a.AddGroupMember(actor, owner, r.PathValue("group"), req.User); err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, a.GroupMembers(owner, r.PathValue("group")))
+}
+
+func (a *AM) handleGroupRemove(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	if err := a.RemoveGroupMember(actor, owner, r.PathValue("group"), core.UserID(r.PathValue("user"))); err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- Custodian handlers ---
+
+func (a *AM) handleCustodianList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, a.Custodians(owner))
+}
+
+type custodianRequest struct {
+	Custodian core.UserID `json:"custodian"`
+}
+
+func (a *AM) handleCustodianAdd(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	var req custodianRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Only the owner themselves may appoint custodians.
+	if err := a.AddCustodian(actor, req.Custodian); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, a.Custodians(actor))
+}
+
+func (a *AM) handleCustodianRemove(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	if err := a.RemoveCustodian(actor, core.UserID(r.PathValue("user"))); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- Audit handlers ---
+
+func (a *AM) handleAudit(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	f := audit.Filter{
+		Owner:     owner,
+		Host:      core.HostID(r.FormValue(core.ParamHost)),
+		Realm:     core.RealmID(r.FormValue(core.ParamRealm)),
+		Requester: core.RequesterID(r.FormValue(core.ParamRequester)),
+		Type:      audit.EventType(r.FormValue("type")),
+	}
+	webutil.WriteJSON(w, http.StatusOK, a.audit.Query(f))
+}
+
+func (a *AM) handleAuditSummary(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, a.audit.Summarize(owner))
+}
+
+// --- Consent handlers ---
+
+func (a *AM) handleConsentList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	owner, err := a.ownerParam(r, actor)
+	if err != nil {
+		webutil.WriteError(w, http.StatusForbidden, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, a.PendingConsents(owner))
+}
+
+type consentResolveRequest struct {
+	Approve bool `json:"approve"`
+}
+
+func (a *AM) handleConsentResolve(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	var req consentResolveRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := a.ResolveConsent(actor, r.PathValue("ticket"), req.Approve); err != nil {
+		webutil.WriteError(w, webutil.StatusFor(err), err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, map[string]bool{"approved": req.Approve})
+}
+
+// --- Compose page (Fig. 4) ---
+
+// handleComposePage renders the policy-composition landing page a user
+// reaches when redirected from a Host's "share" control. It lists the
+// user's policies so one can be linked to the realm the Host supplied.
+// Programmatic clients use POST /links/general instead.
+func (a *AM) handleComposePage(w http.ResponseWriter, r *http.Request, actor core.UserID) {
+	q := r.URL.Query()
+	host := q.Get(core.ParamHost)
+	realm := q.Get(core.ParamRealm)
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!doctype html><title>%s — compose policy</title>", html.EscapeString(a.name))
+	fmt.Fprintf(&b, "<h1>Protect %s at %s</h1>", html.EscapeString(realm), html.EscapeString(host))
+	fmt.Fprintf(&b, "<p>Signed in as %s.</p><h2>Your policies</h2><ul>", html.EscapeString(string(actor)))
+	for _, p := range a.ListPolicies(actor) {
+		fmt.Fprintf(&b, "<li>%s (%s, %d rules)</li>",
+			html.EscapeString(string(p.ID)), html.EscapeString(p.Kind.String()), len(p.Rules))
+	}
+	b.WriteString("</ul><p>Link a policy via POST /links/general.</p>")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, b.String())
+	a.trace(core.PhaseComposingPolicies, "user:"+string(actor), "am:"+a.name,
+		"compose-page", realm)
+}

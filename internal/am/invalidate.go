@@ -1,0 +1,89 @@
+package am
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+
+	"umac/internal/core"
+	"umac/internal/httpsig"
+)
+
+// This file implements decision-cache invalidation push, realising the
+// Section V.B.5 requirement that "the AM may provide a User with mechanisms
+// to control caching of access control decisions" beyond passive TTLs:
+// when a user edits policies, groups or links, the AM notifies every paired
+// Host (over the signed channel) to drop cached decisions, so revocations
+// take effect immediately rather than at TTL expiry.
+//
+// Delivery is best-effort and asynchronous — a Host that misses the push
+// still converges at TTL expiry, so the TTL remains the correctness bound
+// and the push is a freshness optimisation.
+
+// InvalidatePath is the Host endpoint the AM posts to.
+const InvalidatePath = "/umac/invalidate"
+
+// invalidator delivers cache-invalidation pushes to paired hosts.
+type invalidator struct {
+	client *http.Client
+
+	mu      sync.Mutex
+	pending sync.WaitGroup
+}
+
+// EnableInvalidationPush turns on best-effort invalidation pushes using the
+// given HTTP client (nil means http.DefaultClient). Without this call the
+// AM never contacts Hosts spontaneously (the paper's base protocol).
+func (a *AM) EnableInvalidationPush(client *http.Client) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inval = &invalidator{client: client}
+}
+
+// FlushInvalidations blocks until all in-flight pushes complete (tests).
+func (a *AM) FlushInvalidations() {
+	a.mu.Lock()
+	inv := a.inval
+	a.mu.Unlock()
+	if inv != nil {
+		inv.pending.Wait()
+	}
+}
+
+// pushInvalidation notifies every non-revoked pairing of owner's Hosts.
+// Call sites are the PAP mutations (policy update/delete, link changes,
+// group changes).
+func (a *AM) pushInvalidation(owner core.UserID) {
+	a.mu.Lock()
+	inv := a.inval
+	a.mu.Unlock()
+	if inv == nil {
+		return
+	}
+	for _, p := range a.Pairings(owner) {
+		if p.Revoked || p.HostURL == "" {
+			continue
+		}
+		inv.pending.Add(1)
+		go func(p Pairing) {
+			defer inv.pending.Done()
+			req, err := http.NewRequest(http.MethodPost, p.HostURL+InvalidatePath,
+				bytes.NewReader([]byte(`{"owner":"`+string(owner)+`"}`)))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if err := httpsig.Sign(req, p.ID, p.Secret); err != nil {
+				return
+			}
+			resp, err := inv.client.Do(req)
+			if err != nil {
+				return // best effort; TTL expiry is the fallback
+			}
+			resp.Body.Close()
+		}(p)
+	}
+}

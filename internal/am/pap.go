@@ -1,0 +1,418 @@
+package am
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"umac/internal/audit"
+	"umac/internal/core"
+	"umac/internal/policy"
+	"umac/internal/store"
+)
+
+// This file is the policy administration point (PAP): policy CRUD,
+// realm/resource linking, groups and custodians. Authorization to manage a
+// user's policies is checked here via CanManage so the HTTP layer and CLI
+// share the rules.
+
+// CanManage reports whether actor may administer owner's policies: the
+// owner always can, and so can appointed custodians (Section V.D: "a
+// different entity, a Custodian, may be responsible for composing access
+// control policies for a User's Web resources").
+func (a *AM) CanManage(owner, actor core.UserID) bool {
+	if actor == "" {
+		return false
+	}
+	if owner == actor {
+		return true
+	}
+	var custodians []core.UserID
+	if _, err := a.store.Get(kindCustodian, string(owner), &custodians); err != nil {
+		return false
+	}
+	for _, c := range custodians {
+		if c == actor {
+			return true
+		}
+	}
+	return false
+}
+
+// AddCustodian appoints a custodian for owner.
+func (a *AM) AddCustodian(owner, custodian core.UserID) error {
+	if owner == "" || custodian == "" {
+		return fmt.Errorf("am: owner and custodian required")
+	}
+	var cur []core.UserID
+	_, err := a.store.Update(kindCustodian, string(owner), &cur, func(exists bool) (any, error) {
+		for _, c := range cur {
+			if c == custodian {
+				return cur, nil
+			}
+		}
+		return append(cur, custodian), nil
+	})
+	return err
+}
+
+// RemoveCustodian revokes a custodian appointment.
+func (a *AM) RemoveCustodian(owner, custodian core.UserID) error {
+	var cur []core.UserID
+	_, err := a.store.Update(kindCustodian, string(owner), &cur, func(exists bool) (any, error) {
+		out := cur[:0]
+		for _, c := range cur {
+			if c != custodian {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	})
+	return err
+}
+
+// Custodians lists owner's custodians.
+func (a *AM) Custodians(owner core.UserID) []core.UserID {
+	var cur []core.UserID
+	a.store.Get(kindCustodian, string(owner), &cur)
+	sort.Slice(cur, func(i, j int) bool { return cur[i] < cur[j] })
+	return cur
+}
+
+// --- Policy CRUD ---
+
+// CreatePolicy validates and stores a new policy. A policy ID is assigned
+// when empty. actor must be allowed to manage the policy owner's security.
+func (a *AM) CreatePolicy(actor core.UserID, p policy.Policy) (policy.Policy, error) {
+	if p.ID == "" {
+		p.ID = core.PolicyID(core.NewID("pol"))
+	}
+	if !a.CanManage(p.Owner, actor) {
+		return policy.Policy{}, fmt.Errorf("am: %s may not manage policies of %s", actor, p.Owner)
+	}
+	if err := p.Validate(); err != nil {
+		return policy.Policy{}, err
+	}
+	if _, err := a.store.PutIfVersion(kindPolicy, string(p.ID), 0, p); err != nil {
+		return policy.Policy{}, fmt.Errorf("am: policy %s already exists: %w", p.ID, err)
+	}
+	a.audit.Append(audit.Event{
+		Type: audit.EventPolicyCreated, Owner: p.Owner, Subject: actor, Detail: string(p.ID),
+	})
+	a.trace(core.PhaseComposingPolicies, "user:"+string(actor), "am:"+a.name,
+		"create-policy", string(p.ID))
+	return p, nil
+}
+
+// UpdatePolicy replaces an existing policy; owner and ID are immutable.
+func (a *AM) UpdatePolicy(actor core.UserID, p policy.Policy) error {
+	var old policy.Policy
+	if _, err := a.store.Get(kindPolicy, string(p.ID), &old); err != nil {
+		return fmt.Errorf("am: policy %s not found", p.ID)
+	}
+	if !a.CanManage(old.Owner, actor) {
+		return fmt.Errorf("am: %s may not manage policies of %s", actor, old.Owner)
+	}
+	p.Owner = old.Owner
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if _, err := a.store.Put(kindPolicy, string(p.ID), p); err != nil {
+		return err
+	}
+	a.audit.Append(audit.Event{
+		Type: audit.EventPolicyUpdated, Owner: old.Owner, Subject: actor, Detail: string(p.ID),
+	})
+	a.pushInvalidation(old.Owner)
+	return nil
+}
+
+// DeletePolicy removes a policy. Links pointing at it become dangling and
+// resolve to "no policy" (deny-biased), which is the safe failure mode.
+func (a *AM) DeletePolicy(actor core.UserID, id core.PolicyID) error {
+	var old policy.Policy
+	if _, err := a.store.Get(kindPolicy, string(id), &old); err != nil {
+		return fmt.Errorf("am: policy %s not found", id)
+	}
+	if !a.CanManage(old.Owner, actor) {
+		return fmt.Errorf("am: %s may not manage policies of %s", actor, old.Owner)
+	}
+	if err := a.store.Delete(kindPolicy, string(id)); err != nil {
+		return err
+	}
+	a.audit.Append(audit.Event{
+		Type: audit.EventPolicyDeleted, Owner: old.Owner, Subject: actor, Detail: string(id),
+	})
+	a.pushInvalidation(old.Owner)
+	return nil
+}
+
+// GetPolicy fetches a policy by ID.
+func (a *AM) GetPolicy(id core.PolicyID) (policy.Policy, error) {
+	var p policy.Policy
+	if _, err := a.store.Get(kindPolicy, string(id), &p); err != nil {
+		return policy.Policy{}, fmt.Errorf("am: policy %s not found", id)
+	}
+	return p, nil
+}
+
+// ListPolicies returns all policies owned by owner, sorted by ID.
+func (a *AM) ListPolicies(owner core.UserID) []policy.Policy {
+	entities := a.store.Query(kindPolicy, func(e store.Entity) bool {
+		var p policy.Policy
+		return e.Decode(&p) == nil && p.Owner == owner
+	})
+	out := make([]policy.Policy, 0, len(entities))
+	for _, e := range entities {
+		var p policy.Policy
+		if err := e.Decode(&p); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ExportPolicies writes owner's policies to w in the requested format —
+// the Section VI REST export.
+func (a *AM) ExportPolicies(w io.Writer, owner core.UserID, f policy.Format) error {
+	return policy.Export(w, a.ListPolicies(owner), f)
+}
+
+// ImportPolicies reads policies from r, forcing ownership to owner, and
+// stores them (overwriting same-ID policies). Returns how many were
+// imported.
+func (a *AM) ImportPolicies(actor core.UserID, owner core.UserID, r io.Reader, f policy.Format) (int, error) {
+	if !a.CanManage(owner, actor) {
+		return 0, fmt.Errorf("am: %s may not manage policies of %s", actor, owner)
+	}
+	policies, err := policy.Import(r, f)
+	if err != nil {
+		return 0, err
+	}
+	for i := range policies {
+		policies[i].Owner = owner
+		// Policy IDs are global store keys. An import must never clobber
+		// another user's policy that happens to share the ID (e.g. when
+		// importing a policy set exported by someone else), so re-key on
+		// cross-owner collision.
+		var existing policy.Policy
+		if _, err := a.store.Get(kindPolicy, string(policies[i].ID), &existing); err == nil && existing.Owner != owner {
+			policies[i].ID = core.PolicyID(core.NewID("pol"))
+		}
+		if _, err := a.store.Put(kindPolicy, string(policies[i].ID), policies[i]); err != nil {
+			return i, err
+		}
+		a.audit.Append(audit.Event{
+			Type: audit.EventPolicyCreated, Owner: owner, Subject: actor,
+			Detail: string(policies[i].ID) + " (import)",
+		})
+	}
+	return len(policies), nil
+}
+
+// --- Linking (Fig. 4) ---
+
+// LinkGeneral applies a general policy to all resources of owner's realm,
+// across every Host where that realm is registered. This is the R2 win:
+// one policy, one link, many Hosts.
+func (a *AM) LinkGeneral(owner core.UserID, realm core.RealmID, pid core.PolicyID) error {
+	p, err := a.GetPolicy(pid)
+	if err != nil {
+		return err
+	}
+	if p.Owner != owner {
+		return fmt.Errorf("am: policy %s is not owned by %s", pid, owner)
+	}
+	if p.Kind != policy.KindGeneral {
+		return fmt.Errorf("am: policy %s is %s, need general", pid, p.Kind)
+	}
+	if _, err := a.store.Put(kindLinkGen, linkGenKey(owner, realm), linkRecord{Policy: pid}); err != nil {
+		return err
+	}
+	a.audit.Append(audit.Event{
+		Type: audit.EventResourceLinked, Owner: owner, Realm: realm,
+		Detail: "general policy " + string(pid),
+	})
+	a.trace(core.PhaseComposingPolicies, "user:"+string(owner), "am:"+a.name,
+		"link-general", fmt.Sprintf("%s -> %s", realm, pid))
+	a.pushInvalidation(owner)
+	return nil
+}
+
+// LinkSpecific applies a specific policy to one resource at one Host.
+func (a *AM) LinkSpecific(owner core.UserID, host core.HostID, res core.ResourceID, pid core.PolicyID) error {
+	p, err := a.GetPolicy(pid)
+	if err != nil {
+		return err
+	}
+	if p.Owner != owner {
+		return fmt.Errorf("am: policy %s is not owned by %s", pid, owner)
+	}
+	if p.Kind != policy.KindSpecific {
+		return fmt.Errorf("am: policy %s is %s, need specific", pid, p.Kind)
+	}
+	if _, err := a.store.Put(kindLinkSpec, linkSpecKey(owner, host, res), linkRecord{Policy: pid}); err != nil {
+		return err
+	}
+	a.audit.Append(audit.Event{
+		Type: audit.EventResourceLinked, Owner: owner, Host: host, Resource: res,
+		Detail: "specific policy " + string(pid),
+	})
+	a.trace(core.PhaseComposingPolicies, "user:"+string(owner), "am:"+a.name,
+		"link-specific", fmt.Sprintf("%s/%s -> %s", host, res, pid))
+	a.pushInvalidation(owner)
+	return nil
+}
+
+// UnlinkGeneral removes the realm's general policy link.
+func (a *AM) UnlinkGeneral(owner core.UserID, realm core.RealmID) error {
+	if err := a.store.Delete(kindLinkGen, linkGenKey(owner, realm)); err != nil {
+		return err
+	}
+	a.pushInvalidation(owner)
+	return nil
+}
+
+// UnlinkSpecific removes a resource's specific policy link.
+func (a *AM) UnlinkSpecific(owner core.UserID, host core.HostID, res core.ResourceID) error {
+	if err := a.store.Delete(kindLinkSpec, linkSpecKey(owner, host, res)); err != nil {
+		return err
+	}
+	a.pushInvalidation(owner)
+	return nil
+}
+
+// generalPolicyFor resolves the general policy protecting owner's realm,
+// nil when none is linked (or the link dangles).
+func (a *AM) generalPolicyFor(owner core.UserID, realm core.RealmID) *policy.Policy {
+	var link linkRecord
+	if _, err := a.store.Get(kindLinkGen, linkGenKey(owner, realm), &link); err != nil {
+		return nil
+	}
+	p, err := a.GetPolicy(link.Policy)
+	if err != nil {
+		return nil
+	}
+	return &p
+}
+
+// specificPolicyFor resolves the specific policy for a resource, nil when
+// none.
+func (a *AM) specificPolicyFor(owner core.UserID, host core.HostID, res core.ResourceID) *policy.Policy {
+	var link linkRecord
+	if _, err := a.store.Get(kindLinkSpec, linkSpecKey(owner, host, res), &link); err != nil {
+		return nil
+	}
+	p, err := a.GetPolicy(link.Policy)
+	if err != nil {
+		return nil
+	}
+	return &p
+}
+
+func linkGenKey(owner core.UserID, realm core.RealmID) string {
+	return string(owner) + "/" + string(realm)
+}
+
+func linkSpecKey(owner core.UserID, host core.HostID, res core.ResourceID) string {
+	return string(owner) + "/" + string(host) + "/" + string(res)
+}
+
+// --- Groups ---
+
+// groupStore is a store-backed policy.GroupResolver with a write-through
+// in-memory directory for fast membership checks on the decision path.
+type groupStore struct {
+	st  *store.Store
+	dir policy.Directory
+}
+
+func newGroupStore(st *store.Store) *groupStore {
+	g := &groupStore{st: st}
+	// Rebuild the directory from persisted groups.
+	for _, e := range st.List(kindGroup) {
+		var members []core.UserID
+		if err := e.Decode(&members); err != nil {
+			continue
+		}
+		owner, group, ok := splitGroupKey(e.Key)
+		if !ok {
+			continue
+		}
+		for _, m := range members {
+			g.dir.Add(owner, group, m)
+		}
+	}
+	return g
+}
+
+// Member implements policy.GroupResolver.
+func (g *groupStore) Member(owner core.UserID, group string, user core.UserID) bool {
+	return g.dir.Member(owner, group, user)
+}
+
+func (g *groupStore) add(owner core.UserID, group string, user core.UserID) error {
+	g.dir.Add(owner, group, user)
+	return g.persist(owner, group)
+}
+
+func (g *groupStore) remove(owner core.UserID, group string, user core.UserID) error {
+	g.dir.Remove(owner, group, user)
+	return g.persist(owner, group)
+}
+
+func (g *groupStore) persist(owner core.UserID, group string) error {
+	members := g.dir.Members(owner, group)
+	key := string(owner) + "/" + group
+	if len(members) == 0 {
+		// Deleting a missing entity is fine here.
+		g.st.Delete(kindGroup, key)
+		return nil
+	}
+	_, err := g.st.Put(kindGroup, key, members)
+	return err
+}
+
+func splitGroupKey(key string) (core.UserID, string, bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return core.UserID(key[:i]), key[i+1:], key[i+1:] != ""
+		}
+	}
+	return "", "", false
+}
+
+// AddGroupMember adds user to actor-managed owner's group.
+func (a *AM) AddGroupMember(actor, owner core.UserID, group string, user core.UserID) error {
+	if !a.CanManage(owner, actor) {
+		return fmt.Errorf("am: %s may not manage groups of %s", actor, owner)
+	}
+	if group == "" || user == "" {
+		return fmt.Errorf("am: group and user required")
+	}
+	if err := a.groups.add(owner, group, user); err != nil {
+		return err
+	}
+	a.pushInvalidation(owner)
+	return nil
+}
+
+// RemoveGroupMember removes user from owner's group.
+func (a *AM) RemoveGroupMember(actor, owner core.UserID, group string, user core.UserID) error {
+	if !a.CanManage(owner, actor) {
+		return fmt.Errorf("am: %s may not manage groups of %s", actor, owner)
+	}
+	if err := a.groups.remove(owner, group, user); err != nil {
+		return err
+	}
+	a.pushInvalidation(owner)
+	return nil
+}
+
+// Groups lists owner's group names.
+func (a *AM) Groups(owner core.UserID) []string { return a.groups.dir.Groups(owner) }
+
+// GroupMembers lists members of owner's group.
+func (a *AM) GroupMembers(owner core.UserID, group string) []core.UserID {
+	return a.groups.dir.Members(owner, group)
+}

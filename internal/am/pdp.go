@@ -1,0 +1,238 @@
+package am
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"umac/internal/audit"
+	"umac/internal/core"
+	"umac/internal/policy"
+	"umac/internal/token"
+)
+
+// This file is the policy decision point (PDP) and token service: the
+// Fig. 5 token endpoint and the Fig. 6 decision endpoint.
+
+// IssueToken evaluates a Requester's access request and, on permit, mints
+// an authorization token bound to (requester, host, realm) — Fig. 5. The
+// outcomes map to the paper's Section V.D extensions:
+//
+//   - permit              → TokenResponse with the token;
+//   - consent required    → TokenResponse with PendingConsent (asynchronous
+//     Requester↔AM interaction);
+//   - terms unsatisfied   → TokenResponse listing RequiredTerms;
+//   - deny                → core.ErrAccessDenied.
+func (a *AM) IssueToken(req core.TokenRequest) (core.TokenResponse, error) {
+	a.trace(core.PhaseObtainingToken, "requester:"+string(req.Requester), "am:"+a.name,
+		"token-request", fmt.Sprintf("%s/%s %s", req.Host, req.Realm, req.Action))
+	realm, err := a.LookupRealm(req.Host, req.Realm)
+	if err != nil {
+		return core.TokenResponse{}, err
+	}
+	res := a.evaluate(req, realm, false)
+	switch {
+	case res.Decision == core.DecisionPermit:
+		return a.grantToken(req, realm, res)
+	case res.RequireConsent:
+		ticket, err := a.openConsent(req, realm)
+		if err != nil {
+			return core.TokenResponse{}, err
+		}
+		a.trace(core.PhaseObtainingToken, "am:"+a.name, "requester:"+string(req.Requester),
+			"consent-pending", ticket)
+		return core.TokenResponse{PendingConsent: ticket}, nil
+	case len(res.RequiredTerms) > 0:
+		a.audit.Append(audit.Event{
+			Type: audit.EventTokenRefused, Owner: realm.Owner, Host: req.Host,
+			Realm: req.Realm, Resource: req.Resource, Requester: req.Requester,
+			Subject: req.Subject, Action: req.Action,
+			Detail: fmt.Sprintf("terms required: %v", res.RequiredTerms),
+		})
+		a.trace(core.PhaseObtainingToken, "am:"+a.name, "requester:"+string(req.Requester),
+			"terms-required", fmt.Sprintf("%v", res.RequiredTerms))
+		return core.TokenResponse{RequiredTerms: dedupe(res.RequiredTerms)}, nil
+	default:
+		a.audit.Append(audit.Event{
+			Type: audit.EventTokenRefused, Owner: realm.Owner, Host: req.Host,
+			Realm: req.Realm, Resource: req.Resource, Requester: req.Requester,
+			Subject: req.Subject, Action: req.Action, Detail: res.Reason,
+		})
+		a.trace(core.PhaseObtainingToken, "am:"+a.name, "requester:"+string(req.Requester),
+			"token-refused", res.Reason)
+		return core.TokenResponse{}, fmt.Errorf("%w: %s", core.ErrAccessDenied, res.Reason)
+	}
+}
+
+// grantToken mints the token and records the grant context for decision-
+// time re-evaluation.
+func (a *AM) grantToken(req core.TokenRequest, realm Realm, res policy.Result) (core.TokenResponse, error) {
+	tok, claims, err := a.tokens.Mint(req.Requester, req.Subject, req.Host, req.Realm)
+	if err != nil {
+		return core.TokenResponse{}, err
+	}
+	grant := grantRecord{
+		Requester: req.Requester,
+		Subject:   req.Subject,
+		Claims:    req.Claims,
+		// ConsentGranted stays false: this is the no-consent-needed path;
+		// grantTokenWithConsent handles the consent-approved path.
+	}
+	if _, err := a.store.Put(kindGrant, claims.ID, grant); err != nil {
+		return core.TokenResponse{}, fmt.Errorf("am: persist grant: %w", err)
+	}
+	a.audit.Append(audit.Event{
+		Type: audit.EventTokenIssued, Owner: realm.Owner, Host: req.Host,
+		Realm: req.Realm, Resource: req.Resource, Requester: req.Requester,
+		Subject: req.Subject, Action: req.Action, Detail: claims.ID,
+	})
+	a.trace(core.PhaseObtainingToken, "am:"+a.name, "requester:"+string(req.Requester),
+		"token-issued", claims.ID)
+	return core.TokenResponse{Token: tok, Realm: req.Realm, ExpiresAt: claims.ExpiresAt}, nil
+}
+
+// grantTokenWithConsent is grantToken for the consent-approved path; the
+// grant records that the owner consented so decision queries re-evaluate
+// with ConsentGranted.
+func (a *AM) grantTokenWithConsent(req core.TokenRequest, realm Realm) (core.TokenResponse, error) {
+	tok, claims, err := a.tokens.Mint(req.Requester, req.Subject, req.Host, req.Realm)
+	if err != nil {
+		return core.TokenResponse{}, err
+	}
+	grant := grantRecord{
+		Requester:      req.Requester,
+		Subject:        req.Subject,
+		Claims:         req.Claims,
+		ConsentGranted: true,
+	}
+	if _, err := a.store.Put(kindGrant, claims.ID, grant); err != nil {
+		return core.TokenResponse{}, fmt.Errorf("am: persist grant: %w", err)
+	}
+	a.audit.Append(audit.Event{
+		Type: audit.EventTokenIssued, Owner: realm.Owner, Host: req.Host,
+		Realm: req.Realm, Resource: req.Resource, Requester: req.Requester,
+		Subject: req.Subject, Action: req.Action, Detail: claims.ID + " (consented)",
+	})
+	return core.TokenResponse{Token: tok, Realm: req.Realm, ExpiresAt: claims.ExpiresAt}, nil
+}
+
+// evaluate builds the policy request and runs the two-stage engine.
+func (a *AM) evaluate(req core.TokenRequest, realm Realm, consent bool) policy.Result {
+	general := a.generalPolicyFor(realm.Owner, req.Realm)
+	specific := a.specificPolicyFor(realm.Owner, req.Host, req.Resource)
+	preq := policy.Request{
+		Subject:        req.Subject,
+		Requester:      req.Requester,
+		Action:         req.Action,
+		Resource:       core.ResourceRef{Host: req.Host, Resource: req.Resource, Realm: req.Realm},
+		Realm:          req.Realm,
+		Owner:          realm.Owner,
+		Claims:         req.Claims,
+		ConsentGranted: consent,
+	}
+	return a.engine.Evaluate(preq, general, specific)
+}
+
+// Decide answers a Host's decision query — Fig. 6. The pairingID is the
+// authenticated channel identity established by httpsig; the query is
+// rejected unless the pairing's Host matches the query's Host.
+func (a *AM) Decide(pairingID string, q core.DecisionQuery) (core.DecisionResponse, error) {
+	a.trace(core.PhaseObtainingDecision, "host:"+string(q.Host), "am:"+a.name,
+		"decision-query", fmt.Sprintf("%s/%s %s", q.Realm, q.Resource, q.Action))
+	pairing, err := a.GetPairing(pairingID)
+	if err != nil {
+		return core.DecisionResponse{}, err
+	}
+	if pairing.Host != q.Host {
+		return core.DecisionResponse{}, fmt.Errorf("am: pairing %s belongs to host %q, query claims %q",
+			pairingID, pairing.Host, q.Host)
+	}
+	realm, err := a.LookupRealm(q.Host, q.Realm)
+	if err != nil {
+		return core.DecisionResponse{}, err
+	}
+
+	deny := func(reason string) core.DecisionResponse {
+		a.auditDecision(realm, q, "", core.DecisionDeny, reason)
+		return core.DecisionResponse{
+			Decision:        core.DecisionDeny.String(),
+			CacheTTLSeconds: 0, // denials from token problems are not cacheable
+			Reason:          reason,
+			TokenProblem:    true,
+		}
+	}
+
+	claims, err := a.tokens.Validate(q.Token)
+	if err != nil {
+		if errors.Is(err, core.ErrTokenInvalid) {
+			return deny("token invalid: " + err.Error()), nil
+		}
+		return core.DecisionResponse{}, err
+	}
+	if err := token.CheckScope(claims, "", q.Host, q.Realm); err != nil {
+		return deny("token out of scope: " + err.Error()), nil
+	}
+
+	// Recover the grant context (claims presented, consent given) so the
+	// re-evaluation reproduces the conditions under which the token was
+	// issued.
+	var grant grantRecord
+	a.store.Get(kindGrant, claims.ID, &grant)
+
+	req := core.TokenRequest{
+		Requester: claims.Requester,
+		Subject:   claims.Subject,
+		Host:      q.Host,
+		Realm:     q.Realm,
+		Resource:  q.Resource,
+		Action:    q.Action,
+		Claims:    grant.Claims,
+	}
+	res := a.evaluate(req, realm, grant.ConsentGranted)
+	decision := core.DecisionDeny
+	if res.Decision == core.DecisionPermit {
+		decision = core.DecisionPermit
+	}
+	a.auditDecision(realm, q, claims.Requester, decision, res.Reason)
+	a.trace(core.PhaseObtainingDecision, "am:"+a.name, "host:"+string(q.Host),
+		"decision-response", decision.String())
+	return core.DecisionResponse{
+		Decision:        decision.String(),
+		CacheTTLSeconds: a.cacheTTLSeconds(res),
+		Reason:          res.Reason,
+	}, nil
+}
+
+// cacheTTLSeconds converts an engine result's caching directive into the
+// wire form: policy TTL if set, AM default otherwise, 0 if the policy
+// forbids caching.
+func (a *AM) cacheTTLSeconds(res policy.Result) int {
+	switch {
+	case res.CacheTTLSeconds < 0:
+		return 0
+	case res.CacheTTLSeconds > 0:
+		return res.CacheTTLSeconds
+	default:
+		return int(a.cacheTTL / time.Second)
+	}
+}
+
+func (a *AM) auditDecision(realm Realm, q core.DecisionQuery, requester core.RequesterID, d core.Decision, reason string) {
+	a.audit.Append(audit.Event{
+		Type: audit.EventDecision, Owner: realm.Owner, Host: q.Host,
+		Realm: q.Realm, Resource: q.Resource, Requester: requester,
+		Action: q.Action, Decision: d.String(), Detail: reason,
+	})
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

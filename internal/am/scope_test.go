@@ -1,0 +1,76 @@
+package am
+
+import (
+	"testing"
+
+	"umac/internal/core"
+)
+
+// pairScoped establishes a pairing with an explicit scope.
+func pairScoped(t *testing.T, a *AM, host core.HostID, user core.UserID, scope core.PairingScope, resources ...core.ResourceID) core.PairingResponse {
+	t.Helper()
+	code, err := a.ApprovePairing(core.PairingRequest{
+		Host: host, User: user, Scope: scope, Resources: resources,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.ExchangeCode(code, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestUserScopedPairingRejectsOtherOwners(t *testing.T) {
+	a, _ := newTestAM(t)
+	p := pairScoped(t, a, "webpics", "bob", core.PairingScopeUser)
+	// Bob's own realm registers fine.
+	if _, err := a.RegisterRealm(p.PairingID, core.ProtectRequest{Realm: "travel"}); err != nil {
+		t.Fatal(err)
+	}
+	// The Host cannot use bob's pairing to protect alice's resources.
+	if _, err := a.RegisterRealm(p.PairingID, core.ProtectRequest{Realm: "x", User: "alice"}); err == nil {
+		t.Fatal("user-scoped pairing protected another user's resources")
+	}
+}
+
+func TestApplicationScopedPairingCoversAllUsers(t *testing.T) {
+	a, _ := newTestAM(t)
+	p := pairScoped(t, a, "webpics", "admin", core.PairingScopeApplication)
+	for _, owner := range []core.UserID{"admin", "alice", "bob"} {
+		if _, err := a.RegisterRealm(p.PairingID, core.ProtectRequest{
+			Realm: core.RealmID("realm-" + owner), User: owner,
+		}); err != nil {
+			t.Fatalf("owner %s: %v", owner, err)
+		}
+	}
+}
+
+func TestResourceScopedPairingEnforcesList(t *testing.T) {
+	a, _ := newTestAM(t)
+	p := pairScoped(t, a, "webpics", "bob", core.PairingScopeResources, "photo-1", "photo-2")
+
+	// In-scope resources register.
+	if _, err := a.RegisterRealm(p.PairingID, core.ProtectRequest{
+		Realm: "travel", Resources: []core.ResourceID{"photo-1", "photo-2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-scope resource rejected.
+	if _, err := a.RegisterRealm(p.PairingID, core.ProtectRequest{
+		Realm: "travel", Resources: []core.ResourceID{"photo-1", "photo-99"},
+	}); err == nil {
+		t.Fatal("out-of-scope resource accepted")
+	}
+	// Unenumerated protect rejected under resource scope.
+	if _, err := a.RegisterRealm(p.PairingID, core.ProtectRequest{Realm: "travel"}); err == nil {
+		t.Fatal("blanket protect accepted under resource scope")
+	}
+	// Other owners rejected.
+	if _, err := a.RegisterRealm(p.PairingID, core.ProtectRequest{
+		Realm: "x", User: "alice", Resources: []core.ResourceID{"photo-1"},
+	}); err == nil {
+		t.Fatal("resource-scoped pairing protected another user's resources")
+	}
+}

@@ -1,0 +1,184 @@
+// Package gallery implements the second prototype Host of Section VI:
+// an online photo gallery where users "upload photos and create photo
+// albums. Additionally, it allows users to edit their photos (resize,
+// rotate, crop, etc.). Thus, this application also acts as a Web-based
+// photo editing tool."
+//
+// Photos are PNG-encoded; the editing operations are implemented directly
+// on the stdlib image types (no third-party imaging dependency).
+package gallery
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+
+	// Register decoders for uploads in common formats.
+	_ "image/gif"
+	_ "image/jpeg"
+)
+
+// Decode parses image bytes (PNG, JPEG or GIF).
+func Decode(data []byte) (image.Image, error) {
+	img, _, err := image.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("gallery: decode image: %w", err)
+	}
+	return img, nil
+}
+
+// EncodePNG serializes an image as PNG.
+func EncodePNG(img image.Image) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		return nil, fmt.Errorf("gallery: encode png: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Resize scales img to width×height with nearest-neighbour sampling.
+func Resize(img image.Image, width, height int) (*image.RGBA, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("gallery: resize to %dx%d: dimensions must be positive", width, height)
+	}
+	src := img.Bounds()
+	if src.Dx() == 0 || src.Dy() == 0 {
+		return nil, fmt.Errorf("gallery: resize of empty image")
+	}
+	dst := image.NewRGBA(image.Rect(0, 0, width, height))
+	for y := 0; y < height; y++ {
+		sy := src.Min.Y + y*src.Dy()/height
+		for x := 0; x < width; x++ {
+			sx := src.Min.X + x*src.Dx()/width
+			dst.Set(x, y, img.At(sx, sy))
+		}
+	}
+	return dst, nil
+}
+
+// Rotate90 rotates img 90° clockwise.
+func Rotate90(img image.Image) *image.RGBA {
+	src := img.Bounds()
+	dst := image.NewRGBA(image.Rect(0, 0, src.Dy(), src.Dx()))
+	for y := src.Min.Y; y < src.Max.Y; y++ {
+		for x := src.Min.X; x < src.Max.X; x++ {
+			dst.Set(src.Max.Y-1-y, x-src.Min.X, img.At(x, y))
+		}
+	}
+	return dst
+}
+
+// Rotate180 rotates img 180°.
+func Rotate180(img image.Image) *image.RGBA {
+	src := img.Bounds()
+	dst := image.NewRGBA(image.Rect(0, 0, src.Dx(), src.Dy()))
+	for y := src.Min.Y; y < src.Max.Y; y++ {
+		for x := src.Min.X; x < src.Max.X; x++ {
+			dst.Set(src.Max.X-1-x, src.Max.Y-1-y, img.At(x, y))
+		}
+	}
+	return dst
+}
+
+// Rotate270 rotates img 270° clockwise (90° counter-clockwise).
+func Rotate270(img image.Image) *image.RGBA {
+	src := img.Bounds()
+	dst := image.NewRGBA(image.Rect(0, 0, src.Dy(), src.Dx()))
+	for y := src.Min.Y; y < src.Max.Y; y++ {
+		for x := src.Min.X; x < src.Max.X; x++ {
+			dst.Set(y-src.Min.Y, src.Max.X-1-x, img.At(x, y))
+		}
+	}
+	return dst
+}
+
+// Crop extracts the rectangle [x, y, x+w, y+h] from img.
+func Crop(img image.Image, x, y, w, h int) (*image.RGBA, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("gallery: crop %dx%d: dimensions must be positive", w, h)
+	}
+	src := img.Bounds()
+	rect := image.Rect(src.Min.X+x, src.Min.Y+y, src.Min.X+x+w, src.Min.Y+y+h)
+	if !rect.In(src) {
+		return nil, fmt.Errorf("gallery: crop %v outside image bounds %v", rect, src)
+	}
+	dst := image.NewRGBA(image.Rect(0, 0, w, h))
+	for dy := 0; dy < h; dy++ {
+		for dx := 0; dx < w; dx++ {
+			dst.Set(dx, dy, img.At(rect.Min.X+dx, rect.Min.Y+dy))
+		}
+	}
+	return dst, nil
+}
+
+// Grayscale converts img to grayscale (luma weights per ITU-R BT.601).
+func Grayscale(img image.Image) *image.RGBA {
+	src := img.Bounds()
+	dst := image.NewRGBA(image.Rect(0, 0, src.Dx(), src.Dy()))
+	for y := src.Min.Y; y < src.Max.Y; y++ {
+		for x := src.Min.X; x < src.Max.X; x++ {
+			r, g, b, a := img.At(x, y).RGBA()
+			luma := (299*r + 587*g + 114*b) / 1000
+			dst.Set(x-src.Min.X, y-src.Min.Y, color.RGBA64{
+				R: uint16(luma), G: uint16(luma), B: uint16(luma), A: uint16(a),
+			})
+		}
+	}
+	return dst
+}
+
+// EditOp names a photo editing operation.
+type EditOp string
+
+// Editing operations (Section VI: "resize, rotate, crop, etc.").
+const (
+	OpResize    EditOp = "resize"
+	OpRotate90  EditOp = "rotate90"
+	OpRotate180 EditOp = "rotate180"
+	OpRotate270 EditOp = "rotate270"
+	OpCrop      EditOp = "crop"
+	OpGrayscale EditOp = "grayscale"
+)
+
+// EditParams parameterizes an edit.
+type EditParams struct {
+	Op EditOp `json:"op"`
+	// Resize target / crop size.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+	// Crop origin.
+	X int `json:"x,omitempty"`
+	Y int `json:"y,omitempty"`
+}
+
+// ApplyEdit runs one editing operation on PNG/JPEG/GIF bytes and returns
+// PNG bytes.
+func ApplyEdit(data []byte, p EditParams) ([]byte, error) {
+	img, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	var out image.Image
+	switch p.Op {
+	case OpResize:
+		out, err = Resize(img, p.Width, p.Height)
+	case OpRotate90:
+		out = Rotate90(img)
+	case OpRotate180:
+		out = Rotate180(img)
+	case OpRotate270:
+		out = Rotate270(img)
+	case OpCrop:
+		out, err = Crop(img, p.X, p.Y, p.Width, p.Height)
+	case OpGrayscale:
+		out = Grayscale(img)
+	default:
+		return nil, fmt.Errorf("gallery: unknown edit op %q", p.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return EncodePNG(out)
+}

@@ -1,0 +1,224 @@
+package gallery
+
+import (
+	"image"
+	"image/color"
+	"testing"
+)
+
+// testImage builds a w×h image with a distinct color per pixel position.
+func testImage(w, h int) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Set(x, y, color.RGBA{R: uint8(x * 10), G: uint8(y * 10), B: 100, A: 255})
+		}
+	}
+	return img
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := testImage(8, 6)
+	data, err := EncodePNG(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bounds().Dx() != 8 || got.Bounds().Dy() != 6 {
+		t.Fatalf("bounds = %v", got.Bounds())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not an image")); err == nil {
+		t.Fatal("decoded garbage")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("decoded nil")
+	}
+}
+
+func TestResize(t *testing.T) {
+	img := testImage(10, 10)
+	out, err := Resize(img, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Bounds().Dx() != 5 || out.Bounds().Dy() != 20 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+	// Corner pixels map to source corners (nearest neighbour).
+	wantTL := img.At(0, 0)
+	r1, g1, b1, _ := out.At(0, 0).RGBA()
+	r2, g2, b2, _ := wantTL.RGBA()
+	if r1 != r2 || g1 != g2 || b1 != b2 {
+		t.Fatal("top-left pixel changed")
+	}
+}
+
+func TestResizeValidation(t *testing.T) {
+	img := testImage(4, 4)
+	if _, err := Resize(img, 0, 5); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := Resize(img, 5, -1); err == nil {
+		t.Fatal("negative height accepted")
+	}
+	empty := image.NewRGBA(image.Rect(0, 0, 0, 0))
+	if _, err := Resize(empty, 5, 5); err == nil {
+		t.Fatal("empty source accepted")
+	}
+}
+
+func pixelsEqual(t *testing.T, a, b image.Image, ax, ay, bx, by int) bool {
+	t.Helper()
+	r1, g1, b1, _ := a.At(ax, ay).RGBA()
+	r2, g2, b2, _ := b.At(bx, by).RGBA()
+	return r1 == r2 && g1 == g2 && b1 == b2
+}
+
+func TestRotate90(t *testing.T) {
+	img := testImage(4, 2) // wider than tall
+	out := Rotate90(img)
+	if out.Bounds().Dx() != 2 || out.Bounds().Dy() != 4 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+	// (x,y) → (H-1-y, x): source (0,0) lands at (1,0) for H=2.
+	if !pixelsEqual(t, img, out, 0, 0, 1, 0) {
+		t.Fatal("rotation mapping wrong")
+	}
+}
+
+func TestRotate180(t *testing.T) {
+	img := testImage(4, 3)
+	out := Rotate180(img)
+	if out.Bounds() != img.Bounds() {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+	if !pixelsEqual(t, img, out, 0, 0, 3, 2) {
+		t.Fatal("180 mapping wrong")
+	}
+}
+
+func TestRotate360IsIdentity(t *testing.T) {
+	img := testImage(5, 3)
+	out := Rotate180(Rotate180(img))
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 5; x++ {
+			if !pixelsEqual(t, img, out, x, y, x, y) {
+				t.Fatalf("pixel (%d,%d) changed after 360°", x, y)
+			}
+		}
+	}
+	// And 90°×4 is identity too.
+	out2 := Rotate90(Rotate90(Rotate90(Rotate90(img))))
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 5; x++ {
+			if !pixelsEqual(t, img, out2, x, y, x, y) {
+				t.Fatalf("pixel (%d,%d) changed after 4×90°", x, y)
+			}
+		}
+	}
+}
+
+func TestRotate270Matches90Inverse(t *testing.T) {
+	img := testImage(4, 2)
+	out := Rotate270(Rotate90(img))
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 4; x++ {
+			if !pixelsEqual(t, img, out, x, y, x, y) {
+				t.Fatalf("pixel (%d,%d) changed after 90+270", x, y)
+			}
+		}
+	}
+}
+
+func TestCrop(t *testing.T) {
+	img := testImage(10, 10)
+	out, err := Crop(img, 2, 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Bounds().Dx() != 4 || out.Bounds().Dy() != 5 {
+		t.Fatalf("bounds = %v", out.Bounds())
+	}
+	if !pixelsEqual(t, img, out, 2, 3, 0, 0) {
+		t.Fatal("crop origin wrong")
+	}
+}
+
+func TestCropValidation(t *testing.T) {
+	img := testImage(10, 10)
+	if _, err := Crop(img, 8, 8, 5, 5); err == nil {
+		t.Fatal("out-of-bounds crop accepted")
+	}
+	if _, err := Crop(img, 0, 0, 0, 5); err == nil {
+		t.Fatal("zero-size crop accepted")
+	}
+	if _, err := Crop(img, -1, 0, 2, 2); err == nil {
+		t.Fatal("negative origin accepted")
+	}
+}
+
+func TestGrayscale(t *testing.T) {
+	img := testImage(4, 4)
+	out := Grayscale(img)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			r, g, b, _ := out.At(x, y).RGBA()
+			if r != g || g != b {
+				t.Fatalf("pixel (%d,%d) not gray: %d %d %d", x, y, r, g, b)
+			}
+		}
+	}
+}
+
+func TestApplyEditOps(t *testing.T) {
+	data, err := EncodePNG(testImage(10, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]struct {
+		params EditParams
+		wantW  int
+		wantH  int
+	}{
+		"resize":    {EditParams{Op: OpResize, Width: 5, Height: 4}, 5, 4},
+		"rotate90":  {EditParams{Op: OpRotate90}, 8, 10},
+		"rotate180": {EditParams{Op: OpRotate180}, 10, 8},
+		"rotate270": {EditParams{Op: OpRotate270}, 8, 10},
+		"crop":      {EditParams{Op: OpCrop, X: 1, Y: 1, Width: 3, Height: 2}, 3, 2},
+		"grayscale": {EditParams{Op: OpGrayscale}, 10, 8},
+	}
+	for name, tc := range cases {
+		out, err := ApplyEdit(data, tc.params)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		img, err := Decode(out)
+		if err != nil {
+			t.Errorf("%s: decode: %v", name, err)
+			continue
+		}
+		if img.Bounds().Dx() != tc.wantW || img.Bounds().Dy() != tc.wantH {
+			t.Errorf("%s: bounds = %v, want %dx%d", name, img.Bounds(), tc.wantW, tc.wantH)
+		}
+	}
+}
+
+func TestApplyEditErrors(t *testing.T) {
+	data, _ := EncodePNG(testImage(4, 4))
+	if _, err := ApplyEdit(data, EditParams{Op: "sharpen"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := ApplyEdit([]byte("junk"), EditParams{Op: OpRotate90}); err == nil {
+		t.Fatal("junk input accepted")
+	}
+	if _, err := ApplyEdit(data, EditParams{Op: OpResize}); err == nil {
+		t.Fatal("resize without dimensions accepted")
+	}
+}

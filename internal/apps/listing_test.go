@@ -1,0 +1,93 @@
+package apps_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"umac/internal/core"
+)
+
+// TestGalleryAlbumListing covers the album list endpoint in both modes.
+func TestGalleryAlbumListing(t *testing.T) {
+	f := newFixture(t)
+	photo := pngBytes(t)
+	if err := f.gallery.AddPhoto("bob", "holiday", "a.png", photo); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.gallery.AddPhoto("bob", "holiday", "b.png", photo); err != nil {
+		t.Fatal(err)
+	}
+
+	// Built-in mode: owner lists, stranger denied.
+	resp := asUser(t, "bob", http.MethodGet, f.gallerySrv.URL+"/albums/bob/holiday", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("owner list = %d", resp.StatusCode)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a.png" {
+		t.Fatalf("names = %v", names)
+	}
+	resp2 := asUser(t, "mallory", http.MethodGet, f.gallerySrv.URL+"/albums/bob/holiday", nil)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 403 {
+		t.Fatalf("stranger list = %d", resp2.StatusCode)
+	}
+	// Unknown album under owner auth → 404.
+	resp3 := asUser(t, "bob", http.MethodGet, f.gallerySrv.URL+"/albums/bob/ghosts", nil)
+	defer resp3.Body.Close()
+	if resp3.StatusCode != 404 {
+		t.Fatalf("unknown album = %d", resp3.StatusCode)
+	}
+	// In-memory accessors agree.
+	photos, err := f.gallery.Photos("bob", "holiday")
+	if err != nil || len(photos) != 2 {
+		t.Fatalf("photos=%v err=%v", photos, err)
+	}
+	if _, err := f.gallery.Photos("bob", "ghosts"); err == nil {
+		t.Fatal("unknown album listed")
+	}
+}
+
+// TestComposeURLFromHost covers the Fig. 4 redirect construction from a
+// paired application.
+func TestComposeURLFromHost(t *testing.T) {
+	f := newFixture(t)
+	delegateStorage(t, f)
+	u, err := f.storage.Enforcer.ComposeURL("bob", "travel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The URL must point at the paired AM's compose page with host+realm.
+	resp := asUser(t, "bob", http.MethodGet, u, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("compose page = %d (url %s)", resp.StatusCode, u)
+	}
+}
+
+// TestStorageDeleteDelegated exercises the delete action end to end.
+func TestStorageDeleteDelegated(t *testing.T) {
+	f := newFixture(t)
+	f.storage.Tree("bob").Put("/travel/old.txt", []byte("x"))
+	delegateStorage(t, f) // policy grants read+list only
+
+	// Alice cannot delete (policy grants read/list).
+	req, _ := http.NewRequest(http.MethodDelete, f.storageSrv.URL+"/files/bob/travel/old.txt", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 401 { // tokenless → referral; token would be refused
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	if !f.storage.Tree("bob").Exists("/travel/old.txt") {
+		t.Fatal("file deleted without authorization")
+	}
+	_ = core.ActionDelete
+}

@@ -1,0 +1,282 @@
+// Package storage implements the first prototype Host of Section VI: "an
+// online file system accessible over a Web browser where users can upload
+// arbitrary files and create an arbitrary directory structure."
+//
+// Each user owns a file tree. The first path segment of every file is its
+// realm ("/travel/beach.jpg" lives in realm "travel"), so protecting a
+// top-level directory at the AM protects everything under it — the
+// "albums/collections/folders" grouping of the paper's scenario.
+//
+// The application has built-in access control (a localacl.Matrix) and can
+// delegate per-owner to an Authorization Manager through its pep.Enforcer —
+// the mode switch of Section VI ("Users, however, can configure both
+// applications to delegate access control to our prototype Authorization
+// Manager").
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"umac/internal/core"
+)
+
+// FS errors.
+var (
+	// ErrNotFound: no file or directory at the path.
+	ErrNotFound = errors.New("storage: not found")
+	// ErrIsDirectory: file operation on a directory.
+	ErrIsDirectory = errors.New("storage: is a directory")
+	// ErrNotDirectory: directory operation on a file.
+	ErrNotDirectory = errors.New("storage: not a directory")
+	// ErrBadPath: empty or malformed path.
+	ErrBadPath = errors.New("storage: bad path")
+)
+
+// node is a file or directory in the tree.
+type node struct {
+	name     string
+	dir      bool
+	content  []byte
+	children map[string]*node
+}
+
+// FS is one user's file tree. The zero value is an empty tree ready to use.
+type FS struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+// splitPath normalizes "/a/b/c" into segments, rejecting empties and dot
+// segments.
+func splitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, nil // the root
+	}
+	segs := strings.Split(path, "/")
+	for _, s := range segs {
+		if s == "" || s == "." || s == ".." {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return segs, nil
+}
+
+func (f *FS) rootLocked() *node {
+	if f.root == nil {
+		f.root = &node{dir: true, children: make(map[string]*node)}
+	}
+	return f.root
+}
+
+// Put writes a file at path, creating parent directories as needed. It
+// fails if any ancestor exists as a file, or the path names a directory.
+func (f *FS) Put(path string, content []byte) error {
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("%w: cannot write the root", ErrBadPath)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.rootLocked()
+	for _, seg := range segs[:len(segs)-1] {
+		next, ok := cur.children[seg]
+		if !ok {
+			next = &node{name: seg, dir: true, children: make(map[string]*node)}
+			cur.children[seg] = next
+		}
+		if !next.dir {
+			return fmt.Errorf("%w: %s", ErrNotDirectory, seg)
+		}
+		cur = next
+	}
+	leaf := segs[len(segs)-1]
+	if existing, ok := cur.children[leaf]; ok && existing.dir {
+		return fmt.Errorf("%w: %s", ErrIsDirectory, path)
+	}
+	cur.children[leaf] = &node{name: leaf, content: append([]byte(nil), content...)}
+	return nil
+}
+
+// Mkdir creates a directory (and parents) at path.
+func (f *FS) Mkdir(path string) error {
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.rootLocked()
+	for _, seg := range segs {
+		next, ok := cur.children[seg]
+		if !ok {
+			next = &node{name: seg, dir: true, children: make(map[string]*node)}
+			cur.children[seg] = next
+		}
+		if !next.dir {
+			return fmt.Errorf("%w: %s", ErrNotDirectory, seg)
+		}
+		cur = next
+	}
+	return nil
+}
+
+// lookup walks to a node; the caller holds at least a read lock.
+func (f *FS) lookup(segs []string) (*node, error) {
+	cur := f.root
+	if cur == nil {
+		if len(segs) == 0 {
+			return &node{dir: true}, nil
+		}
+		return nil, fmt.Errorf("%w: /%s", ErrNotFound, strings.Join(segs, "/"))
+	}
+	for _, seg := range segs {
+		if !cur.dir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDirectory, seg)
+		}
+		next, ok := cur.children[seg]
+		if !ok {
+			return nil, fmt.Errorf("%w: /%s", ErrNotFound, strings.Join(segs, "/"))
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Get reads a file's content.
+func (f *FS) Get(path string) ([]byte, error) {
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(segs)
+	if err != nil {
+		return nil, err
+	}
+	if n.dir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDirectory, path)
+	}
+	return append([]byte(nil), n.content...), nil
+}
+
+// Entry describes a directory member.
+type Entry struct {
+	Name string `json:"name"`
+	Dir  bool   `json:"dir"`
+	Size int    `json:"size"`
+}
+
+// List returns a directory's entries sorted by name.
+func (f *FS) List(path string) ([]Entry, error) {
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(segs)
+	if err != nil {
+		return nil, err
+	}
+	if !n.dir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDirectory, path)
+	}
+	out := make([]Entry, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, Entry{Name: c.name, Dir: c.dir, Size: len(c.content)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Delete removes a file or an entire directory subtree.
+func (f *FS) Delete(path string) error {
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("%w: cannot delete the root", ErrBadPath)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, err := f.lookup(segs[:len(segs)-1])
+	if err != nil {
+		return err
+	}
+	leaf := segs[len(segs)-1]
+	if _, ok := parent.children[leaf]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	delete(parent.children, leaf)
+	return nil
+}
+
+// Exists reports whether a file or directory exists at path.
+func (f *FS) Exists(path string) bool {
+	segs, err := splitPath(path)
+	if err != nil {
+		return false
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, err = f.lookup(segs)
+	return err == nil
+}
+
+// Walk calls fn for every file (not directory) under path, with its full
+// path. Iteration order is deterministic (sorted).
+func (f *FS) Walk(path string, fn func(path string, size int)) error {
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookup(segs)
+	if err != nil {
+		return err
+	}
+	prefix := "/" + strings.Join(segs, "/")
+	if len(segs) == 0 {
+		prefix = ""
+	}
+	walk(n, prefix, fn)
+	return nil
+}
+
+func walk(n *node, prefix string, fn func(path string, size int)) {
+	if !n.dir {
+		fn(prefix, len(n.content))
+		return
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		walk(n.children[name], prefix+"/"+name, fn)
+	}
+}
+
+// RealmOf returns the realm a path belongs to: its first segment.
+func RealmOf(path string) (core.RealmID, error) {
+	segs, err := splitPath(path)
+	if err != nil {
+		return "", err
+	}
+	if len(segs) == 0 {
+		return "", fmt.Errorf("%w: the root has no realm", ErrBadPath)
+	}
+	return core.RealmID(segs[0]), nil
+}

@@ -1,0 +1,236 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	var fs FS
+	if err := fs.Put("/travel/beach.jpg", []byte("jpeg-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get("/travel/beach.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("jpeg-bytes")) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPutCreatesParents(t *testing.T) {
+	var fs FS
+	if err := fs.Put("/a/b/c/d.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fs.List("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !entries[0].Dir || entries[0].Name != "c" {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	var fs FS
+	fs.Put("/f.txt", []byte("one"))
+	fs.Put("/f.txt", []byte("two"))
+	got, _ := fs.Get("/f.txt")
+	if string(got) != "two" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPutContentCopied(t *testing.T) {
+	var fs FS
+	content := []byte("original")
+	fs.Put("/f.txt", content)
+	content[0] = 'X'
+	got, _ := fs.Get("/f.txt")
+	if string(got) != "original" {
+		t.Fatal("FS aliases caller's buffer")
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	var fs FS
+	fs.Put("/dir/file.txt", []byte("x"))
+	if _, err := fs.Get("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+	if _, err := fs.Get("/dir"); !errors.Is(err, ErrIsDirectory) {
+		t.Fatalf("directory: %v", err)
+	}
+	if _, err := fs.Get("//bad//"); err == nil {
+		t.Fatal("accepted empty segments")
+	}
+	if _, err := fs.Get("/../etc/passwd"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("dot-dot: %v", err)
+	}
+}
+
+func TestPutErrors(t *testing.T) {
+	var fs FS
+	fs.Put("/file.txt", []byte("x"))
+	// A file cannot become a directory.
+	if err := fs.Put("/file.txt/child", []byte("y")); !errors.Is(err, ErrNotDirectory) {
+		t.Fatalf("file-as-dir: %v", err)
+	}
+	fs.Mkdir("/dir")
+	// A directory cannot be overwritten by a file.
+	if err := fs.Put("/dir", []byte("y")); !errors.Is(err, ErrIsDirectory) {
+		t.Fatalf("dir-as-file: %v", err)
+	}
+	if err := fs.Put("/", []byte("y")); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("root: %v", err)
+	}
+}
+
+func TestMkdirAndList(t *testing.T) {
+	var fs FS
+	if err := fs.Mkdir("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Put("/a/file.txt", []byte("hello"))
+	entries, err := fs.List("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	// Sorted: "b" then "file.txt".
+	if entries[0].Name != "b" || !entries[0].Dir {
+		t.Fatalf("entries[0] = %+v", entries[0])
+	}
+	if entries[1].Name != "file.txt" || entries[1].Dir || entries[1].Size != 5 {
+		t.Fatalf("entries[1] = %+v", entries[1])
+	}
+	// Listing a file fails.
+	if _, err := fs.List("/a/file.txt"); !errors.Is(err, ErrNotDirectory) {
+		t.Fatalf("list file: %v", err)
+	}
+	// Listing the empty root works.
+	var empty FS
+	if got, err := empty.List("/"); err != nil || len(got) != 0 {
+		t.Fatalf("empty root: %v %v", got, err)
+	}
+}
+
+func TestMkdirOverFile(t *testing.T) {
+	var fs FS
+	fs.Put("/x", []byte("f"))
+	if err := fs.Mkdir("/x/y"); !errors.Is(err, ErrNotDirectory) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var fs FS
+	fs.Put("/a/b/file.txt", []byte("x"))
+	if err := fs.Delete("/a/b/file.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a/b/file.txt") {
+		t.Fatal("file survived delete")
+	}
+	if !fs.Exists("/a/b") {
+		t.Fatal("parent directory deleted")
+	}
+	// Deleting a subtree removes everything under it.
+	fs.Put("/a/b/one.txt", []byte("1"))
+	fs.Put("/a/b/two.txt", []byte("2"))
+	if err := fs.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a/b/one.txt") || fs.Exists("/a") {
+		t.Fatal("subtree survived delete")
+	}
+	if err := fs.Delete("/ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+	if err := fs.Delete("/"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("root: %v", err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	var fs FS
+	fs.Put("/travel/b.jpg", []byte("bb"))
+	fs.Put("/travel/a.jpg", []byte("a"))
+	fs.Put("/travel/nested/c.jpg", []byte("ccc"))
+	fs.Put("/work/doc.txt", []byte("d"))
+
+	var paths []string
+	var total int
+	if err := fs.Walk("/travel", func(p string, size int) {
+		paths = append(paths, p)
+		total += size
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/travel/a.jpg", "/travel/b.jpg", "/travel/nested/c.jpg"}
+	if strings.Join(paths, ",") != strings.Join(want, ",") {
+		t.Fatalf("paths = %v", paths)
+	}
+	if total != 6 {
+		t.Fatalf("total = %d", total)
+	}
+	// Walking the root sees everything.
+	paths = nil
+	fs.Walk("/", func(p string, _ int) { paths = append(paths, p) })
+	if len(paths) != 4 {
+		t.Fatalf("root walk = %v", paths)
+	}
+}
+
+func TestRealmOf(t *testing.T) {
+	r, err := RealmOf("/travel/beach.jpg")
+	if err != nil || r != "travel" {
+		t.Fatalf("r=%q err=%v", r, err)
+	}
+	r, err = RealmOf("work")
+	if err != nil || r != "work" {
+		t.Fatalf("r=%q err=%v", r, err)
+	}
+	if _, err := RealmOf("/"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("root: %v", err)
+	}
+	if _, err := RealmOf("/../x"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("dot-dot: %v", err)
+	}
+}
+
+func TestExists(t *testing.T) {
+	var fs FS
+	fs.Put("/a/b.txt", []byte("x"))
+	if !fs.Exists("/a") || !fs.Exists("/a/b.txt") || !fs.Exists("/") {
+		t.Fatal("existing paths reported missing")
+	}
+	if fs.Exists("/nope") || fs.Exists("/../x") {
+		t.Fatal("missing/invalid paths reported existing")
+	}
+}
+
+func TestFSPutGetProperty(t *testing.T) {
+	var fs FS
+	f := func(name string, content []byte) bool {
+		if name == "" || strings.ContainsAny(name, "/.") {
+			return true
+		}
+		path := "/prop/" + name
+		if err := fs.Put(path, content); err != nil {
+			return false
+		}
+		got, err := fs.Get(path)
+		return err == nil && bytes.Equal(got, content)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package audit
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"umac/internal/core"
+)
+
+func decision(owner core.UserID, host core.HostID, requester core.RequesterID, decision string) Event {
+	return Event{
+		Type:      EventDecision,
+		Owner:     owner,
+		Host:      host,
+		Requester: requester,
+		Decision:  decision,
+		Action:    core.ActionRead,
+	}
+}
+
+func TestAppendAssignsSeqAndTime(t *testing.T) {
+	var l Log
+	e1 := l.Append(Event{Type: EventPolicyCreated, Owner: "bob"})
+	e2 := l.Append(Event{Type: EventPolicyUpdated, Owner: "bob"})
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Fatalf("seq = %d, %d", e1.Seq, e2.Seq)
+	}
+	if e1.Time.IsZero() {
+		t.Fatal("time not stamped")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestAppendKeepsExplicitTime(t *testing.T) {
+	var l Log
+	ts := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	e := l.Append(Event{Type: EventDecision, Time: ts})
+	if !e.Time.Equal(ts) {
+		t.Fatalf("time overwritten: %v", e.Time)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	var l Log
+	l.Append(decision("bob", "webpics", "browser", "permit"))
+	l.Append(decision("bob", "webdocs", "gallery", "deny"))
+	l.Append(decision("alice", "webpics", "browser", "permit"))
+	l.Append(Event{Type: EventPolicyCreated, Owner: "bob"})
+
+	if got := l.Query(Filter{Owner: "bob"}); len(got) != 3 {
+		t.Fatalf("owner filter: %d", len(got))
+	}
+	if got := l.Query(Filter{Owner: "bob", Host: "webpics"}); len(got) != 1 {
+		t.Fatalf("host filter: %d", len(got))
+	}
+	if got := l.Query(Filter{Type: EventDecision}); len(got) != 3 {
+		t.Fatalf("type filter: %d", len(got))
+	}
+	if got := l.Query(Filter{Requester: "gallery"}); len(got) != 1 {
+		t.Fatalf("requester filter: %d", len(got))
+	}
+	if got := l.Query(Filter{}); len(got) != 4 {
+		t.Fatalf("empty filter: %d", len(got))
+	}
+}
+
+func TestQueryTimeRange(t *testing.T) {
+	var l Log
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{Type: EventDecision, Owner: "bob", Time: base.Add(time.Duration(i) * time.Hour)})
+	}
+	got := l.Query(Filter{Since: base.Add(time.Hour), Until: base.Add(3 * time.Hour)})
+	if len(got) != 3 {
+		t.Fatalf("time range: %d, want 3", len(got))
+	}
+	// Realm filter combined with time.
+	l.Append(Event{Type: EventDecision, Owner: "bob", Realm: "travel", Time: base})
+	if got := l.Query(Filter{Realm: "travel"}); len(got) != 1 {
+		t.Fatalf("realm filter: %d", len(got))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var l Log
+	l.Append(decision("bob", "webpics", "browser", "permit"))
+	l.Append(decision("bob", "webpics", "gallery", "permit"))
+	l.Append(decision("bob", "webdocs", "gallery", "deny"))
+	l.Append(decision("bob", "webvideos", "browser", "permit"))
+	l.Append(decision("alice", "webpics", "mallory-app", "deny"))
+	l.Append(Event{Type: EventPolicyCreated, Owner: "bob", Host: "webpics"})
+
+	s := l.Summarize("bob")
+	if s.Events != 5 {
+		t.Fatalf("events = %d", s.Events)
+	}
+	if s.PermitCount != 3 || s.DenyCount != 1 {
+		t.Fatalf("permit/deny = %d/%d", s.PermitCount, s.DenyCount)
+	}
+	if len(s.Hosts) != 3 || s.Hosts[0] != "webdocs" || s.Hosts[1] != "webpics" || s.Hosts[2] != "webvideos" {
+		t.Fatalf("hosts = %v", s.Hosts)
+	}
+	if s.DecisionsByHost["webpics"] != 2 {
+		t.Fatalf("webpics decisions = %d", s.DecisionsByHost["webpics"])
+	}
+	if s.RequesterCount != 2 {
+		t.Fatalf("requesters = %d", s.RequesterCount)
+	}
+	// Alice's summary is disjoint.
+	sa := l.Summarize("alice")
+	if sa.Events != 1 || sa.DenyCount != 1 || sa.PermitCount != 0 {
+		t.Fatalf("alice summary = %+v", sa)
+	}
+}
+
+func TestSummarizeEmptyOwner(t *testing.T) {
+	var l Log
+	s := l.Summarize("ghost")
+	if s.Events != 0 || len(s.Hosts) != 0 || s.RequesterCount != 0 {
+		t.Fatalf("non-empty summary for unknown owner: %+v", s)
+	}
+}
+
+func TestConcurrentAppendQuery(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Append(decision("bob", "webpics", "browser", "permit"))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Query(Filter{Owner: "bob"})
+				l.Summarize("bob")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	// Sequence numbers are unique and dense.
+	events := l.Query(Filter{})
+	seen := make(map[int64]bool, len(events))
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

@@ -1,0 +1,128 @@
+// Package localacl is the status-quo baseline the paper argues against
+// (Section III): access control tightly bound to each Web application,
+// expressed as a per-application access-control matrix. Each Host keeps its
+// own instance; nothing is shared across applications, there are no groups
+// unless the application implements them, and auditing requires visiting
+// every application.
+//
+// The prototype Hosts use this as their "built-in access control
+// functionality" (Section VI) when a user has not delegated to an AM, and
+// the benchmark harness uses it as the no-AM comparator in experiment E9.
+package localacl
+
+import (
+	"sort"
+	"sync"
+
+	"umac/internal/core"
+)
+
+// entryKey identifies one matrix cell's row: a resource of an owner.
+type entryKey struct {
+	owner    core.UserID
+	resource core.ResourceID
+}
+
+// Matrix is a per-application access-control matrix: (owner, resource,
+// subject) → permitted actions. The zero value is ready to use.
+type Matrix struct {
+	mu      sync.RWMutex
+	entries map[entryKey]map[core.UserID]map[core.Action]bool
+	// public marks resources readable by everyone (the "public or private"
+	// binary typical Web apps offer).
+	public map[entryKey]bool
+}
+
+// Grant permits subject to perform action on owner's resource.
+func (m *Matrix) Grant(owner core.UserID, resource core.ResourceID, subject core.UserID, actions ...core.Action) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = make(map[entryKey]map[core.UserID]map[core.Action]bool)
+	}
+	k := entryKey{owner, resource}
+	subjects, ok := m.entries[k]
+	if !ok {
+		subjects = make(map[core.UserID]map[core.Action]bool)
+		m.entries[k] = subjects
+	}
+	acts, ok := subjects[subject]
+	if !ok {
+		acts = make(map[core.Action]bool)
+		subjects[subject] = acts
+	}
+	for _, a := range actions {
+		acts[a] = true
+	}
+}
+
+// Revoke removes subject's permission for action on owner's resource.
+func (m *Matrix) Revoke(owner core.UserID, resource core.ResourceID, subject core.UserID, actions ...core.Action) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := entryKey{owner, resource}
+	acts := m.entries[k][subject]
+	for _, a := range actions {
+		delete(acts, a)
+	}
+}
+
+// SetPublic marks a resource world-readable (read/list only).
+func (m *Matrix) SetPublic(owner core.UserID, resource core.ResourceID, public bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.public == nil {
+		m.public = make(map[entryKey]bool)
+	}
+	if public {
+		m.public[entryKey{owner, resource}] = true
+	} else {
+		delete(m.public, entryKey{owner, resource})
+	}
+}
+
+// Check reports whether subject may perform action on owner's resource.
+// The owner always may; public resources are readable by anyone.
+func (m *Matrix) Check(owner core.UserID, resource core.ResourceID, subject core.UserID, action core.Action) bool {
+	if subject != "" && subject == owner {
+		return true
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	k := entryKey{owner, resource}
+	if m.public[k] && (action == core.ActionRead || action == core.ActionList) {
+		return true
+	}
+	return m.entries[k][subject][action]
+}
+
+// Subjects lists the subjects with any grant on owner's resource, sorted.
+func (m *Matrix) Subjects(owner core.UserID, resource core.ResourceID) []core.UserID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	subjects := m.entries[entryKey{owner, resource}]
+	out := make([]core.UserID, 0, len(subjects))
+	for s, acts := range subjects {
+		if len(acts) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GrantCount counts explicit (subject, action) grants across the matrix —
+// the administration burden metric for experiment E9: with N resources
+// shared to M friends, the user maintains N×M entries per application,
+// versus one group-based policy at an AM.
+func (m *Matrix) GrantCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, subjects := range m.entries {
+		for _, acts := range subjects {
+			n += len(acts)
+		}
+	}
+	return n
+}

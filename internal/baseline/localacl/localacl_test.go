@@ -1,0 +1,115 @@
+package localacl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"umac/internal/core"
+)
+
+func TestOwnerAlwaysAllowed(t *testing.T) {
+	var m Matrix
+	for _, a := range []core.Action{core.ActionRead, core.ActionWrite, core.ActionDelete} {
+		if !m.Check("bob", "photo-1", "bob", a) {
+			t.Errorf("owner denied %s", a)
+		}
+	}
+}
+
+func TestGrantAndRevoke(t *testing.T) {
+	var m Matrix
+	if m.Check("bob", "photo-1", "alice", core.ActionRead) {
+		t.Fatal("default allowed")
+	}
+	m.Grant("bob", "photo-1", "alice", core.ActionRead, core.ActionList)
+	if !m.Check("bob", "photo-1", "alice", core.ActionRead) {
+		t.Fatal("granted read denied")
+	}
+	if m.Check("bob", "photo-1", "alice", core.ActionWrite) {
+		t.Fatal("ungranted write allowed")
+	}
+	m.Revoke("bob", "photo-1", "alice", core.ActionRead)
+	if m.Check("bob", "photo-1", "alice", core.ActionRead) {
+		t.Fatal("revoked read allowed")
+	}
+	if !m.Check("bob", "photo-1", "alice", core.ActionList) {
+		t.Fatal("revoke removed unrelated action")
+	}
+}
+
+func TestGrantsAreResourceScoped(t *testing.T) {
+	var m Matrix
+	m.Grant("bob", "photo-1", "alice", core.ActionRead)
+	if m.Check("bob", "photo-2", "alice", core.ActionRead) {
+		t.Fatal("grant leaked across resources")
+	}
+	if m.Check("carol", "photo-1", "alice", core.ActionRead) {
+		t.Fatal("grant leaked across owners")
+	}
+}
+
+func TestPublic(t *testing.T) {
+	var m Matrix
+	m.SetPublic("bob", "photo-1", true)
+	if !m.Check("bob", "photo-1", "anyone", core.ActionRead) {
+		t.Fatal("public read denied")
+	}
+	if !m.Check("bob", "photo-1", "", core.ActionList) {
+		t.Fatal("public list denied for anonymous")
+	}
+	if m.Check("bob", "photo-1", "anyone", core.ActionWrite) {
+		t.Fatal("public write allowed")
+	}
+	m.SetPublic("bob", "photo-1", false)
+	if m.Check("bob", "photo-1", "anyone", core.ActionRead) {
+		t.Fatal("unpublished resource readable")
+	}
+}
+
+func TestSubjects(t *testing.T) {
+	var m Matrix
+	m.Grant("bob", "photo-1", "alice", core.ActionRead)
+	m.Grant("bob", "photo-1", "chris", core.ActionRead)
+	got := m.Subjects("bob", "photo-1")
+	if len(got) != 2 || got[0] != "alice" || got[1] != "chris" {
+		t.Fatalf("subjects = %v", got)
+	}
+	m.Revoke("bob", "photo-1", "alice", core.ActionRead)
+	if got := m.Subjects("bob", "photo-1"); len(got) != 1 || got[0] != "chris" {
+		t.Fatalf("subjects after revoke = %v", got)
+	}
+}
+
+func TestGrantCountQuantifiesAdminBurden(t *testing.T) {
+	// The S1 pain: sharing N resources with M friends costs N*M grants per
+	// application — exactly what GrantCount reports.
+	var m Matrix
+	friends := []core.UserID{"alice", "chris", "dana"}
+	resources := []core.ResourceID{"p1", "p2", "p3", "p4"}
+	for _, r := range resources {
+		for _, f := range friends {
+			m.Grant("bob", r, f, core.ActionRead)
+		}
+	}
+	if got := m.GrantCount(); got != len(friends)*len(resources) {
+		t.Fatalf("grant count = %d, want %d", got, len(friends)*len(resources))
+	}
+}
+
+func TestGrantCheckProperty(t *testing.T) {
+	var m Matrix
+	f := func(owner, resource, subject string) bool {
+		o, s := core.UserID(owner), core.UserID(subject)
+		r := core.ResourceID(resource)
+		m.Grant(o, r, s, core.ActionRead)
+		if !m.Check(o, r, s, core.ActionRead) {
+			return false
+		}
+		m.Revoke(o, r, s, core.ActionRead)
+		// After revocation only the owner keeps access.
+		return m.Check(o, r, s, core.ActionRead) == (s == o && s != "")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

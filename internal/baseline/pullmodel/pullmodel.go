@@ -1,0 +1,91 @@
+// Package pullmodel is the Host-side client for the paper's earlier
+// (SSP'09 poster) protocol design: "our previous proposal ... was based on
+// the access control pull model that did not require an authorization token
+// and was transparent for the Requester" (Section V.B.3).
+//
+// Every access triggers a synchronous Host→AM decision query carrying the
+// identities the Host observed; there is no token and nothing to cache
+// against. The benchmark harness (experiment E9) uses this to show why the
+// published protocol added the token: pull cost grows linearly with
+// accesses while the push-token model amortises.
+package pullmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"umac/internal/core"
+	"umac/internal/httpsig"
+	"umac/internal/pep"
+)
+
+// Enforcer is a pull-model PEP. It reuses a pep pairing (the Fig. 3 trust
+// relationship is identical); only the per-access flow differs.
+type Enforcer struct {
+	host   core.HostID
+	client *http.Client
+	tracer *core.Tracer
+}
+
+// New constructs a pull-model enforcer for the given host identity.
+func New(host core.HostID, client *http.Client, tracer *core.Tracer) *Enforcer {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Enforcer{host: host, client: client, tracer: tracer}
+}
+
+// pullDecisionRequest mirrors the AM's wire format.
+type pullDecisionRequest struct {
+	Query     core.DecisionQuery `json:"query"`
+	Subject   core.UserID        `json:"subject,omitempty"`
+	Requester core.RequesterID   `json:"requester,omitempty"`
+}
+
+// Check queries the AM for every access — the defining property (and cost)
+// of the pull model.
+func (e *Enforcer) Check(p pep.Pairing, subject core.UserID, requester core.RequesterID,
+	realm core.RealmID, res core.ResourceID, action core.Action) (bool, error) {
+	req := pullDecisionRequest{
+		Query: core.DecisionQuery{
+			PairingID: p.PairingID,
+			Host:      e.host,
+			Realm:     realm,
+			Resource:  res,
+			Action:    action,
+		},
+		Subject:   subject,
+		Requester: requester,
+	}
+	e.tracer.Record(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
+		"pull-decision-query", string(res))
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false, fmt.Errorf("pullmodel: encode: %w", err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, p.AMURL+"/api/decision/pull", bytes.NewReader(body))
+	if err != nil {
+		return false, fmt.Errorf("pullmodel: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if err := httpsig.Sign(httpReq, p.PairingID, p.Secret); err != nil {
+		return false, fmt.Errorf("pullmodel: sign: %w", err)
+	}
+	resp, err := e.client.Do(httpReq)
+	if err != nil {
+		return false, fmt.Errorf("pullmodel: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("pullmodel: status %d: %s", resp.StatusCode, msg)
+	}
+	var dec core.DecisionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		return false, fmt.Errorf("pullmodel: decode: %w", err)
+	}
+	return dec.Permit(), nil
+}

@@ -1,0 +1,132 @@
+// Package umastate implements the UMA authorization-state variant the
+// paper contrasts with its push-token design: "in UMA a Requester does not
+// obtain a token from AM but rather establishes an authorization state for
+// a particular realm at a particular Host. This state is then checked by a
+// Host when it queries AM for an access control decision" (Section V.B.3 /
+// VIII).
+//
+// The Requester calls EstablishState once per (host, realm) and presents
+// the opaque handle to the Host; the Host includes the handle in each
+// decision query. Compared with the push-token model the AM carries the
+// state, and the Host cannot verify anything locally.
+package umastate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"umac/internal/core"
+	"umac/internal/httpsig"
+	"umac/internal/pep"
+)
+
+// RequesterClient establishes authorization states at an AM.
+type RequesterClient struct {
+	ID      core.RequesterID
+	Subject core.UserID
+	HTTP    *http.Client
+}
+
+// EstablishState runs the UMA-style pre-authorization at the AM, returning
+// the state handle to present to the Host.
+func (c *RequesterClient) EstablishState(amURL string, host core.HostID, realm core.RealmID, res core.ResourceID, action core.Action) (string, error) {
+	httpClient := c.HTTP
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	req := core.TokenRequest{
+		Requester: c.ID,
+		Subject:   c.Subject,
+		Host:      host,
+		Realm:     realm,
+		Resource:  res,
+		Action:    action,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("umastate: encode: %w", err)
+	}
+	resp, err := httpClient.Post(strings.TrimSuffix(amURL, "/")+"/state", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("umastate: establish: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("%w: state refused: %s", core.ErrAccessDenied, strings.TrimSpace(string(msg)))
+	}
+	var out struct {
+		Handle string `json:"handle"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("umastate: decode: %w", err)
+	}
+	return out.Handle, nil
+}
+
+// Enforcer is the Host-side checker for the state model.
+type Enforcer struct {
+	host   core.HostID
+	client *http.Client
+	tracer *core.Tracer
+}
+
+// New constructs a state-model enforcer.
+func New(host core.HostID, client *http.Client, tracer *core.Tracer) *Enforcer {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Enforcer{host: host, client: client, tracer: tracer}
+}
+
+// stateDecisionRequest mirrors the AM's wire format.
+type stateDecisionRequest struct {
+	Query  core.DecisionQuery `json:"query"`
+	Handle string             `json:"handle"`
+}
+
+// Check queries the AM with the Requester's state handle.
+func (e *Enforcer) Check(p pep.Pairing, handle string, realm core.RealmID, res core.ResourceID, action core.Action) (bool, error) {
+	req := stateDecisionRequest{
+		Query: core.DecisionQuery{
+			PairingID: p.PairingID,
+			Host:      e.host,
+			Realm:     realm,
+			Resource:  res,
+			Action:    action,
+		},
+		Handle: handle,
+	}
+	e.tracer.Record(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
+		"state-decision-query", string(res))
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false, fmt.Errorf("umastate: encode: %w", err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, p.AMURL+"/api/decision/state", bytes.NewReader(body))
+	if err != nil {
+		return false, fmt.Errorf("umastate: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if err := httpsig.Sign(httpReq, p.PairingID, p.Secret); err != nil {
+		return false, fmt.Errorf("umastate: sign: %w", err)
+	}
+	resp, err := e.client.Do(httpReq)
+	if err != nil {
+		return false, fmt.Errorf("umastate: query: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("umastate: status %d: %s", resp.StatusCode, msg)
+	}
+	var dec core.DecisionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		return false, fmt.Errorf("umastate: decode: %w", err)
+	}
+	return dec.Permit(), nil
+}

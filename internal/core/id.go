@@ -1,0 +1,31 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+)
+
+// NewID returns a fresh 128-bit random identifier with the given prefix,
+// rendered as prefix-hex. Identifiers are unguessable so they can appear in
+// redirect URLs (e.g. consent tickets) without leaking enumerable state.
+func NewID(prefix string) string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure means the platform RNG is broken; there is no
+		// safe fallback for identifiers that gate authorization state.
+		panic(fmt.Sprintf("core: crypto/rand unavailable: %v", err))
+	}
+	return prefix + "-" + hex.EncodeToString(b[:])
+}
+
+// NewSecret returns n cryptographically random bytes base64url-encoded.
+// Used for pairing channel keys and token-service master keys.
+func NewSecret(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("core: crypto/rand unavailable: %v", err))
+	}
+	return base64.RawURLEncoding.EncodeToString(b)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TraceEvent records one protocol interaction. Integration tests assert
+// sequences of trace events against the message flows in Figs. 1-6, and the
+// experiment harness uses them to count round-trips per flow.
+type TraceEvent struct {
+	Seq   int       `json:"seq"`
+	Time  time.Time `json:"time"`
+	Phase Phase     `json:"phase"`
+	// From and To name the interacting parties ("user", "host:webpics",
+	// "am", "requester:gallery").
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Op is the short operation name ("redirect", "token-request",
+	// "decision-query", "enforce-cached", ...).
+	Op string `json:"op"`
+	// Detail is free-form context (resource, decision, realm).
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event in a compact arrow form used by the examples.
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("[%d] %-32s %s -> %s: %s", e.Seq, e.Phase, e.From, e.To, e.Op)
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// Tracer collects TraceEvents from concurrently executing protocol parties.
+// The zero value is ready to use. A nil *Tracer discards all events, so
+// components can accept an optional tracer without nil checks at call sites.
+type Tracer struct {
+	mu     sync.Mutex
+	seq    int
+	events []TraceEvent
+}
+
+// Record appends an event, assigning it the next sequence number.
+func (t *Tracer) Record(phase Phase, from, to, op, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	t.events = append(t.events, TraceEvent{
+		Seq:    t.seq,
+		Time:   time.Now(),
+		Phase:  phase,
+		From:   from,
+		To:     to,
+		Op:     op,
+		Detail: detail,
+	})
+}
+
+// Events returns a copy of the recorded events in order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset discards all recorded events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq = 0
+	t.events = nil
+}
+
+// Ops returns just the operation names, in order — the form most tests
+// assert against.
+func (t *Tracer) Ops() []string {
+	events := t.Events()
+	ops := make([]string, len(events))
+	for i, e := range events {
+		ops[i] = e.Op
+	}
+	return ops
+}
+
+// CountOp returns how many recorded events carry the given op.
+func (t *Tracer) CountOp(op string) int {
+	n := 0
+	for _, e := range t.Events() {
+		if e.Op == op {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,225 @@
+package httpsig
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+const (
+	testPairing = "pair-1"
+	testSecret  = "sekrit-0123456789"
+)
+
+func signedRequest(t *testing.T, method, path, body string) *http.Request {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, "http://am.example"+path, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Sign(req, testPairing, testSecret); err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func testVerifier() *Verifier {
+	return NewVerifier(SecretSourceFunc(func(id string) (string, bool) {
+		if id == testPairing {
+			return testSecret, true
+		}
+		return "", false
+	}))
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	v := testVerifier()
+	req := signedRequest(t, http.MethodPost, "/api/decision", `{"realm":"travel"}`)
+	got, err := v.Verify(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != testPairing {
+		t.Fatalf("pairing = %q", got)
+	}
+	// Body must be restored for the handler.
+	b, _ := io.ReadAll(req.Body)
+	if string(b) != `{"realm":"travel"}` {
+		t.Fatalf("body consumed: %q", b)
+	}
+}
+
+func TestVerifyEmptyBody(t *testing.T) {
+	v := testVerifier()
+	req := signedRequest(t, http.MethodGet, "/api/policies", "")
+	if _, err := v.Verify(req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsUnsigned(t *testing.T) {
+	v := testVerifier()
+	req, _ := http.NewRequest(http.MethodGet, "http://am.example/api/x", nil)
+	if _, err := v.Verify(req); !errors.Is(err, ErrUnsigned) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsUnknownPairing(t *testing.T) {
+	v := testVerifier()
+	req, _ := http.NewRequest(http.MethodGet, "http://am.example/api/x", nil)
+	if err := Sign(req, "pair-unknown", testSecret); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Verify(req); !errors.Is(err, ErrUnknownPairing) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongSecret(t *testing.T) {
+	v := testVerifier()
+	req, _ := http.NewRequest(http.MethodGet, "http://am.example/api/x", nil)
+	if err := Sign(req, testPairing, "wrong-secret"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Verify(req); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsBodyTampering(t *testing.T) {
+	v := testVerifier()
+	req := signedRequest(t, http.MethodPost, "/api/decision", `{"decision":"deny"}`)
+	req.Body = io.NopCloser(strings.NewReader(`{"decision":"permit"}`))
+	if _, err := v.Verify(req); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered body accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsPathTampering(t *testing.T) {
+	v := testVerifier()
+	req := signedRequest(t, http.MethodPost, "/api/decision", "x")
+	req.URL.Path = "/api/pairings"
+	if _, err := v.Verify(req); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered path accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsMethodTampering(t *testing.T) {
+	v := testVerifier()
+	req := signedRequest(t, http.MethodGet, "/api/policies", "")
+	req.Method = http.MethodDelete
+	if _, err := v.Verify(req); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered method accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsReplay(t *testing.T) {
+	v := testVerifier()
+	req := signedRequest(t, http.MethodPost, "/api/decision", "x")
+	if _, err := v.Verify(req); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the identical signed request (fresh body reader) fails.
+	req.Body = io.NopCloser(strings.NewReader("x"))
+	if _, err := v.Verify(req); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsSkew(t *testing.T) {
+	v := testVerifier()
+	req := signedRequest(t, http.MethodPost, "/api/decision", "x")
+	v.SetClock(func() time.Time { return time.Now().Add(MaxSkew + time.Minute) })
+	if _, err := v.Verify(req); !errors.Is(err, ErrSkew) {
+		t.Fatalf("stale timestamp accepted: %v", err)
+	}
+	v.SetClock(func() time.Time { return time.Now().Add(-(MaxSkew + time.Minute)) })
+	if _, err := v.Verify(req); !errors.Is(err, ErrSkew) {
+		t.Fatalf("future timestamp accepted: %v", err)
+	}
+}
+
+func TestVerifyRejectsBadTimestampHeader(t *testing.T) {
+	v := testVerifier()
+	req := signedRequest(t, http.MethodPost, "/api/decision", "x")
+	req.Header.Set(HeaderTimestamp, "not-a-number")
+	if _, err := v.Verify(req); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNonceSweep(t *testing.T) {
+	v := testVerifier()
+	base := time.Now()
+	if err := v.rememberNonce("p/n1", base); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate inside the horizon is a replay.
+	if err := v.rememberNonce("p/n1", base.Add(time.Second)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("err = %v", err)
+	}
+	// A nonce arriving after the horizon sweeps expired entries and the
+	// old nonce becomes acceptable again (its signature timestamp would be
+	// rejected by the skew check anyway).
+	if err := v.rememberNonce("p/n2", base.Add(MaxSkew+time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	v.mu.Lock()
+	n := len(v.nonces)
+	v.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("old nonce not swept: %d entries", n)
+	}
+}
+
+func TestIsSignedAndStrip(t *testing.T) {
+	req := signedRequest(t, http.MethodGet, "/api/x", "")
+	if !IsSigned(req) {
+		t.Fatal("IsSigned = false for signed request")
+	}
+	StripSignature(req)
+	if IsSigned(req) {
+		t.Fatal("IsSigned = true after strip")
+	}
+	plain, _ := http.NewRequest(http.MethodGet, "http://x/", nil)
+	if IsSigned(plain) {
+		t.Fatal("IsSigned = true for plain request")
+	}
+}
+
+func TestSignedPath(t *testing.T) {
+	if !SignedPath("/api/decision", "/api/") {
+		t.Fatal("api path not matched")
+	}
+	if SignedPath("/login", "/api/") {
+		t.Fatal("login matched")
+	}
+}
+
+func TestSignPreservesBodyForTransport(t *testing.T) {
+	req, _ := http.NewRequest(http.MethodPost, "http://x/api", bytes.NewReader([]byte("payload")))
+	if err := Sign(req, testPairing, testSecret); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(req.Body)
+	if string(b) != "payload" {
+		t.Fatalf("body = %q", b)
+	}
+}
+
+func TestDistinctNoncesPerSign(t *testing.T) {
+	r1 := signedRequest(t, http.MethodGet, "/api/x", "")
+	r2 := signedRequest(t, http.MethodGet, "/api/x", "")
+	if r1.Header.Get(HeaderNonce) == r2.Header.Get(HeaderNonce) {
+		t.Fatal("nonces repeat")
+	}
+}

@@ -1,0 +1,208 @@
+package identity
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"umac/internal/core"
+)
+
+func TestHeaderAuth(t *testing.T) {
+	r, _ := http.NewRequest(http.MethodGet, "http://x/", nil)
+	var a HeaderAuth
+	if _, ok := a.Authenticate(r); ok {
+		t.Fatal("anonymous request authenticated")
+	}
+	r.Header.Set(DefaultUserHeader, "bob")
+	user, ok := a.Authenticate(r)
+	if !ok || user != "bob" {
+		t.Fatalf("user=%q ok=%v", user, ok)
+	}
+	custom := HeaderAuth{Header: "X-Custom"}
+	if _, ok := custom.Authenticate(r); ok {
+		t.Fatal("custom header read default")
+	}
+	r.Header.Set("X-Custom", "alice")
+	if user, _ := custom.Authenticate(r); user != "alice" {
+		t.Fatalf("user = %q", user)
+	}
+}
+
+func TestLoginAndVerify(t *testing.T) {
+	p := NewProvider(0)
+	p.Register("bob", "hunter2")
+	a, err := p.Login("bob", "hunter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := p.VerifyAssertion(a)
+	if err != nil || user != "bob" {
+		t.Fatalf("user=%q err=%v", user, err)
+	}
+}
+
+func TestLoginRejectsBadCredentials(t *testing.T) {
+	p := NewProvider(0)
+	p.Register("bob", "hunter2")
+	if _, err := p.Login("bob", "wrong"); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+	if _, err := p.Login("ghost", "x"); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	p := NewProvider(0)
+	p.Register("bob", "pw")
+	a, _ := p.Login("bob", "pw")
+	for name, bad := range map[string]string{
+		"empty":     "",
+		"no dot":    strings.ReplaceAll(a, ".", ""),
+		"bad b64":   "!!!." + strings.Split(a, ".")[1],
+		"truncated": a[:len(a)-3],
+	} {
+		if _, err := p.VerifyAssertion(bad); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Assertion from another provider.
+	p2 := NewProvider(0)
+	p2.Register("bob", "pw")
+	a2, _ := p2.Login("bob", "pw")
+	if _, err := p.VerifyAssertion(a2); err == nil {
+		t.Error("cross-provider assertion accepted")
+	}
+}
+
+func TestAssertionExpiry(t *testing.T) {
+	p := NewProvider(time.Minute)
+	p.Register("bob", "pw")
+	base := time.Now()
+	now := base
+	p.now = func() time.Time { return now }
+	a, _ := p.Login("bob", "pw")
+	now = base.Add(2 * time.Minute)
+	if _, err := p.VerifyAssertion(a); err == nil {
+		t.Fatal("expired assertion accepted")
+	}
+}
+
+func TestLoginHandlerRedirect(t *testing.T) {
+	p := NewProvider(0)
+	p.Register("bob", "pw")
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(srv.URL + "/login?user=bob&password=pw&return_to=" +
+		url.QueryEscape("http://host.example/pair/callback?state=7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	loc, err := url.Parse(resp.Header.Get("Location"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Host != "host.example" || loc.Query().Get("state") != "7" {
+		t.Fatalf("location = %s", loc)
+	}
+	if _, err := p.VerifyAssertion(loc.Query().Get("assertion")); err != nil {
+		t.Fatalf("assertion invalid: %v", err)
+	}
+}
+
+func TestLoginHandlerJSONWithoutReturnTo(t *testing.T) {
+	p := NewProvider(0)
+	p.Register("bob", "pw")
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/login?user=bob&password=pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestLoginHandlerRejectsBadPassword(t *testing.T) {
+	p := NewProvider(0)
+	p.Register("bob", "pw")
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/login?user=bob&password=nope&return_to=http://h/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestSessions(t *testing.T) {
+	p := NewProvider(0)
+	p.Register("bob", "pw")
+	s := NewSessions(p)
+	a, _ := p.Login("bob", "pw")
+
+	rec := httptest.NewRecorder()
+	user, err := s.Establish(rec, a)
+	if err != nil || user != "bob" {
+		t.Fatalf("user=%q err=%v", user, err)
+	}
+	cookies := rec.Result().Cookies()
+	if len(cookies) != 1 {
+		t.Fatalf("cookies = %d", len(cookies))
+	}
+
+	r, _ := http.NewRequest(http.MethodGet, "http://host/", nil)
+	r.AddCookie(cookies[0])
+	got, ok := s.Authenticate(r)
+	if !ok || got != "bob" {
+		t.Fatalf("got=%q ok=%v", got, ok)
+	}
+
+	s.Revoke(r)
+	if _, ok := s.Authenticate(r); ok {
+		t.Fatal("session survived revoke")
+	}
+	// Revoking an absent session must not panic.
+	plain, _ := http.NewRequest(http.MethodGet, "http://host/", nil)
+	s.Revoke(plain)
+}
+
+func TestSessionsRejectBadAssertion(t *testing.T) {
+	p := NewProvider(0)
+	s := NewSessions(p)
+	rec := httptest.NewRecorder()
+	if _, err := s.Establish(rec, "garbage"); err == nil {
+		t.Fatal("established session from garbage")
+	}
+}
+
+func TestSessionsAnonymous(t *testing.T) {
+	s := NewSessions(NewProvider(0))
+	r, _ := http.NewRequest(http.MethodGet, "http://host/", nil)
+	if _, ok := s.Authenticate(r); ok {
+		t.Fatal("anonymous request authenticated")
+	}
+	r.AddCookie(&http.Cookie{Name: "umac_session", Value: "forged"})
+	if _, ok := s.Authenticate(r); ok {
+		t.Fatal("forged cookie authenticated")
+	}
+}
+
+var _ = core.UserID("")

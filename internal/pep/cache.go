@@ -1,0 +1,95 @@
+package pep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"umac/internal/core"
+)
+
+// DecisionCache caches AM decisions at the Host so "each subsequent request
+// to a resource does not have to follow the entire protocol ... a Host does
+// not have to issue an access control decision query to an Authorization
+// Manager" (Section V.B.6). TTLs come from the AM per decision, giving the
+// user control over caching (Section V.B.5).
+type DecisionCache struct {
+	mu      sync.RWMutex
+	entries map[string]cacheEntry
+	now     func() time.Time
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	permit  bool
+	expires time.Time
+}
+
+// NewDecisionCache returns an empty cache.
+func NewDecisionCache() *DecisionCache {
+	return &DecisionCache{entries: make(map[string]cacheEntry), now: time.Now}
+}
+
+// SetClock overrides the cache's time source for tests.
+func (c *DecisionCache) SetClock(now func() time.Time) { c.now = now }
+
+// cacheKey derives the cache key. The token identifies the (requester,
+// realm) grant; resource and action narrow it to the exact decision the AM
+// issued ("whether an access control decision has been already obtained
+// from AM for this Requester to access this particular resource").
+func cacheKey(token string, res core.ResourceID, action core.Action) string {
+	h := sha256.New()
+	h.Write([]byte(token))
+	h.Write([]byte{0})
+	h.Write([]byte(res))
+	h.Write([]byte{0})
+	h.Write([]byte(action))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Get returns the cached decision if present and fresh.
+func (c *DecisionCache) Get(key string) (permit, ok bool) {
+	c.mu.RLock()
+	e, present := c.entries[key]
+	c.mu.RUnlock()
+	if !present || c.now().After(e.expires) {
+		c.misses.Add(1)
+		return false, false
+	}
+	c.hits.Add(1)
+	return e.permit, true
+}
+
+// Put stores a decision for ttlSeconds.
+func (c *DecisionCache) Put(key string, permit bool, ttlSeconds int) {
+	if ttlSeconds <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.entries[key] = cacheEntry{permit: permit, expires: c.now().Add(time.Duration(ttlSeconds) * time.Second)}
+	c.mu.Unlock()
+}
+
+// Invalidate drops every cached decision (e.g. after the user changes
+// policies at the AM and the AM pushes an invalidation).
+func (c *DecisionCache) Invalidate() {
+	c.mu.Lock()
+	c.entries = make(map[string]cacheEntry)
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached entries (fresh or stale).
+func (c *DecisionCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *DecisionCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,548 @@
+// Package pep is the Host-side policy enforcement point: "a Host is only
+// concerned with access control enforcement of decisions that are issued by
+// AM. As such, a Host acts as a policy enforcement point (PEP)" (Section
+// V.A.3).
+//
+// The Enforcer manages the Host's side of the protocol:
+//
+//   - pairing with a user's chosen AM (Fig. 3);
+//   - registering protected realms (Fig. 4, Host leg);
+//   - intercepting resource accesses, referring tokenless Requesters to the
+//     AM (Fig. 5, Host leg), and querying decisions for token-bearing
+//     requests (Fig. 6);
+//   - caching decisions under the AM's user-controlled TTL so subsequent
+//     accesses bypass the AM entirely (Section V.B.6).
+//
+// It is the "general library that could be easily reused by other
+// cloud-based applications" the paper aims for in Section VII; the storage
+// and gallery prototypes in internal/apps both embed it.
+package pep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"umac/internal/core"
+	"umac/internal/httpsig"
+)
+
+// Headers used on Host→Requester referral responses (the programmatic form
+// of the Fig. 5 redirect).
+const (
+	HeaderAM       = "X-Umac-Am"
+	HeaderHost     = "X-Umac-Host"
+	HeaderRealm    = "X-Umac-Realm"
+	HeaderResource = "X-Umac-Resource"
+	HeaderAction   = "X-Umac-Action"
+)
+
+// TokenScheme is the Authorization scheme carrying authorization tokens.
+const TokenScheme = "UMAC"
+
+// Pairing is the Host's record of its trust relationship with an AM.
+type Pairing struct {
+	AMURL     string      `json:"am_url"`
+	PairingID string      `json:"pairing_id"`
+	Secret    string      `json:"secret"`
+	User      core.UserID `json:"user"`
+}
+
+// Config configures an Enforcer.
+type Config struct {
+	// Host is this Host's protocol identity.
+	Host core.HostID
+	// Name is the human-readable application name shown on consent pages.
+	Name string
+	// BaseURL is the Host's externally reachable URL (for pairing
+	// callbacks).
+	BaseURL string
+	// HTTPClient performs Host→AM calls; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// Cache is the decision cache; nil means a fresh cache.
+	Cache *DecisionCache
+	// Tracer records protocol events.
+	Tracer *core.Tracer
+}
+
+// Enforcer is a Host's policy enforcement point. Create with New.
+type Enforcer struct {
+	host    core.HostID
+	name    string
+	baseURL string
+	client  *http.Client
+	cache   *DecisionCache
+	tracer  *core.Tracer
+
+	verifierOnce sync.Once
+	verifier     *httpsig.Verifier
+
+	mu       sync.RWMutex
+	pairings map[core.UserID]Pairing // per-owner default AM pairing
+	// realmPairings holds per-realm AM overrides: the Section V.D
+	// extension where "a User may ... delegate access control for
+	// different resources to different AMs as well".
+	realmPairings map[realmKey]Pairing
+}
+
+// realmKey identifies an owner's realm at this Host.
+type realmKey struct {
+	owner core.UserID
+	realm core.RealmID
+}
+
+// New constructs an Enforcer.
+func New(cfg Config) *Enforcer {
+	client := cfg.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewDecisionCache()
+	}
+	name := cfg.Name
+	if name == "" {
+		name = string(cfg.Host)
+	}
+	return &Enforcer{
+		host:          cfg.Host,
+		name:          name,
+		baseURL:       cfg.BaseURL,
+		client:        client,
+		cache:         cache,
+		tracer:        cfg.Tracer,
+		pairings:      make(map[core.UserID]Pairing),
+		realmPairings: make(map[realmKey]Pairing),
+	}
+}
+
+// Host returns the enforcer's host identity.
+func (e *Enforcer) Host() core.HostID { return e.host }
+
+// SetBaseURL records the externally reachable URL once known.
+func (e *Enforcer) SetBaseURL(u string) { e.baseURL = u }
+
+// Cache exposes the decision cache (metrics, invalidation).
+func (e *Enforcer) Cache() *DecisionCache { return e.cache }
+
+func (e *Enforcer) trace(phase core.Phase, from, to, op, detail string) {
+	e.tracer.Record(phase, from, to, op, detail)
+}
+
+// --- Pairing (Fig. 3) ---
+
+// BeginPairing returns the AM confirmation URL the user's browser must
+// visit: the first leg of Fig. 3 ("A User ... is then redirected from the
+// Host to AM to confirm that this particular Host can delegate its access
+// control functionality to this component").
+func (e *Enforcer) BeginPairing(amURL string, user core.UserID) string {
+	q := url.Values{}
+	q.Set(core.ParamHost, string(e.host))
+	q.Set("host_name", e.name)
+	q.Set("host_url", e.baseURL)
+	q.Set(core.ParamReturnTo, e.baseURL+"/umac/pair/callback?"+url.Values{
+		core.ParamAM:   {amURL},
+		core.ParamUser: {string(user)},
+	}.Encode())
+	e.trace(core.PhaseDelegatingAccessControl, "host:"+string(e.host), "user:"+string(user),
+		"redirect-to-am", amURL)
+	return strings.TrimSuffix(amURL, "/") + "/pair/confirm?" + q.Encode()
+}
+
+// CompletePairing exchanges the one-time code at the AM for the channel
+// secret — the closing leg of Fig. 3. It stores the pairing as the user's
+// default.
+func (e *Enforcer) CompletePairing(amURL string, user core.UserID, code string) (Pairing, error) {
+	p, err := e.exchange(amURL, code)
+	if err != nil {
+		return Pairing{}, err
+	}
+	p.User = user
+	e.mu.Lock()
+	e.pairings[user] = p
+	e.mu.Unlock()
+	e.trace(core.PhaseDelegatingAccessControl, "host:"+string(e.host), "am",
+		"pairing-complete", p.PairingID)
+	return p, nil
+}
+
+// exchange performs the code-for-secret exchange at an AM.
+func (e *Enforcer) exchange(amURL, code string) (Pairing, error) {
+	body, err := json.Marshal(map[string]any{"code": code, "host": e.host})
+	if err != nil {
+		return Pairing{}, fmt.Errorf("pep: encode exchange: %w", err)
+	}
+	resp, err := e.client.Post(strings.TrimSuffix(amURL, "/")+"/api/pair/exchange",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return Pairing{}, fmt.Errorf("pep: pairing exchange: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Pairing{}, fmt.Errorf("pep: pairing exchange failed: %s", readError(resp.Body))
+	}
+	var pr core.PairingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return Pairing{}, fmt.Errorf("pep: decode pairing response: %w", err)
+	}
+	return Pairing{AMURL: strings.TrimSuffix(amURL, "/"), PairingID: pr.PairingID, Secret: pr.Secret}, nil
+}
+
+// HandlePairCallback is the HTTP handler for the pairing redirect leg; Host
+// applications mount it at /umac/pair/callback.
+func (e *Enforcer) HandlePairCallback(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	amURL := q.Get(core.ParamAM)
+	user := core.UserID(q.Get(core.ParamUser))
+	code := q.Get("code")
+	if amURL == "" || code == "" {
+		http.Error(w, "pep: missing am or code", http.StatusBadRequest)
+		return
+	}
+	if _, err := e.CompletePairing(amURL, user, code); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	// "a User is redirected back to the Host to be acknowledged that a
+	// secure communication channel has been established" (Section V.B.1).
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"paired": string(user), "host": string(e.host)})
+}
+
+// PairingSecret implements httpsig.SecretSource over the enforcer's
+// pairings, letting the Host verify AM-originated signed calls (cache
+// invalidation pushes).
+func (e *Enforcer) PairingSecret(pairingID string) (string, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, p := range e.pairings {
+		if p.PairingID == pairingID {
+			return p.Secret, true
+		}
+	}
+	for _, p := range e.realmPairings {
+		if p.PairingID == pairingID {
+			return p.Secret, true
+		}
+	}
+	return "", false
+}
+
+// HandleInvalidate serves the AM→Host decision-cache invalidation push
+// (mounted at am.InvalidatePath). The request must be signed with a known
+// pairing secret; on success the local decision cache is dropped, making
+// policy changes at the AM effective immediately (Section V.B.5).
+func (e *Enforcer) HandleInvalidate(w http.ResponseWriter, r *http.Request) {
+	e.verifierOnce.Do(func() { e.verifier = httpsig.NewVerifier(e) })
+	if _, err := e.verifier.Verify(r); err != nil {
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+		return
+	}
+	e.cache.Invalidate()
+	e.trace(core.PhaseObtainingDecision, "am", "host:"+string(e.host),
+		"cache-invalidated", "")
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// PairingFor returns the owner's default pairing.
+func (e *Enforcer) PairingFor(owner core.UserID) (Pairing, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, ok := e.pairings[owner]
+	return p, ok
+}
+
+// SetRealmPairing routes one realm's protection to a specific AM pairing,
+// overriding the owner's default AM for that realm (Section V.D: different
+// AMs for different resources). Obtain the pairing with CompleteRealmPairing
+// or construct it from a stored credential.
+func (e *Enforcer) SetRealmPairing(owner core.UserID, realm core.RealmID, p Pairing) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.realmPairings[realmKey{owner, realm}] = p
+}
+
+// CompleteRealmPairing exchanges a pairing code at the given AM and binds
+// the resulting pairing to one realm only (the owner's default pairing is
+// untouched).
+func (e *Enforcer) CompleteRealmPairing(amURL string, owner core.UserID, realm core.RealmID, code string) (Pairing, error) {
+	p, err := e.exchange(amURL, code)
+	if err != nil {
+		return Pairing{}, err
+	}
+	p.User = owner
+	e.SetRealmPairing(owner, realm, p)
+	e.trace(core.PhaseDelegatingAccessControl, "host:"+string(e.host), "am",
+		"realm-pairing-complete", fmt.Sprintf("%s -> %s", realm, p.PairingID))
+	return p, nil
+}
+
+// pairingForRealm resolves the pairing protecting (owner, realm): the
+// realm-specific pairing when present, otherwise the owner's default.
+func (e *Enforcer) pairingForRealm(owner core.UserID, realm core.RealmID) (Pairing, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if p, ok := e.realmPairings[realmKey{owner, realm}]; ok {
+		return p, true
+	}
+	p, ok := e.pairings[owner]
+	return p, ok
+}
+
+// Delegated reports whether owner has delegated this Host's access control
+// to an AM.
+func (e *Enforcer) Delegated(owner core.UserID) bool {
+	_, ok := e.PairingFor(owner)
+	return ok
+}
+
+// Unpair drops the owner's pairing (e.g. after the AM reports it revoked).
+func (e *Enforcer) Unpair(owner core.UserID) {
+	e.mu.Lock()
+	delete(e.pairings, owner)
+	e.mu.Unlock()
+}
+
+// --- Protecting resources (Fig. 4, Host leg) ---
+
+// Protect registers owner's realm (and optionally its resource list and a
+// policy link) with the owner's AM over the signed channel.
+func (e *Enforcer) Protect(owner core.UserID, realm core.RealmID, resources []core.ResourceID, pol core.PolicyID) error {
+	p, ok := e.pairingForRealm(owner, realm)
+	if !ok {
+		return core.ErrNotPaired
+	}
+	req := core.ProtectRequest{
+		PairingID: p.PairingID,
+		User:      owner,
+		Realm:     realm,
+		Resources: resources,
+		Policy:    pol,
+	}
+	var resp core.ProtectResponse
+	if err := e.signedPost(p, "/api/protect", req, &resp); err != nil {
+		return err
+	}
+	e.trace(core.PhaseComposingPolicies, "host:"+string(e.host), "am",
+		"protect", string(realm))
+	return nil
+}
+
+// ComposeURL returns the AM policy-composition URL a Host's "share" control
+// redirects the user to (Fig. 4: "a User does not access the configuration
+// menu but is redirected to this AM").
+func (e *Enforcer) ComposeURL(owner core.UserID, realm core.RealmID) (string, error) {
+	p, ok := e.pairingForRealm(owner, realm)
+	if !ok {
+		return "", core.ErrNotPaired
+	}
+	q := url.Values{}
+	q.Set(core.ParamHost, string(e.host))
+	q.Set(core.ParamRealm, string(realm))
+	q.Set(core.ParamReturnTo, e.baseURL)
+	return p.AMURL + "/compose?" + q.Encode(), nil
+}
+
+// --- Enforcement (Figs. 5, 6 and subsequent access) ---
+
+// Verdict classifies the outcome of a Check.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictAllow: serve the resource.
+	VerdictAllow Verdict = iota + 1
+	// VerdictDeny: refuse with 403.
+	VerdictDeny
+	// VerdictNeedToken: the request carried no token; refer the Requester
+	// to the AM (Fig. 5).
+	VerdictNeedToken
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAllow:
+		return "allow"
+	case VerdictDeny:
+		return "deny"
+	case VerdictNeedToken:
+		return "need-token"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// CheckResult is the outcome of an enforcement check.
+type CheckResult struct {
+	Verdict Verdict
+	// Reason explains denials.
+	Reason string
+	// CacheHit is true when the decision came from the local cache —
+	// the Section V.B.6 fast path with no AM round-trip.
+	CacheHit bool
+	// AMURL is the owner's AM base URL (set for VerdictNeedToken).
+	AMURL string
+}
+
+// ExtractToken pulls the authorization token from a request: the
+// "Authorization: UMAC <token>" header (preferred), a Bearer header, or the
+// ?token= query parameter (for browser redirects back from the AM).
+func ExtractToken(r *http.Request) (string, bool) {
+	if h := r.Header.Get("Authorization"); h != "" {
+		parts := strings.SplitN(h, " ", 2)
+		if len(parts) == 2 && (strings.EqualFold(parts[0], TokenScheme) || strings.EqualFold(parts[0], "Bearer")) {
+			return strings.TrimSpace(parts[1]), parts[1] != ""
+		}
+	}
+	if t := r.URL.Query().Get(core.ParamToken); t != "" {
+		return t, true
+	}
+	return "", false
+}
+
+// Check enforces access to (owner, realm, resource, action) for the given
+// request. It never writes to the response; use Require for the common
+// serve-or-refuse pattern.
+func (e *Enforcer) Check(r *http.Request, owner core.UserID, realm core.RealmID, res core.ResourceID, action core.Action) (CheckResult, error) {
+	p, ok := e.pairingForRealm(owner, realm)
+	if !ok {
+		return CheckResult{}, core.ErrNotPaired
+	}
+	tok, ok := ExtractToken(r)
+	if !ok {
+		e.trace(core.PhaseObtainingToken, "host:"+string(e.host), "requester",
+			"refer-to-am", string(res))
+		return CheckResult{Verdict: VerdictNeedToken, AMURL: p.AMURL}, nil
+	}
+
+	key := cacheKey(tok, res, action)
+	if decision, ok := e.cache.Get(key); ok {
+		e.trace(core.PhaseSubsequentAccess, "host:"+string(e.host), "host:"+string(e.host),
+			"enforce-cached", fmt.Sprintf("%s %s=%v", res, action, decision))
+		verdict := VerdictDeny
+		if decision {
+			verdict = VerdictAllow
+		}
+		return CheckResult{Verdict: verdict, CacheHit: true}, nil
+	}
+
+	// Fig. 6: decision query over the signed channel.
+	q := core.DecisionQuery{
+		PairingID: p.PairingID,
+		Host:      e.host,
+		Realm:     realm,
+		Resource:  res,
+		Action:    action,
+		Token:     tok,
+	}
+	var dec core.DecisionResponse
+	e.trace(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
+		"decision-query-sent", string(res))
+	if err := e.signedPost(p, "/api/decision", q, &dec); err != nil {
+		return CheckResult{}, err
+	}
+	if dec.TokenProblem {
+		// The token itself is bad (expired, forged, out of scope): refer
+		// the Requester back to the AM for a fresh one rather than
+		// answering with a terminal deny.
+		e.trace(core.PhaseObtainingToken, "host:"+string(e.host), "requester",
+			"refer-to-am", "token problem: "+dec.Reason)
+		return CheckResult{Verdict: VerdictNeedToken, AMURL: p.AMURL, Reason: dec.Reason}, nil
+	}
+	if dec.CacheTTLSeconds > 0 {
+		e.cache.Put(key, dec.Permit(), dec.CacheTTLSeconds)
+	}
+	verdict := VerdictDeny
+	if dec.Permit() {
+		verdict = VerdictAllow
+	}
+	return CheckResult{Verdict: verdict, Reason: dec.Reason}, nil
+}
+
+// Require runs Check and writes the appropriate protocol response for
+// anything but an allow: 401 with AM referral headers for missing tokens,
+// 403 for denials, 502 for AM communication failures. It returns true only
+// when the caller should serve the resource.
+func (e *Enforcer) Require(w http.ResponseWriter, r *http.Request, owner core.UserID, realm core.RealmID, res core.ResourceID, action core.Action) bool {
+	result, err := e.Check(r, owner, realm, res, action)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return false
+	}
+	switch result.Verdict {
+	case VerdictAllow:
+		return true
+	case VerdictNeedToken:
+		e.WriteReferral(w, result.AMURL, realm, res, action)
+		return false
+	default:
+		http.Error(w, "access denied: "+result.Reason, http.StatusForbidden)
+		return false
+	}
+}
+
+// WriteReferral writes the 401 referral telling the Requester which AM to
+// obtain a token from and for what — the programmatic equivalent of the
+// Fig. 5 redirect ("a Host redirects a Requester to the AM along with
+// information about the Host and the resource").
+func (e *Enforcer) WriteReferral(w http.ResponseWriter, amURL string, realm core.RealmID, res core.ResourceID, action core.Action) {
+	w.Header().Set(HeaderAM, amURL)
+	w.Header().Set(HeaderHost, string(e.host))
+	w.Header().Set(HeaderRealm, string(realm))
+	w.Header().Set(HeaderResource, string(res))
+	w.Header().Set(HeaderAction, string(action))
+	w.Header().Set("Www-Authenticate", fmt.Sprintf("%s am=%q, realm=%q", TokenScheme, amURL, realm))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusUnauthorized)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error":    "authorization token required",
+		"am":       amURL,
+		"host":     string(e.host),
+		"realm":    string(realm),
+		"resource": string(res),
+		"action":   string(action),
+	})
+}
+
+// signedPost sends a JSON POST over the HMAC-signed Host↔AM channel.
+func (e *Enforcer) signedPost(p Pairing, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("pep: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequest(http.MethodPost, p.AMURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("pep: build %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if err := httpsig.Sign(req, p.PairingID, p.Secret); err != nil {
+		return fmt.Errorf("pep: sign %s: %w", path, err)
+	}
+	resp, err := e.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("pep: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pep: %s: status %d: %s", path, resp.StatusCode, readError(resp.Body))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("pep: decode %s response: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// readError extracts a short error string from a response body.
+func readError(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 512))
+	return strings.TrimSpace(string(b))
+}

@@ -1,0 +1,101 @@
+package policy
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements the export/import formats of Section VI: "these
+// policies can be exported from and imported into the datastore via a
+// RESTful interface in JSON or XML formats."
+
+// Format names a serialization format.
+type Format string
+
+// Supported formats.
+const (
+	FormatJSON Format = "json"
+	FormatXML  Format = "xml"
+)
+
+// ParseFormat accepts "json" or "xml" (case-insensitive) and content types
+// like "application/json".
+func ParseFormat(s string) (Format, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch {
+	case s == "json" || strings.Contains(s, "application/json"):
+		return FormatJSON, nil
+	case s == "xml" || strings.Contains(s, "application/xml") || strings.Contains(s, "text/xml"):
+		return FormatXML, nil
+	default:
+		return "", fmt.Errorf("policy: unsupported format %q", s)
+	}
+}
+
+// ContentType returns the MIME type for the format.
+func (f Format) ContentType() string {
+	if f == FormatXML {
+		return "application/xml"
+	}
+	return "application/json"
+}
+
+// policySetXML wraps a policy list for XML round-trips.
+type policySetXML struct {
+	XMLName  xml.Name `xml:"policies"`
+	Policies []Policy `xml:"policy"`
+}
+
+// Export writes the policies to w in the given format.
+func Export(w io.Writer, policies []Policy, f Format) error {
+	switch f {
+	case FormatJSON:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(policies); err != nil {
+			return fmt.Errorf("policy: export json: %w", err)
+		}
+		return nil
+	case FormatXML:
+		if _, err := io.WriteString(w, xml.Header); err != nil {
+			return fmt.Errorf("policy: export xml: %w", err)
+		}
+		enc := xml.NewEncoder(w)
+		enc.Indent("", "  ")
+		if err := enc.Encode(policySetXML{Policies: policies}); err != nil {
+			return fmt.Errorf("policy: export xml: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("policy: unsupported export format %q", f)
+	}
+}
+
+// Import reads a policy set from r in the given format and validates every
+// policy.
+func Import(r io.Reader, f Format) ([]Policy, error) {
+	var policies []Policy
+	switch f {
+	case FormatJSON:
+		if err := json.NewDecoder(r).Decode(&policies); err != nil {
+			return nil, fmt.Errorf("policy: import json: %w", err)
+		}
+	case FormatXML:
+		var set policySetXML
+		if err := xml.NewDecoder(r).Decode(&set); err != nil {
+			return nil, fmt.Errorf("policy: import xml: %w", err)
+		}
+		policies = set.Policies
+	default:
+		return nil, fmt.Errorf("policy: unsupported import format %q", f)
+	}
+	for i := range policies {
+		if err := policies[i].Validate(); err != nil {
+			return nil, fmt.Errorf("policy: import: entry %d: %w", i, err)
+		}
+	}
+	return policies, nil
+}

@@ -1,0 +1,138 @@
+package policy
+
+import (
+	"testing"
+
+	"umac/internal/core"
+)
+
+// conflicted builds a policy with a permit-everyone rule followed by a
+// deny-alice rule, under the given combining algorithm — the canonical
+// conflict each algorithm resolves differently.
+func conflicted(c Combining) *Policy {
+	return &Policy{
+		ID: "p", Owner: "bob", Kind: KindGeneral, Combining: c,
+		Rules: []Rule{
+			{Effect: EffectPermit, Subjects: everyone()},
+			{Effect: EffectDeny, Subjects: alice()},
+		},
+	}
+}
+
+func TestCombiningDenyOverrides(t *testing.T) {
+	e := NewEngine(nil)
+	p := conflicted(CombineDenyOverrides)
+	if res := e.Evaluate(readRequest("alice"), p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("alice = %v", res.Decision)
+	}
+	if res := e.Evaluate(readRequest("chris"), p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("chris = %v", res.Decision)
+	}
+	// Empty combining behaves identically (default).
+	p2 := conflicted("")
+	if res := e.Evaluate(readRequest("alice"), p2, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("default alice = %v", res.Decision)
+	}
+}
+
+func TestCombiningPermitOverrides(t *testing.T) {
+	e := NewEngine(nil)
+	p := conflicted(CombinePermitOverrides)
+	// The permit-everyone rule beats the deny for alice.
+	if res := e.Evaluate(readRequest("alice"), p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("alice = %v (%s)", res.Decision, res.Reason)
+	}
+	// With only a deny applicable, deny still results.
+	pd := &Policy{
+		ID: "pd", Owner: "bob", Kind: KindGeneral, Combining: CombinePermitOverrides,
+		Rules: []Rule{{Effect: EffectDeny, Subjects: alice()}},
+	}
+	if res := e.Evaluate(readRequest("alice"), pd, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("deny-only alice = %v", res.Decision)
+	}
+}
+
+func TestCombiningFirstApplicable(t *testing.T) {
+	e := NewEngine(nil)
+	// Order matters: deny-alice first, then permit-everyone.
+	p := &Policy{
+		ID: "p", Owner: "bob", Kind: KindGeneral, Combining: CombineFirstApplicable,
+		Rules: []Rule{
+			{Effect: EffectDeny, Subjects: alice()},
+			{Effect: EffectPermit, Subjects: everyone()},
+		},
+	}
+	if res := e.Evaluate(readRequest("alice"), p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("alice = %v", res.Decision)
+	}
+	if res := e.Evaluate(readRequest("chris"), p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("chris = %v", res.Decision)
+	}
+	// Reversed order flips alice's outcome.
+	p.Rules[0], p.Rules[1] = p.Rules[1], p.Rules[0]
+	if res := e.Evaluate(readRequest("alice"), p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("alice (reversed) = %v", res.Decision)
+	}
+}
+
+func TestFirstApplicableSkipsGuardedRules(t *testing.T) {
+	e := NewEngine(nil)
+	// The first rule requires a claim the request lacks: first-applicable
+	// must fall through to the second rule, while surfacing the term.
+	p := &Policy{
+		ID: "p", Owner: "bob", Kind: KindGeneral, Combining: CombineFirstApplicable,
+		Rules: []Rule{
+			{
+				Effect:     EffectPermit,
+				Subjects:   everyone(),
+				Conditions: []Condition{{Type: CondRequireClaim, Claim: "payment"}},
+				Actions:    []core.Action{core.ActionRead},
+			},
+			{Effect: EffectDeny, Subjects: everyone()},
+		},
+	}
+	res := e.Evaluate(readRequest("alice"), p, nil)
+	if res.Decision != core.DecisionDeny {
+		t.Fatalf("decision = %v", res.Decision)
+	}
+	// With the claim, the first rule decides.
+	req := readRequest("alice")
+	req.Claims = map[string]string{"payment": "x"}
+	if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("with claim = %v", res.Decision)
+	}
+}
+
+func TestValidateRejectsUnknownCombining(t *testing.T) {
+	p := conflicted("majority-vote")
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown combining accepted")
+	}
+	for _, c := range []Combining{"", CombineDenyOverrides, CombinePermitOverrides, CombineFirstApplicable} {
+		p := conflicted(c)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("combining %q rejected: %v", c, err)
+		}
+	}
+}
+
+func TestCombiningObligationsStillSurface(t *testing.T) {
+	e := NewEngine(nil)
+	for _, c := range []Combining{CombineDenyOverrides, CombinePermitOverrides, CombineFirstApplicable} {
+		p := &Policy{
+			ID: "p", Owner: "bob", Kind: KindGeneral, Combining: c,
+			Rules: []Rule{{
+				Effect:     EffectPermit,
+				Subjects:   everyone(),
+				Conditions: []Condition{{Type: CondRequireConsent}},
+			}},
+		}
+		res := e.Evaluate(readRequest("alice"), p, nil)
+		if res.Decision == core.DecisionPermit {
+			t.Fatalf("%s: permitted without consent", c)
+		}
+		if !res.RequireConsent {
+			t.Fatalf("%s: consent obligation lost", c)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"umac/internal/core"
+)
+
+// fixtures
+
+func readRequest(subject core.UserID) Request {
+	return Request{
+		Subject:   subject,
+		Requester: "browser",
+		Action:    core.ActionRead,
+		Resource:  core.ResourceRef{Host: "webpics", Resource: "photo-1"},
+		Realm:     "travel",
+		Owner:     "bob",
+	}
+}
+
+func permitPolicy(id core.PolicyID, kind Kind, subjects []Subject, actions ...core.Action) *Policy {
+	return &Policy{
+		ID:    id,
+		Owner: "bob",
+		Name:  string(id),
+		Kind:  kind,
+		Rules: []Rule{{Effect: EffectPermit, Subjects: subjects, Actions: actions}},
+	}
+}
+
+func denyPolicy(id core.PolicyID, kind Kind, subjects []Subject, actions ...core.Action) *Policy {
+	return &Policy{
+		ID:    id,
+		Owner: "bob",
+		Name:  string(id),
+		Kind:  kind,
+		Rules: []Rule{{Effect: EffectDeny, Subjects: subjects, Actions: actions}},
+	}
+}
+
+func alice() []Subject    { return []Subject{{Type: SubjectUser, Name: "alice"}} }
+func everyone() []Subject { return []Subject{{Type: SubjectEveryone}} }
+
+func TestNoGeneralPolicyIsUnknown(t *testing.T) {
+	e := NewEngine(nil)
+	res := e.Evaluate(readRequest("alice"), nil, nil)
+	if res.Decision != core.DecisionUnknown {
+		t.Fatalf("decision = %v, want unknown", res.Decision)
+	}
+}
+
+func TestGeneralPermit(t *testing.T) {
+	e := NewEngine(nil)
+	res := e.Evaluate(readRequest("alice"), permitPolicy("g", KindGeneral, alice()), nil)
+	if res.Decision != core.DecisionPermit {
+		t.Fatalf("decision = %v (%s)", res.Decision, res.Reason)
+	}
+	if res.Policy != "g" {
+		t.Fatalf("policy = %q", res.Policy)
+	}
+}
+
+func TestGeneralDenyIsFinal(t *testing.T) {
+	// Section VI: "If the decision derived from the general policy is
+	// 'deny' then no other policy is processed." A wide-open specific
+	// policy must not rescue the request.
+	e := NewEngine(nil)
+	general := denyPolicy("g", KindGeneral, alice())
+	specific := permitPolicy("s", KindSpecific, everyone())
+	res := e.Evaluate(readRequest("alice"), general, specific)
+	if res.Decision != core.DecisionDeny {
+		t.Fatalf("decision = %v, want deny", res.Decision)
+	}
+	if res.Policy != "g" {
+		t.Fatalf("deciding policy = %q, want g", res.Policy)
+	}
+}
+
+func TestGeneralSilentIsDeny(t *testing.T) {
+	// A general policy that does not speak to the subject produces deny
+	// (deny-biased), and the specific policy is never consulted.
+	e := NewEngine(nil)
+	general := permitPolicy("g", KindGeneral, alice())
+	specific := permitPolicy("s", KindSpecific, everyone())
+	res := e.Evaluate(readRequest("mallory"), general, specific)
+	if res.Decision != core.DecisionDeny {
+		t.Fatalf("decision = %v, want deny", res.Decision)
+	}
+}
+
+func TestSpecificRefinesGeneralPermit(t *testing.T) {
+	e := NewEngine(nil)
+	general := permitPolicy("g", KindGeneral, everyone())
+	specific := denyPolicy("s", KindSpecific, alice())
+	res := e.Evaluate(readRequest("alice"), general, specific)
+	if res.Decision != core.DecisionDeny {
+		t.Fatalf("decision = %v, want deny (specific refinement)", res.Decision)
+	}
+	if res.Policy != "s" {
+		t.Fatalf("deciding policy = %q, want s", res.Policy)
+	}
+}
+
+func TestSpecificSilentKeepsGeneralPermit(t *testing.T) {
+	// The paper's own composition example: a general read-only policy plus
+	// a specific policy permitting "write" on a subset. A read request hits
+	// the general permit; the specific (write-only) policy is silent about
+	// reads and must not flip the outcome.
+	e := NewEngine(nil)
+	general := permitPolicy("g", KindGeneral, everyone(), core.ActionRead)
+	specific := permitPolicy("s", KindSpecific, alice(), core.ActionWrite)
+
+	res := e.Evaluate(readRequest("chris"), general, specific)
+	if res.Decision != core.DecisionPermit {
+		t.Fatalf("read by chris: %v (%s)", res.Decision, res.Reason)
+	}
+
+	// And alice can write: the general policy is read-only so a write
+	// request finds no general permit → deny. This documents that in the
+	// two-stage model the general policy must cover every action it wants
+	// to allow refinement for.
+	writeReq := readRequest("alice")
+	writeReq.Action = core.ActionWrite
+	res = e.Evaluate(writeReq, general, specific)
+	if res.Decision != core.DecisionDeny {
+		t.Fatalf("write blocked by general stage, got %v", res.Decision)
+	}
+
+	// With a general policy covering read+write for everyone and a
+	// specific write-permit for alice only, writes by others still pass
+	// the specific stage only if the specific policy is silent for them —
+	// deny-biased refinement needs an explicit deny rule. Check alice's
+	// write permits via the specific rule.
+	general2 := permitPolicy("g2", KindGeneral, everyone(), core.ActionRead, core.ActionWrite)
+	res = e.Evaluate(writeReq, general2, specific)
+	if res.Decision != core.DecisionPermit {
+		t.Fatalf("alice write: %v (%s)", res.Decision, res.Reason)
+	}
+	if res.Policy != "s" {
+		t.Fatalf("deciding policy = %q", res.Policy)
+	}
+}
+
+func TestDenyOverridesWithinPolicy(t *testing.T) {
+	e := NewEngine(nil)
+	p := &Policy{
+		ID: "p", Owner: "bob", Kind: KindGeneral,
+		Rules: []Rule{
+			{Effect: EffectPermit, Subjects: everyone()},
+			{Effect: EffectDeny, Subjects: alice()},
+		},
+	}
+	if res := e.Evaluate(readRequest("alice"), p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("alice: %v, want deny (deny overrides)", res.Decision)
+	}
+	if res := e.Evaluate(readRequest("chris"), p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("chris: %v, want permit", res.Decision)
+	}
+}
+
+func TestActionScoping(t *testing.T) {
+	e := NewEngine(nil)
+	p := permitPolicy("g", KindGeneral, everyone(), core.ActionRead, core.ActionList)
+	req := readRequest("alice")
+	for action, want := range map[core.Action]core.Decision{
+		core.ActionRead:   core.DecisionPermit,
+		core.ActionList:   core.DecisionPermit,
+		core.ActionWrite:  core.DecisionDeny,
+		core.ActionDelete: core.DecisionDeny,
+	} {
+		req.Action = action
+		if res := e.Evaluate(req, p, nil); res.Decision != want {
+			t.Errorf("action %s: %v, want %v", action, res.Decision, want)
+		}
+	}
+}
+
+func TestGroupSubjects(t *testing.T) {
+	var dir Directory
+	dir.Add("bob", "friends", "alice")
+	dir.Add("bob", "friends", "chris")
+	e := NewEngine(&dir)
+	p := permitPolicy("g", KindGeneral, []Subject{{Type: SubjectGroup, Name: "friends"}})
+
+	if res := e.Evaluate(readRequest("alice"), p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("friend alice: %v", res.Decision)
+	}
+	if res := e.Evaluate(readRequest("mallory"), p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("non-friend mallory: %v", res.Decision)
+	}
+
+	// Groups are per-owner: alice's "friends" group must not leak into
+	// bob's policies.
+	dir.Add("alice", "friends", "mallory")
+	if res := e.Evaluate(readRequest("mallory"), p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("cross-owner group leak: %v", res.Decision)
+	}
+}
+
+func TestGroupWithNilResolver(t *testing.T) {
+	e := NewEngine(nil)
+	p := permitPolicy("g", KindGeneral, []Subject{{Type: SubjectGroup, Name: "friends"}})
+	if res := e.Evaluate(readRequest("alice"), p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("nil resolver: %v, want deny", res.Decision)
+	}
+}
+
+func TestOwnerSubject(t *testing.T) {
+	e := NewEngine(nil)
+	p := permitPolicy("g", KindGeneral, []Subject{{Type: SubjectOwner}})
+	if res := e.Evaluate(readRequest("bob"), p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("owner: %v", res.Decision)
+	}
+	if res := e.Evaluate(readRequest("alice"), p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("non-owner: %v", res.Decision)
+	}
+}
+
+func TestRequesterSubject(t *testing.T) {
+	e := NewEngine(nil)
+	p := permitPolicy("g", KindGeneral, []Subject{{Type: SubjectRequester, Name: "gallery"}})
+	req := readRequest("") // no human subject: service-to-service
+	req.Requester = "gallery"
+	if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("gallery requester: %v", res.Decision)
+	}
+	req.Requester = "storage"
+	if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("other requester: %v", res.Decision)
+	}
+}
+
+func TestAnonymousSubjectNeverMatchesUserRules(t *testing.T) {
+	e := NewEngine(nil)
+	p := permitPolicy("g", KindGeneral, []Subject{{Type: SubjectUser, Name: ""}})
+	if res := e.Evaluate(readRequest(""), p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("anonymous matched empty user rule: %v", res.Decision)
+	}
+	// But "everyone" does include anonymous.
+	p2 := permitPolicy("g2", KindGeneral, everyone())
+	if res := e.Evaluate(readRequest(""), p2, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("everyone should include anonymous: %v", res.Decision)
+	}
+}
+
+func TestTimeWindowCondition(t *testing.T) {
+	e := NewEngine(nil)
+	now := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	p := &Policy{
+		ID: "g", Owner: "bob", Kind: KindGeneral,
+		Rules: []Rule{{
+			Effect:   EffectPermit,
+			Subjects: everyone(),
+			Conditions: []Condition{{
+				Type:      CondTimeWindow,
+				NotBefore: now.Add(-time.Hour),
+				NotAfter:  now.Add(time.Hour),
+			}},
+		}},
+	}
+	req := readRequest("alice")
+	req.Time = now
+	if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("inside window: %v", res.Decision)
+	}
+	req.Time = now.Add(2 * time.Hour)
+	if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("after window: %v", res.Decision)
+	}
+	req.Time = now.Add(-2 * time.Hour)
+	if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("before window: %v", res.Decision)
+	}
+}
+
+func TestTimeWindowOnDenyRuleGuards(t *testing.T) {
+	// An expired deny window means the deny does not apply.
+	e := NewEngine(nil)
+	now := time.Date(2026, 6, 11, 12, 0, 0, 0, time.UTC)
+	p := &Policy{
+		ID: "g", Owner: "bob", Kind: KindGeneral,
+		Rules: []Rule{
+			{Effect: EffectPermit, Subjects: everyone()},
+			{
+				Effect:   EffectDeny,
+				Subjects: everyone(),
+				Conditions: []Condition{{
+					Type:     CondTimeWindow,
+					NotAfter: now.Add(-time.Hour), // deny expired an hour ago
+				}},
+			},
+		},
+	}
+	req := readRequest("alice")
+	req.Time = now
+	if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("expired deny still applied: %v", res.Decision)
+	}
+}
+
+func TestRequireClaimCondition(t *testing.T) {
+	e := NewEngine(nil)
+	p := &Policy{
+		ID: "g", Owner: "bob", Kind: KindGeneral,
+		Rules: []Rule{{
+			Effect:     EffectPermit,
+			Subjects:   everyone(),
+			Conditions: []Condition{{Type: CondRequireClaim, Claim: "payment"}},
+		}},
+	}
+	req := readRequest("alice")
+	res := e.Evaluate(req, p, nil)
+	if res.Decision != core.DecisionUnknown && res.Decision != core.DecisionDeny {
+		t.Fatalf("missing claim must not permit: %v", res.Decision)
+	}
+	if len(res.RequiredTerms) != 1 || res.RequiredTerms[0] != "payment" {
+		t.Fatalf("RequiredTerms = %v", res.RequiredTerms)
+	}
+
+	req.Claims = map[string]string{"payment": "rcpt-77"}
+	res = e.Evaluate(req, p, nil)
+	if res.Decision != core.DecisionPermit {
+		t.Fatalf("with claim: %v (%s)", res.Decision, res.Reason)
+	}
+	if len(res.RequiredTerms) != 0 {
+		t.Fatalf("terms should clear on permit: %v", res.RequiredTerms)
+	}
+}
+
+func TestRequireClaimExactValue(t *testing.T) {
+	e := NewEngine(nil)
+	p := &Policy{
+		ID: "g", Owner: "bob", Kind: KindGeneral,
+		Rules: []Rule{{
+			Effect:     EffectPermit,
+			Subjects:   everyone(),
+			Conditions: []Condition{{Type: CondRequireClaim, Claim: "tier", Value: "premium"}},
+		}},
+	}
+	req := readRequest("alice")
+	req.Claims = map[string]string{"tier": "basic"}
+	if res := e.Evaluate(req, p, nil); res.Decision == core.DecisionPermit {
+		t.Fatal("wrong claim value permitted")
+	}
+	req.Claims["tier"] = "premium"
+	if res := e.Evaluate(req, p, nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("correct claim value: %v", res.Decision)
+	}
+}
+
+func TestRequireConsentCondition(t *testing.T) {
+	e := NewEngine(nil)
+	p := &Policy{
+		ID: "g", Owner: "bob", Kind: KindGeneral,
+		Rules: []Rule{{
+			Effect:     EffectPermit,
+			Subjects:   everyone(),
+			Conditions: []Condition{{Type: CondRequireConsent}},
+		}},
+	}
+	req := readRequest("alice")
+	res := e.Evaluate(req, p, nil)
+	if res.Decision == core.DecisionPermit {
+		t.Fatal("permitted without consent")
+	}
+	if !res.RequireConsent {
+		t.Fatal("RequireConsent not flagged")
+	}
+	req.ConsentGranted = true
+	res = e.Evaluate(req, p, nil)
+	if res.Decision != core.DecisionPermit {
+		t.Fatalf("with consent: %v", res.Decision)
+	}
+	if res.RequireConsent {
+		t.Fatal("consent obligation should clear on permit")
+	}
+}
+
+func TestObligationsPropagateThroughSpecificStage(t *testing.T) {
+	// General stage permits but demands consent indirectly? No — a general
+	// permit with unmet consent is not a permit, so evaluation stops there.
+	// Here the general permits cleanly and the *specific* policy demands a
+	// claim: the obligation must surface in the final result.
+	e := NewEngine(nil)
+	general := permitPolicy("g", KindGeneral, everyone())
+	specific := &Policy{
+		ID: "s", Owner: "bob", Kind: KindSpecific,
+		Rules: []Rule{{
+			Effect:     EffectPermit,
+			Subjects:   everyone(),
+			Conditions: []Condition{{Type: CondRequireClaim, Claim: "payment"}},
+		}, {
+			// A deny rule for a different action keeps the policy
+			// non-silent overall but must not affect reads.
+			Effect:   EffectDeny,
+			Subjects: everyone(),
+			Actions:  []core.Action{core.ActionDelete},
+		}},
+	}
+	res := e.Evaluate(readRequest("alice"), general, specific)
+	if res.Decision == core.DecisionPermit {
+		t.Fatalf("permitted without payment claim")
+	}
+	if len(res.RequiredTerms) == 0 {
+		t.Fatalf("terms not propagated: %+v", res)
+	}
+}
+
+func TestUnknownConditionTypeFailsClosed(t *testing.T) {
+	e := NewEngine(nil)
+	p := &Policy{
+		ID: "g", Owner: "bob", Kind: KindGeneral,
+		Rules: []Rule{{
+			Effect:     EffectPermit,
+			Subjects:   everyone(),
+			Conditions: []Condition{{Type: "geo-fence"}},
+		}},
+	}
+	if res := e.Evaluate(readRequest("alice"), p, nil); res.Decision == core.DecisionPermit {
+		t.Fatal("unknown condition type permitted")
+	}
+}
+
+func TestCacheTTLFromPolicy(t *testing.T) {
+	e := NewEngine(nil)
+	general := permitPolicy("g", KindGeneral, everyone())
+	general.CacheTTLSeconds = 120
+	res := e.Evaluate(readRequest("alice"), general, nil)
+	if res.CacheTTLSeconds != 120 {
+		t.Fatalf("ttl = %d", res.CacheTTLSeconds)
+	}
+
+	// Specific decision inherits general TTL when it has none of its own.
+	specific := permitPolicy("s", KindSpecific, alice())
+	res = e.Evaluate(readRequest("alice"), general, specific)
+	if res.CacheTTLSeconds != 120 {
+		t.Fatalf("inherited ttl = %d", res.CacheTTLSeconds)
+	}
+
+	// Specific TTL wins when set.
+	specific.CacheTTLSeconds = -1
+	res = e.Evaluate(readRequest("alice"), general, specific)
+	if res.CacheTTLSeconds != -1 {
+		t.Fatalf("specific ttl = %d", res.CacheTTLSeconds)
+	}
+}

@@ -1,0 +1,86 @@
+package policy
+
+import (
+	"sort"
+	"sync"
+
+	"umac/internal/core"
+)
+
+// Directory is an in-memory GroupResolver: each owner curates named groups
+// of user identities ("friends", "family"). The paper's scenario motivates
+// this directly — Bob wants to define a group once instead of re-listing
+// Alice and Chris at every Host (shortcoming S1).
+//
+// The zero value is ready to use.
+type Directory struct {
+	mu     sync.RWMutex
+	owners map[core.UserID]map[string]map[core.UserID]bool
+}
+
+var _ GroupResolver = (*Directory)(nil)
+
+// Add puts user into the owner's named group, creating the group as needed.
+func (d *Directory) Add(owner core.UserID, group string, user core.UserID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.owners == nil {
+		d.owners = make(map[core.UserID]map[string]map[core.UserID]bool)
+	}
+	groups, ok := d.owners[owner]
+	if !ok {
+		groups = make(map[string]map[core.UserID]bool)
+		d.owners[owner] = groups
+	}
+	members, ok := groups[group]
+	if !ok {
+		members = make(map[core.UserID]bool)
+		groups[group] = members
+	}
+	members[user] = true
+}
+
+// Remove deletes user from the owner's named group. Removing a user who is
+// not a member is a no-op.
+func (d *Directory) Remove(owner core.UserID, group string, user core.UserID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	members := d.owners[owner][group]
+	delete(members, user)
+	if len(members) == 0 {
+		delete(d.owners[owner], group)
+	}
+}
+
+// Member implements GroupResolver.
+func (d *Directory) Member(owner core.UserID, group string, user core.UserID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.owners[owner][group][user]
+}
+
+// Members returns the sorted member list of the owner's group.
+func (d *Directory) Members(owner core.UserID, group string) []core.UserID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	members := d.owners[owner][group]
+	out := make([]core.UserID, 0, len(members))
+	for u := range members {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Groups returns the sorted group names defined by owner.
+func (d *Directory) Groups(owner core.UserID) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	groups := d.owners[owner]
+	out := make([]string, 0, len(groups))
+	for g := range groups {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}

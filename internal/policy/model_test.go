@@ -1,0 +1,315 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"umac/internal/core"
+)
+
+func validPolicy() Policy {
+	return Policy{
+		ID:    "p1",
+		Owner: "bob",
+		Name:  "friends-read",
+		Kind:  KindGeneral,
+		Rules: []Rule{{
+			Effect:   EffectPermit,
+			Subjects: []Subject{{Type: SubjectGroup, Name: "friends"}},
+			Actions:  []core.Action{core.ActionRead},
+		}},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	p := validPolicy()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*Policy){
+		"missing id":     func(p *Policy) { p.ID = "" },
+		"missing owner":  func(p *Policy) { p.Owner = "" },
+		"bad kind":       func(p *Policy) { p.Kind = 0 },
+		"no rules":       func(p *Policy) { p.Rules = nil },
+		"bad effect":     func(p *Policy) { p.Rules[0].Effect = 0 },
+		"no subjects":    func(p *Policy) { p.Rules[0].Subjects = nil },
+		"invalid action": func(p *Policy) { p.Rules[0].Actions = []core.Action{"fly"} },
+		"empty window":   func(p *Policy) { p.Rules[0].Conditions = []Condition{{Type: CondTimeWindow}} },
+		"inverted window": func(p *Policy) {
+			p.Rules[0].Conditions = []Condition{{
+				Type:      CondTimeWindow,
+				NotBefore: time.Date(2026, 1, 2, 0, 0, 0, 0, time.UTC),
+				NotAfter:  time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+			}}
+		},
+		"claim without name": func(p *Policy) { p.Rules[0].Conditions = []Condition{{Type: CondRequireClaim}} },
+		"unknown condition":  func(p *Policy) { p.Rules[0].Conditions = []Condition{{Type: "warp"}} },
+	}
+	for name, mutate := range cases {
+		p := validPolicy()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid policy", name)
+		}
+	}
+}
+
+func TestSubjectStringParseRoundTrip(t *testing.T) {
+	subjects := []Subject{
+		{Type: SubjectUser, Name: "alice"},
+		{Type: SubjectGroup, Name: "friends"},
+		{Type: SubjectRequester, Name: "gallery"},
+		{Type: SubjectEveryone},
+		{Type: SubjectOwner},
+	}
+	for _, s := range subjects {
+		got, err := ParseSubject(s.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip %q: got %+v", s.String(), got)
+		}
+	}
+}
+
+func TestParseSubjectRejects(t *testing.T) {
+	for _, in := range []string{"", "user:", "group:", "requester:", "nobody", "admin:root"} {
+		if _, err := ParseSubject(in); err == nil {
+			t.Errorf("ParseSubject(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseSubjectTrimsSpace(t *testing.T) {
+	s, err := ParseSubject("  user:alice \n")
+	if err != nil || s.Name != "alice" {
+		t.Fatalf("s=%+v err=%v", s, err)
+	}
+}
+
+func TestKindAndEffectTextRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindGeneral, KindSpecific} {
+		b, err := k.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Kind
+		if err := got.UnmarshalText(b); err != nil || got != k {
+			t.Fatalf("kind round trip %v: got %v err %v", k, got, err)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalText([]byte("weird")); err == nil {
+		t.Fatal("accepted bad kind")
+	}
+	for _, e := range []Effect{EffectPermit, EffectDeny} {
+		b, _ := e.MarshalText()
+		var got Effect
+		if err := got.UnmarshalText(b); err != nil || got != e {
+			t.Fatalf("effect round trip %v: got %v err %v", e, got, err)
+		}
+	}
+	var e Effect
+	if err := e.UnmarshalText([]byte("maybe")); err == nil {
+		t.Fatal("accepted bad effect")
+	}
+}
+
+func samplePolicies() []Policy {
+	return []Policy{
+		{
+			ID: "p1", Owner: "bob", Name: "friends-read", Kind: KindGeneral,
+			CacheTTLSeconds: 300,
+			Rules: []Rule{{
+				Effect:   EffectPermit,
+				Subjects: []Subject{{Type: SubjectGroup, Name: "friends"}, {Type: SubjectOwner}},
+				Actions:  []core.Action{core.ActionRead, core.ActionList},
+			}},
+		},
+		{
+			ID: "p2", Owner: "bob", Name: "paid-download", Kind: KindSpecific,
+			Description: "anyone can read after paying",
+			Rules: []Rule{{
+				Effect:     EffectPermit,
+				Subjects:   []Subject{{Type: SubjectEveryone}},
+				Actions:    []core.Action{core.ActionRead},
+				Conditions: []Condition{{Type: CondRequireClaim, Claim: "payment"}},
+			}},
+		},
+	}
+}
+
+func TestExportImportJSON(t *testing.T) {
+	var buf bytes.Buffer
+	in := samplePolicies()
+	if err := Export(&buf, in, FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Import(&buf, FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("json round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestExportImportXML(t *testing.T) {
+	var buf bytes.Buffer
+	in := samplePolicies()
+	if err := Export(&buf, in, FormatXML); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<policies>") {
+		t.Fatalf("xml output missing wrapper: %s", buf.String())
+	}
+	out, err := Import(bytes.NewReader(buf.Bytes()), FormatXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		// XMLName differs after decode; compare the semantic fields.
+		if out[i].ID != in[i].ID || out[i].Kind != in[i].Kind ||
+			out[i].CacheTTLSeconds != in[i].CacheTTLSeconds ||
+			!reflect.DeepEqual(out[i].Rules, in[i].Rules) {
+			t.Fatalf("xml round trip mismatch at %d:\nin:  %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestImportValidates(t *testing.T) {
+	bad := `[{"id":"","owner":"bob","kind":"general","rules":[]}]`
+	if _, err := Import(strings.NewReader(bad), FormatJSON); err == nil {
+		t.Fatal("imported invalid policy")
+	}
+	if _, err := Import(strings.NewReader("{"), FormatJSON); err == nil {
+		t.Fatal("imported garbage json")
+	}
+	if _, err := Import(strings.NewReader("<policies"), FormatXML); err == nil {
+		t.Fatal("imported garbage xml")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{
+		"json":                       FormatJSON,
+		"JSON":                       FormatJSON,
+		"application/json":           FormatJSON,
+		"xml":                        FormatXML,
+		"application/xml":            FormatXML,
+		"text/xml; charset=utf-8":    FormatXML,
+		"application/json;charset=x": FormatJSON,
+	} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("accepted yaml")
+	}
+	if FormatJSON.ContentType() != "application/json" || FormatXML.ContentType() != "application/xml" {
+		t.Error("content types wrong")
+	}
+}
+
+func TestUnsupportedExportImportFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Export(&buf, nil, Format("yaml")); err == nil {
+		t.Fatal("export accepted yaml")
+	}
+	if _, err := Import(&buf, Format("yaml")); err == nil {
+		t.Fatal("import accepted yaml")
+	}
+}
+
+func TestPolicyJSONSubjectEncoding(t *testing.T) {
+	p := validPolicy()
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"group:friends"`) {
+		t.Fatalf("subjects not encoded textually: %s", b)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	var d Directory
+	d.Add("bob", "friends", "alice")
+	d.Add("bob", "friends", "chris")
+	d.Add("bob", "family", "dana")
+
+	if !d.Member("bob", "friends", "alice") {
+		t.Fatal("alice not a member")
+	}
+	if d.Member("bob", "friends", "dana") {
+		t.Fatal("dana leaked into friends")
+	}
+	if got := d.Members("bob", "friends"); len(got) != 2 || got[0] != "alice" || got[1] != "chris" {
+		t.Fatalf("members = %v", got)
+	}
+	if got := d.Groups("bob"); len(got) != 2 || got[0] != "family" || got[1] != "friends" {
+		t.Fatalf("groups = %v", got)
+	}
+
+	d.Remove("bob", "friends", "alice")
+	if d.Member("bob", "friends", "alice") {
+		t.Fatal("alice still a member after remove")
+	}
+	d.Remove("bob", "friends", "chris")
+	if got := d.Groups("bob"); len(got) != 1 {
+		t.Fatalf("empty group not pruned: %v", got)
+	}
+	// Removing from a missing group must not panic.
+	d.Remove("nobody", "ghosts", "casper")
+}
+
+func TestDirectoryMembershipProperty(t *testing.T) {
+	// Property: after Add, Member is true; after Remove, false — for any
+	// owner/group/user strings.
+	var d Directory
+	f := func(owner, group, user string) bool {
+		o, u := core.UserID(owner), core.UserID(user)
+		d.Add(o, group, u)
+		if !d.Member(o, group, u) {
+			return false
+		}
+		d.Remove(o, group, u)
+		return !d.Member(o, group, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineDecisionIsAlwaysBinaryProperty(t *testing.T) {
+	// Property (paper Section VI): with a general policy present the final
+	// decision is exactly permit or deny — never unknown — for arbitrary
+	// subjects/actions.
+	e := NewEngine(nil)
+	general := permitPolicy("g", KindGeneral, everyone(), core.ActionRead)
+	specific := denyPolicy("s", KindSpecific, alice(), core.ActionRead)
+	actions := []core.Action{core.ActionRead, core.ActionWrite, core.ActionDelete, core.ActionList, core.ActionShare}
+	f := func(subject string, actionIdx uint8) bool {
+		req := readRequest(core.UserID(subject))
+		req.Action = actions[int(actionIdx)%len(actions)]
+		res := e.Evaluate(req, general, specific)
+		return res.Decision == core.DecisionPermit || res.Decision == core.DecisionDeny
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

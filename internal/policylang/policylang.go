@@ -1,0 +1,424 @@
+// Package policylang provides a human-writable textual policy language for
+// the Authorization Manager, plus a converter from per-application ACL
+// matrices.
+//
+// Requirement R2 says a user "should be able to compose access control
+// policies for distributed Web resources in their preferred policy
+// language"; the AM's native model (internal/policy) is the evaluation
+// form, and this package is one such preferred surface language. The
+// converter demonstrates policy portability: a user migrating from a Host's
+// built-in ACL (the incompatible-language problem of Section III.2) can
+// carry their rules to the AM.
+//
+// Grammar (line-oriented; '#' starts a comment):
+//
+//	policy "<name>" <general|specific> [ttl <seconds>] [combine <alg>] {
+//	  <permit|deny> <subject>[,<subject>...] [<action>[,<action>...]] [if <cond> [and <cond>]...]
+//	  ...
+//	}
+//
+// Subjects: user:<id>, group:<name>, requester:<id>, everyone, owner.
+// Actions: read, write, delete, list, share (omitted = all actions).
+// Conditions: claim <name> [= <value>] | consent | before <RFC3339> |
+// after <RFC3339>.
+// Combining algorithms: deny-overrides (default) | permit-overrides |
+// first-applicable.
+package policylang
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"umac/internal/baseline/localacl"
+	"umac/internal/core"
+	"umac/internal/policy"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("policylang: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads one or more policy blocks for the given owner.
+func Parse(owner core.UserID, src string) ([]policy.Policy, error) {
+	var policies []policy.Policy
+	var cur *policy.Policy
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = strings.TrimSpace(line[:idx])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "policy "):
+			if cur != nil {
+				return nil, errf(lineNo, "nested policy block")
+			}
+			p, err := parseHeader(owner, line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			cur = p
+		case line == "}":
+			if cur == nil {
+				return nil, errf(lineNo, "unmatched '}'")
+			}
+			if err := cur.Validate(); err != nil {
+				return nil, errf(lineNo, "invalid policy %q: %v", cur.Name, err)
+			}
+			policies = append(policies, *cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, errf(lineNo, "rule outside policy block: %q", line)
+			}
+			rule, err := parseRule(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			cur.Rules = append(cur.Rules, rule)
+		}
+	}
+	if cur != nil {
+		return nil, errf(len(lines), "unterminated policy block %q", cur.Name)
+	}
+	return policies, nil
+}
+
+// parseHeader parses: policy "<name>" <kind> [ttl <seconds>] {
+func parseHeader(owner core.UserID, line string, lineNo int) (*policy.Policy, error) {
+	rest := strings.TrimPrefix(line, "policy ")
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, `"`) {
+		return nil, errf(lineNo, "policy name must be quoted")
+	}
+	end := strings.Index(rest[1:], `"`)
+	if end < 0 {
+		return nil, errf(lineNo, "unterminated policy name")
+	}
+	name := rest[1 : 1+end]
+	if name == "" {
+		return nil, errf(lineNo, "empty policy name")
+	}
+	rest = strings.TrimSpace(rest[end+2:])
+	if !strings.HasSuffix(rest, "{") {
+		return nil, errf(lineNo, "policy header must end with '{'")
+	}
+	rest = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, errf(lineNo, "missing policy kind (general|specific)")
+	}
+	p := &policy.Policy{
+		ID:    core.PolicyID("pol-" + sanitize(name)),
+		Owner: owner,
+		Name:  name,
+	}
+	switch fields[0] {
+	case "general":
+		p.Kind = policy.KindGeneral
+	case "specific":
+		p.Kind = policy.KindSpecific
+	default:
+		return nil, errf(lineNo, "unknown policy kind %q", fields[0])
+	}
+	fields = fields[1:]
+	for len(fields) > 0 {
+		switch fields[0] {
+		case "ttl":
+			if len(fields) < 2 {
+				return nil, errf(lineNo, "ttl requires a value")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, errf(lineNo, "bad ttl %q", fields[1])
+			}
+			p.CacheTTLSeconds = n
+			fields = fields[2:]
+		case "combine":
+			if len(fields) < 2 {
+				return nil, errf(lineNo, "combine requires an algorithm")
+			}
+			switch policy.Combining(fields[1]) {
+			case policy.CombineDenyOverrides, policy.CombinePermitOverrides, policy.CombineFirstApplicable:
+				p.Combining = policy.Combining(fields[1])
+			default:
+				return nil, errf(lineNo, "unknown combining algorithm %q", fields[1])
+			}
+			fields = fields[2:]
+		default:
+			return nil, errf(lineNo, "unexpected token %q in policy header", fields[0])
+		}
+	}
+	return p, nil
+}
+
+// parseRule parses one rule line.
+func parseRule(line string, lineNo int) (policy.Rule, error) {
+	var rule policy.Rule
+	// Split off conditions.
+	var condPart string
+	if idx := strings.Index(line, " if "); idx >= 0 {
+		condPart = strings.TrimSpace(line[idx+4:])
+		line = strings.TrimSpace(line[:idx])
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return rule, errf(lineNo, "empty rule")
+	}
+	switch fields[0] {
+	case "permit":
+		rule.Effect = policy.EffectPermit
+	case "deny":
+		rule.Effect = policy.EffectDeny
+	default:
+		return rule, errf(lineNo, "rule must start with permit or deny, got %q", fields[0])
+	}
+	rest := strings.Join(fields[1:], " ")
+	if rest == "" {
+		return rule, errf(lineNo, "rule needs subjects")
+	}
+	// Subjects and actions are comma-separated lists; the subject list
+	// comes first. "permit group:friends, owner read, list" → subjects
+	// [group:friends, owner], actions [read, list]. We classify tokens:
+	// anything that parses as an action after the subject list starts the
+	// action list.
+	tokens := splitCommaList(rest)
+	inActions := false
+	for _, tok := range tokens {
+		if !inActions && isAction(tok) {
+			inActions = true
+		}
+		if inActions {
+			if !isAction(tok) {
+				return rule, errf(lineNo, "expected action, got %q", tok)
+			}
+			rule.Actions = append(rule.Actions, core.Action(tok))
+			continue
+		}
+		s, err := policy.ParseSubject(tok)
+		if err != nil {
+			return rule, errf(lineNo, "bad subject %q", tok)
+		}
+		rule.Subjects = append(rule.Subjects, s)
+	}
+	if len(rule.Subjects) == 0 {
+		return rule, errf(lineNo, "rule needs at least one subject")
+	}
+	if condPart != "" {
+		for _, c := range strings.Split(condPart, " and ") {
+			cond, err := parseCondition(strings.TrimSpace(c), lineNo)
+			if err != nil {
+				return rule, err
+			}
+			rule.Conditions = append(rule.Conditions, cond)
+		}
+	}
+	return rule, nil
+}
+
+// splitCommaList splits on commas and spaces between list items:
+// "group:friends, owner read, list" → [group:friends owner read list].
+func splitCommaList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.Fields(part)...)
+	}
+	return out
+}
+
+func isAction(tok string) bool {
+	return core.ValidAction(core.Action(tok))
+}
+
+func parseCondition(c string, lineNo int) (policy.Condition, error) {
+	fields := strings.Fields(c)
+	if len(fields) == 0 {
+		return policy.Condition{}, errf(lineNo, "empty condition")
+	}
+	switch fields[0] {
+	case "consent":
+		if len(fields) != 1 {
+			return policy.Condition{}, errf(lineNo, "consent takes no arguments")
+		}
+		return policy.Condition{Type: policy.CondRequireConsent}, nil
+	case "claim":
+		if len(fields) < 2 {
+			return policy.Condition{}, errf(lineNo, "claim requires a name")
+		}
+		cond := policy.Condition{Type: policy.CondRequireClaim, Claim: fields[1]}
+		if len(fields) >= 3 {
+			if fields[2] != "=" || len(fields) != 4 {
+				return policy.Condition{}, errf(lineNo, "claim value syntax: claim <name> = <value>")
+			}
+			cond.Value = fields[3]
+		}
+		return cond, nil
+	case "before":
+		if len(fields) != 2 {
+			return policy.Condition{}, errf(lineNo, "before requires a timestamp")
+		}
+		ts, err := time.Parse(time.RFC3339, fields[1])
+		if err != nil {
+			return policy.Condition{}, errf(lineNo, "bad timestamp %q", fields[1])
+		}
+		return policy.Condition{Type: policy.CondTimeWindow, NotAfter: ts}, nil
+	case "after":
+		if len(fields) != 2 {
+			return policy.Condition{}, errf(lineNo, "after requires a timestamp")
+		}
+		ts, err := time.Parse(time.RFC3339, fields[1])
+		if err != nil {
+			return policy.Condition{}, errf(lineNo, "bad timestamp %q", fields[1])
+		}
+		return policy.Condition{Type: policy.CondTimeWindow, NotBefore: ts}, nil
+	default:
+		return policy.Condition{}, errf(lineNo, "unknown condition %q", fields[0])
+	}
+}
+
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return strings.ToLower(b.String())
+}
+
+// Format renders policies back into the DSL (Parse∘Format is semantically
+// identity; formatting is canonical).
+func Format(policies []policy.Policy) string {
+	var b strings.Builder
+	for i, p := range policies {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "policy %q %s", p.Name, p.Kind)
+		if p.CacheTTLSeconds != 0 {
+			fmt.Fprintf(&b, " ttl %d", p.CacheTTLSeconds)
+		}
+		if p.Combining != "" && p.Combining != policy.CombineDenyOverrides {
+			fmt.Fprintf(&b, " combine %s", p.Combining)
+		}
+		b.WriteString(" {\n")
+		for _, r := range p.Rules {
+			b.WriteString("  ")
+			b.WriteString(r.Effect.String())
+			b.WriteByte(' ')
+			subjects := make([]string, len(r.Subjects))
+			for j, s := range r.Subjects {
+				subjects[j] = s.String()
+			}
+			b.WriteString(strings.Join(subjects, ", "))
+			if len(r.Actions) > 0 {
+				actions := make([]string, len(r.Actions))
+				for j, a := range r.Actions {
+					actions[j] = string(a)
+				}
+				b.WriteByte(' ')
+				b.WriteString(strings.Join(actions, ", "))
+			}
+			if len(r.Conditions) > 0 {
+				b.WriteString(" if ")
+				conds := make([]string, len(r.Conditions))
+				for j, c := range r.Conditions {
+					conds[j] = formatCondition(c)
+				}
+				b.WriteString(strings.Join(conds, " and "))
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func formatCondition(c policy.Condition) string {
+	switch c.Type {
+	case policy.CondRequireConsent:
+		return "consent"
+	case policy.CondRequireClaim:
+		if c.Value != "" {
+			return fmt.Sprintf("claim %s = %s", c.Claim, c.Value)
+		}
+		return "claim " + c.Claim
+	case policy.CondTimeWindow:
+		// A window with both bounds formats as two conditions; emit the
+		// set bounds.
+		var parts []string
+		if !c.NotBefore.IsZero() {
+			parts = append(parts, "after "+c.NotBefore.Format(time.RFC3339))
+		}
+		if !c.NotAfter.IsZero() {
+			parts = append(parts, "before "+c.NotAfter.Format(time.RFC3339))
+		}
+		return strings.Join(parts, " and ")
+	default:
+		return string(c.Type)
+	}
+}
+
+// FromMatrix converts a Host's built-in ACL matrix into AM policies: one
+// specific policy per resource, carrying each subject's granted actions.
+// This is the migration path out of the Section III.2 lock-in — the rules a
+// user maintained inside one application become portable AM policies.
+func FromMatrix(owner core.UserID, m *localacl.Matrix, resources []core.ResourceID) []policy.Policy {
+	var out []policy.Policy
+	for _, res := range resources {
+		subjects := m.Subjects(owner, res)
+		if len(subjects) == 0 {
+			continue
+		}
+		p := policy.Policy{
+			ID:    core.PolicyID("pol-acl-" + sanitize(string(res))),
+			Owner: owner,
+			Name:  "migrated:" + string(res),
+			Kind:  policy.KindSpecific,
+		}
+		for _, subj := range subjects {
+			var actions []core.Action
+			for _, a := range []core.Action{core.ActionRead, core.ActionWrite, core.ActionDelete, core.ActionList, core.ActionShare} {
+				if m.Check(owner, res, subj, a) {
+					actions = append(actions, a)
+				}
+			}
+			if len(actions) == 0 {
+				continue
+			}
+			p.Rules = append(p.Rules, policy.Rule{
+				Effect:   policy.EffectPermit,
+				Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: string(subj)}},
+				Actions:  actions,
+			})
+		}
+		if len(p.Rules) > 0 {
+			sort.Slice(p.Rules, func(i, j int) bool {
+				return p.Rules[i].Subjects[0].Name < p.Rules[j].Subjects[0].Name
+			})
+			out = append(out, p)
+		}
+	}
+	return out
+}

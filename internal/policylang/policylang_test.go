@@ -1,0 +1,302 @@
+package policylang
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"umac/internal/baseline/localacl"
+	"umac/internal/core"
+	"umac/internal/policy"
+)
+
+const sample = `
+# Bob's sharing policies.
+policy "friends-read" general ttl 300 {
+  permit group:friends, owner read, list
+  deny user:mallory
+}
+
+policy "paid-print" specific {
+  permit everyone read if claim payment
+  permit user:vip read if claim tier = premium and consent
+  permit everyone read if after 2026-01-01T00:00:00Z and before 2026-12-31T00:00:00Z
+}
+`
+
+func TestParseSample(t *testing.T) {
+	policies, err := Parse("bob", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(policies) != 2 {
+		t.Fatalf("policies = %d", len(policies))
+	}
+
+	p0 := policies[0]
+	if p0.Name != "friends-read" || p0.Kind != policy.KindGeneral || p0.CacheTTLSeconds != 300 {
+		t.Fatalf("p0 = %+v", p0)
+	}
+	if p0.Owner != "bob" {
+		t.Fatalf("owner = %s", p0.Owner)
+	}
+	if len(p0.Rules) != 2 {
+		t.Fatalf("p0 rules = %d", len(p0.Rules))
+	}
+	r0 := p0.Rules[0]
+	if r0.Effect != policy.EffectPermit || len(r0.Subjects) != 2 || len(r0.Actions) != 2 {
+		t.Fatalf("r0 = %+v", r0)
+	}
+	if r0.Subjects[0] != (policy.Subject{Type: policy.SubjectGroup, Name: "friends"}) ||
+		r0.Subjects[1] != (policy.Subject{Type: policy.SubjectOwner}) {
+		t.Fatalf("r0 subjects = %+v", r0.Subjects)
+	}
+	if p0.Rules[1].Effect != policy.EffectDeny || len(p0.Rules[1].Actions) != 0 {
+		t.Fatalf("r1 = %+v", p0.Rules[1])
+	}
+
+	p1 := policies[1]
+	if p1.Kind != policy.KindSpecific || len(p1.Rules) != 3 {
+		t.Fatalf("p1 = %+v", p1)
+	}
+	if p1.Rules[0].Conditions[0].Type != policy.CondRequireClaim || p1.Rules[0].Conditions[0].Claim != "payment" {
+		t.Fatalf("claim cond = %+v", p1.Rules[0].Conditions)
+	}
+	// claim with exact value plus consent on one rule.
+	c := p1.Rules[1].Conditions
+	if len(c) != 2 || c[0].Value != "premium" || c[1].Type != policy.CondRequireConsent {
+		t.Fatalf("vip conds = %+v", c)
+	}
+	// time window split into after+before conditions.
+	tc := p1.Rules[2].Conditions
+	if len(tc) != 2 || tc[0].NotBefore.IsZero() || tc[1].NotAfter.IsZero() {
+		t.Fatalf("time conds = %+v", tc)
+	}
+}
+
+func TestParsedPoliciesEvaluate(t *testing.T) {
+	policies, err := Parse("bob", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dir policy.Directory
+	dir.Add("bob", "friends", "alice")
+	e := policy.NewEngine(&dir)
+	req := policy.Request{
+		Subject: "alice", Action: core.ActionRead, Owner: "bob", Realm: "travel",
+		Resource: core.ResourceRef{Host: "webpics", Resource: "p1"},
+	}
+	if res := e.Evaluate(req, &policies[0], nil); res.Decision != core.DecisionPermit {
+		t.Fatalf("alice: %v (%s)", res.Decision, res.Reason)
+	}
+	req.Subject = "mallory"
+	if res := e.Evaluate(req, &policies[0], nil); res.Decision != core.DecisionDeny {
+		t.Fatalf("mallory: %v", res.Decision)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	policies, err := Parse("bob", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted := Format(policies)
+	reparsed, err := Parse("bob", formatted)
+	if err != nil {
+		t.Fatalf("reparse: %v\nformatted:\n%s", err, formatted)
+	}
+	if len(reparsed) != len(policies) {
+		t.Fatalf("reparsed %d policies", len(reparsed))
+	}
+	// Semantic comparison: same decisions for representative requests.
+	e := policy.NewEngine(nil)
+	base := time.Date(2026, 6, 15, 0, 0, 0, 0, time.UTC)
+	for _, subject := range []core.UserID{"bob", "alice", "mallory", ""} {
+		for _, action := range []core.Action{core.ActionRead, core.ActionWrite} {
+			req := policy.Request{
+				Subject: subject, Action: action, Owner: "bob",
+				Claims: map[string]string{"payment": "x"}, Time: base,
+			}
+			for i := range policies {
+				a := e.Evaluate(req, &policies[i], nil)
+				b := e.Evaluate(req, &reparsed[i], nil)
+				if a.Decision != b.Decision {
+					t.Fatalf("policy %d subject %q action %s: %v vs %v",
+						i, subject, action, a.Decision, b.Decision)
+				}
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"rule outside block":  `permit everyone`,
+		"nested policy":       "policy \"a\" general {\npolicy \"b\" general {",
+		"unmatched close":     `}`,
+		"unterminated":        `policy "a" general {`,
+		"unquoted name":       `policy name general {`,
+		"unterminated name":   `policy "name general {`,
+		"empty name":          `policy "" general {`,
+		"missing kind":        `policy "a" {`,
+		"bad kind":            `policy "a" broad {`,
+		"bad ttl":             `policy "a" general ttl xx {`,
+		"ttl no value":        `policy "a" general ttl {`,
+		"header trailing":     `policy "a" general extra {`,
+		"no brace":            `policy "a" general`,
+		"bad effect":          "policy \"a\" general {\nallow everyone\n}",
+		"no subjects":         "policy \"a\" general {\npermit\n}",
+		"bad subject":         "policy \"a\" general {\npermit nobody:x\n}",
+		"action then subject": "policy \"a\" general {\npermit everyone read, owner\n}",
+		"bad condition":       "policy \"a\" general {\npermit everyone if phase-of-moon\n}",
+		"claim no name":       "policy \"a\" general {\npermit everyone if claim\n}",
+		"bad claim value":     "policy \"a\" general {\npermit everyone if claim x is y\n}",
+		"bad timestamp":       "policy \"a\" general {\npermit everyone if before tomorrow\n}",
+		"consent with arg":    "policy \"a\" general {\npermit everyone if consent now\n}",
+		"empty rules":         "policy \"a\" general {\n}",
+	}
+	for name, src := range cases {
+		if _, err := Parse("bob", src); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		} else {
+			var pe *ParseError
+			if !strings.Contains(err.Error(), "line") {
+				t.Errorf("%s: error lacks line info: %v", name, err)
+			}
+			_ = pe
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := `
+# leading comment
+
+policy "p" general {   # trailing comment is not supported on headers? keep separate
+  permit everyone read   # inline comment
+}
+`
+	// The '#' on the header line would break parsing; use a clean header.
+	src = strings.Replace(src, `policy "p" general {   # trailing comment is not supported on headers? keep separate`,
+		`policy "p" general {`, 1)
+	policies, err := Parse("bob", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(policies) != 1 || len(policies[0].Rules) != 1 {
+		t.Fatalf("policies = %+v", policies)
+	}
+}
+
+func TestHeaderCommentSupported(t *testing.T) {
+	// Comments are stripped before parsing, so they are fine anywhere.
+	src := "policy \"p\" general { # my policy\n permit everyone\n}"
+	if _, err := Parse("bob", src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromMatrix(t *testing.T) {
+	var m localacl.Matrix
+	m.Grant("bob", "/travel/a.jpg", "alice", core.ActionRead, core.ActionList)
+	m.Grant("bob", "/travel/a.jpg", "chris", core.ActionRead)
+	m.Grant("bob", "/travel/b.jpg", "alice", core.ActionWrite)
+
+	policies := FromMatrix("bob", &m, []core.ResourceID{"/travel/a.jpg", "/travel/b.jpg", "/travel/unshared.jpg"})
+	if len(policies) != 2 {
+		t.Fatalf("policies = %d", len(policies))
+	}
+	for _, p := range policies {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("migrated policy invalid: %v", err)
+		}
+		if p.Kind != policy.KindSpecific {
+			t.Fatalf("kind = %v", p.Kind)
+		}
+	}
+	// The migrated policy reproduces the matrix's decisions.
+	e := policy.NewEngine(nil)
+	req := policy.Request{
+		Subject: "alice", Action: core.ActionRead, Owner: "bob",
+		Resource: core.ResourceRef{Host: "storage", Resource: "/travel/a.jpg"},
+	}
+	// Evaluate the specific policy under a permissive general policy (the
+	// migration pairs them with an owner-chosen general policy).
+	general := &policy.Policy{
+		ID: "g", Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{Effect: policy.EffectPermit, Subjects: []policy.Subject{{Type: policy.SubjectEveryone}}}},
+	}
+	if res := e.Evaluate(req, general, &policies[0]); res.Decision != core.DecisionPermit {
+		t.Fatalf("alice read migrated: %v", res.Decision)
+	}
+	req.Subject = "chris"
+	req.Action = core.ActionWrite
+	res := e.Evaluate(req, general, &policies[0])
+	// chris has read only; the specific policy is silent on his write, so
+	// the permissive general wins — matching FromMatrix's documented
+	// semantics that the general policy sets the outer bound.
+	if res.Decision != core.DecisionPermit {
+		t.Fatalf("chris write under permissive general: %v", res.Decision)
+	}
+	// Under a read-only general policy, chris cannot write.
+	generalRO := &policy.Policy{
+		ID: "g2", Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect: policy.EffectPermit, Subjects: []policy.Subject{{Type: policy.SubjectEveryone}},
+			Actions: []core.Action{core.ActionRead, core.ActionList},
+		}},
+	}
+	if res := e.Evaluate(req, generalRO, &policies[0]); res.Decision != core.DecisionDeny {
+		t.Fatalf("chris write under read-only general: %v", res.Decision)
+	}
+}
+
+func TestFromMatrixEmpty(t *testing.T) {
+	var m localacl.Matrix
+	if got := FromMatrix("bob", &m, []core.ResourceID{"/x"}); len(got) != 0 {
+		t.Fatalf("policies from empty matrix: %d", len(got))
+	}
+}
+
+func TestFormatEmptyActionsOmitted(t *testing.T) {
+	p := policy.Policy{
+		ID: "p", Owner: "bob", Name: "all-actions", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{Effect: policy.EffectDeny, Subjects: []policy.Subject{{Type: policy.SubjectEveryone}}}},
+	}
+	out := Format([]policy.Policy{p})
+	if strings.Contains(out, "deny everyone ") && strings.TrimSpace(out) != "" {
+		// No action list should trail the subject.
+		line := strings.Split(out, "\n")[1]
+		if strings.TrimSpace(line) != "deny everyone" {
+			t.Fatalf("line = %q", line)
+		}
+	}
+}
+
+func TestParseCombineKeyword(t *testing.T) {
+	policies, err := Parse("bob", `
+policy "ordered" general combine first-applicable ttl 60 {
+  deny user:mallory
+  permit everyone read
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policies[0].Combining != policy.CombineFirstApplicable || policies[0].CacheTTLSeconds != 60 {
+		t.Fatalf("policy = %+v", policies[0])
+	}
+	// Round-trips through Format.
+	reparsed, err := Parse("bob", Format(policies))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparsed[0].Combining != policy.CombineFirstApplicable {
+		t.Fatalf("combining lost in format round trip: %+v", reparsed[0])
+	}
+	// Unknown algorithm rejected.
+	if _, err := Parse("bob", `policy "x" general combine coin-flip {
+  permit everyone
+}`); err == nil {
+		t.Fatal("unknown combining accepted")
+	}
+}

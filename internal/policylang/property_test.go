@@ -1,0 +1,141 @@
+package policylang
+
+import (
+	"math/rand"
+	"testing"
+
+	"umac/internal/core"
+	"umac/internal/policy"
+)
+
+// genPolicy builds a random, valid policy from the generator's entropy.
+func genPolicy(r *rand.Rand, idx int) policy.Policy {
+	kinds := []policy.Kind{policy.KindGeneral, policy.KindSpecific}
+	effects := []policy.Effect{policy.EffectPermit, policy.EffectDeny}
+	actions := []core.Action{core.ActionRead, core.ActionWrite, core.ActionDelete, core.ActionList, core.ActionShare}
+	subjects := []policy.Subject{
+		{Type: policy.SubjectEveryone},
+		{Type: policy.SubjectOwner},
+		{Type: policy.SubjectUser, Name: "alice"},
+		{Type: policy.SubjectUser, Name: "chris"},
+		{Type: policy.SubjectGroup, Name: "friends"},
+		{Type: policy.SubjectGroup, Name: "family"},
+		{Type: policy.SubjectRequester, Name: "gallery"},
+	}
+	names := []string{"travel", "work", "shop", "private", "band-photos"}
+
+	p := policy.Policy{
+		ID:    core.PolicyID(genName(r, idx)),
+		Owner: "bob",
+		Name:  names[r.Intn(len(names))],
+		Kind:  kinds[r.Intn(len(kinds))],
+	}
+	if r.Intn(3) == 0 {
+		p.CacheTTLSeconds = r.Intn(600) + 1
+	}
+	switch r.Intn(4) {
+	case 0:
+		p.Combining = policy.CombinePermitOverrides
+	case 1:
+		p.Combining = policy.CombineFirstApplicable
+	}
+	nRules := r.Intn(4) + 1
+	for i := 0; i < nRules; i++ {
+		rule := policy.Rule{Effect: effects[r.Intn(len(effects))]}
+		nSubj := r.Intn(3) + 1
+		seen := map[string]bool{}
+		for j := 0; j < nSubj; j++ {
+			s := subjects[r.Intn(len(subjects))]
+			if !seen[s.String()] {
+				seen[s.String()] = true
+				rule.Subjects = append(rule.Subjects, s)
+			}
+		}
+		nAct := r.Intn(3)
+		seenA := map[core.Action]bool{}
+		for j := 0; j < nAct; j++ {
+			a := actions[r.Intn(len(actions))]
+			if !seenA[a] {
+				seenA[a] = true
+				rule.Actions = append(rule.Actions, a)
+			}
+		}
+		switch r.Intn(4) {
+		case 0:
+			rule.Conditions = append(rule.Conditions, policy.Condition{Type: policy.CondRequireConsent})
+		case 1:
+			rule.Conditions = append(rule.Conditions, policy.Condition{
+				Type: policy.CondRequireClaim, Claim: "payment",
+			})
+		case 2:
+			rule.Conditions = append(rule.Conditions, policy.Condition{
+				Type: policy.CondRequireClaim, Claim: "tier", Value: "gold",
+			})
+		}
+		p.Rules = append(p.Rules, rule)
+	}
+	return p
+}
+
+func genName(r *rand.Rand, idx int) string {
+	letters := "abcdefghij"
+	b := make([]byte, 6)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return "pol-" + string(b) + "-" + string(rune('a'+idx%26))
+}
+
+// TestFormatParseSemanticIdentityProperty: for randomly generated policies,
+// Format then Parse yields policies that decide identically on a matrix of
+// probe requests. This is the round-trip guarantee the DSL needs to be a
+// safe export format.
+func TestFormatParseSemanticIdentityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var dir policy.Directory
+	dir.Add("bob", "friends", "alice")
+	dir.Add("bob", "family", "dana")
+	engine := policy.NewEngine(&dir)
+
+	probes := []policy.Request{}
+	for _, subject := range []core.UserID{"bob", "alice", "chris", "dana", ""} {
+		for _, action := range []core.Action{core.ActionRead, core.ActionWrite, core.ActionShare} {
+			for _, claims := range []map[string]string{nil, {"payment": "x"}, {"tier": "gold"}} {
+				for _, consent := range []bool{false, true} {
+					probes = append(probes, policy.Request{
+						Subject: subject, Requester: "gallery", Action: action,
+						Owner: "bob", Realm: "travel", Claims: claims, ConsentGranted: consent,
+					})
+				}
+			}
+		}
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		orig := genPolicy(r, trial)
+		if err := orig.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid policy: %v", trial, err)
+		}
+		text := Format([]policy.Policy{orig})
+		parsed, err := Parse("bob", text)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, text)
+		}
+		if len(parsed) != 1 {
+			t.Fatalf("trial %d: parsed %d policies", trial, len(parsed))
+		}
+		got := parsed[0]
+		if got.Kind != orig.Kind || got.CacheTTLSeconds != orig.CacheTTLSeconds {
+			t.Fatalf("trial %d: metadata mismatch:\norig %+v\ngot  %+v", trial, orig, got)
+		}
+		for _, probe := range probes {
+			a := engine.Evaluate(probe, &orig, nil)
+			b := engine.Evaluate(probe, &got, nil)
+			if a.Decision != b.Decision || a.RequireConsent != b.RequireConsent ||
+				len(a.RequiredTerms) != len(b.RequiredTerms) {
+				t.Fatalf("trial %d: divergence for %+v:\norig → %+v\ngot  → %+v\nDSL:\n%s",
+					trial, probe, a, b, text)
+			}
+		}
+	}
+}

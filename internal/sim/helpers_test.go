@@ -1,0 +1,17 @@
+package sim
+
+import (
+	"net/http"
+
+	"umac/internal/audit"
+)
+
+// newGet builds a GET request for tests.
+func newGet(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil)
+}
+
+// auditDecisions is a filter selecting decision events.
+func auditDecisions() audit.Filter {
+	return audit.Filter{Type: audit.EventDecision}
+}

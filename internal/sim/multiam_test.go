@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"umac/internal/core"
+	"umac/internal/policy"
+	"umac/internal/requester"
+)
+
+// TestDifferentHostsDifferentAMs exercises the Section V.D configuration
+// where a user delegates different Hosts to different Authorization
+// Managers: WebPics to AM1, WebDocs to AM2. Policies live where the realm
+// is protected; tokens from one AM are useless at Hosts paired elsewhere.
+func TestDifferentHostsDifferentAMs(t *testing.T) {
+	w1 := NewWorld()
+	t.Cleanup(w1.Close)
+	w2 := NewWorld()
+	t.Cleanup(w2.Close)
+
+	pics := w1.AddHost("webpics")
+	pics.AddResource("bob", "travel", "photo", []byte("p"))
+	docs := w2.AddHost("webdocs")
+	docs.AddResource("bob", "travel", "report", []byte("r"))
+
+	bob := NewUserAgent("bob")
+	if err := bob.PairHost(pics, w1.AMServer.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.PairHost(docs, w2.AMServer.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := pics.Enforcer.Protect("bob", "travel", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := docs.Enforcer.Protect("bob", "travel", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	// AM1 permits alice; AM2 permits only chris. Each host obeys its AM.
+	for _, cfg := range []struct {
+		w    *World
+		user string
+	}{{w1, "alice"}, {w2, "chris"}} {
+		p, err := cfg.w.AM.CreatePolicy("bob", policy.Policy{
+			Owner: "bob", Kind: policy.KindGeneral,
+			Rules: []policy.Rule{{
+				Effect:   policy.EffectPermit,
+				Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: cfg.user}},
+				Actions:  []core.Action{core.ActionRead},
+			}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.w.AM.LinkGeneral("bob", "travel", p.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	alice := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+	chris := requester.New(requester.Config{ID: "chris-browser", Subject: "chris"})
+
+	if _, err := alice.Fetch(pics.ResourceURL("photo"), core.ActionRead); err != nil {
+		t.Fatalf("alice at AM1-governed host: %v", err)
+	}
+	if _, err := alice.Fetch(docs.ResourceURL("report"), core.ActionRead); !errors.Is(err, requester.ErrDenied) {
+		t.Fatalf("alice at AM2-governed host: %v, want denied", err)
+	}
+	if _, err := chris.Fetch(docs.ResourceURL("report"), core.ActionRead); err != nil {
+		t.Fatalf("chris at AM2-governed host: %v", err)
+	}
+	if _, err := chris.Fetch(pics.ResourceURL("photo"), core.ActionRead); !errors.Is(err, requester.ErrDenied) {
+		t.Fatalf("chris at AM1-governed host: %v, want denied", err)
+	}
+}
+
+// TestPerRealmAMOverride exercises the finer-grained V.D setting: one Host,
+// two realms, each protected by a different AM (per-resource delegation).
+func TestPerRealmAMOverride(t *testing.T) {
+	w1 := NewWorld()
+	t.Cleanup(w1.Close)
+	w2 := NewWorld()
+	t.Cleanup(w2.Close)
+
+	h := w1.AddHost("webpics")
+	h.AddResource("bob", "travel", "photo", []byte("p"))
+	h.AddResource("bob", "work", "slides", []byte("s"))
+
+	// Default pairing with AM1 (governs "travel").
+	bob := NewUserAgent("bob")
+	if err := bob.PairHost(h, w1.AMServer.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Enforcer.Protect("bob", "travel", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Realm-specific pairing with AM2 for "work": approve at AM2 and bind
+	// the pairing to the realm.
+	code, err := w2.AM.ApprovePairing(core.PairingRequest{Host: "webpics", User: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Enforcer.CompleteRealmPairing(w2.AMServer.URL, "bob", "work", code); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Enforcer.Protect("bob", "work", nil, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Policies: AM1 permits alice on travel; AM2 permits carol on work.
+	p1, _ := w1.AM.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+		}},
+	})
+	if err := w1.AM.LinkGeneral("bob", "travel", p1.ID); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := w2.AM.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "carol"}},
+		}},
+	})
+	if err := w2.AM.LinkGeneral("bob", "work", p2.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The work realm must be registered at AM2, which the realm pairing
+	// already did via Protect above — verify.
+	if _, err := w2.AM.LookupRealm("webpics", "work"); err != nil {
+		t.Fatalf("work realm not registered at AM2: %v", err)
+	}
+	if _, err := w1.AM.LookupRealm("webpics", "work"); err == nil {
+		t.Fatal("work realm leaked to AM1")
+	}
+
+	alice := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+	carol := requester.New(requester.Config{ID: "carol-browser", Subject: "carol"})
+
+	if _, err := alice.Fetch(h.ResourceURL("photo"), core.ActionRead); err != nil {
+		t.Fatalf("alice on AM1 realm: %v", err)
+	}
+	if _, err := carol.Fetch(h.ResourceURL("slides"), core.ActionRead); err != nil {
+		t.Fatalf("carol on AM2 realm: %v", err)
+	}
+	// Cross-realm denials, each decided by its own AM.
+	if _, err := carol.Fetch(h.ResourceURL("photo"), core.ActionRead); !errors.Is(err, requester.ErrDenied) {
+		t.Fatalf("carol on AM1 realm: %v", err)
+	}
+	if _, err := alice.Fetch(h.ResourceURL("slides"), core.ActionRead); !errors.Is(err, requester.ErrDenied) {
+		t.Fatalf("alice on AM2 realm: %v", err)
+	}
+	// Each AM audited only its own realm's decisions.
+	if n := len(w2.AM.Audit().Query(auditDecisions())); n == 0 {
+		t.Fatal("AM2 saw no decisions")
+	}
+	_ = fmt.Sprint
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// snapshot is the on-disk representation: a flat, key-sorted entity list so
+// snapshots diff cleanly under version control.
+type snapshot struct {
+	FormatVersion int      `json:"format_version"`
+	Entities      []Entity `json:"entities"`
+}
+
+const snapshotFormatVersion = 1
+
+// Snapshot writes the full store contents to path atomically (write to a
+// temp file in the same directory, then rename).
+func (s *Store) Snapshot(path string) error {
+	s.mu.RLock()
+	snap := snapshot{FormatVersion: snapshotFormatVersion}
+	for _, m := range s.kinds {
+		for _, e := range m {
+			snap.Entities = append(snap.Entities, e)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.Entities, func(i, j int) bool {
+		a, b := snap.Entities[i], snap.Entities[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Key < b.Key
+	})
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: snapshot encode: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the store contents with the snapshot at path.
+func (s *Store) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: load: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("store: load decode: %w", err)
+	}
+	if snap.FormatVersion != snapshotFormatVersion {
+		return fmt.Errorf("store: load: unsupported format version %d", snap.FormatVersion)
+	}
+	kinds := make(map[string]map[string]Entity)
+	for _, e := range snap.Entities {
+		if e.Kind == "" || e.Key == "" {
+			return fmt.Errorf("store: load: entity with empty kind or key")
+		}
+		m, ok := kinds[e.Kind]
+		if !ok {
+			m = make(map[string]Entity)
+			kinds[e.Kind] = m
+		}
+		m[e.Key] = e
+	}
+	s.mu.Lock()
+	s.kinds = kinds
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,265 @@
+// Package store is the datastore substrate of the reproduction. The paper's
+// prototype persists policies "within the GAE datastore" (Section VI); this
+// package provides the equivalent surface on a laptop: a transactional,
+// kind-partitioned key-value store with JSON entity encoding, secondary
+// filtering queries, and snapshot persistence to disk.
+//
+// It is deliberately small but real: writes are serialized per store,
+// reads are served from an immutable view, and Snapshot/Load round-trip the
+// full contents so cmd/amserver can survive restarts.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Common errors.
+var (
+	// ErrNotFound is returned when a key has no entity.
+	ErrNotFound = errors.New("store: entity not found")
+	// ErrConflict is returned by conditional writes whose precondition
+	// failed (entity changed since it was read).
+	ErrConflict = errors.New("store: version conflict")
+	// ErrBadKey is returned for empty kinds or keys.
+	ErrBadKey = errors.New("store: kind and key must be non-empty")
+)
+
+// Entity is a stored record: an opaque JSON document plus a version counter
+// used for optimistic concurrency.
+type Entity struct {
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	Version int64           `json:"version"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// Decode unmarshals the entity's data into v.
+func (e Entity) Decode(v any) error {
+	if err := json.Unmarshal(e.Data, v); err != nil {
+		return fmt.Errorf("store: decode %s/%s: %w", e.Kind, e.Key, err)
+	}
+	return nil
+}
+
+// Store is a transactional in-memory datastore. The zero value is ready to
+// use.
+type Store struct {
+	mu    sync.RWMutex
+	kinds map[string]map[string]Entity
+}
+
+// New returns an empty store. Equivalent to new(Store); provided for
+// symmetry with Open.
+func New() *Store { return &Store{} }
+
+// Open loads a snapshot file if it exists, or returns an empty store if it
+// does not.
+func Open(path string) (*Store, error) {
+	s := New()
+	if err := s.Load(path); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return s, nil
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) kindLocked(kind string) map[string]Entity {
+	if s.kinds == nil {
+		s.kinds = make(map[string]map[string]Entity)
+	}
+	k, ok := s.kinds[kind]
+	if !ok {
+		k = make(map[string]Entity)
+		s.kinds[kind] = k
+	}
+	return k
+}
+
+// Put stores v under (kind, key), overwriting any existing entity and
+// bumping its version. It returns the stored entity.
+func (s *Store) Put(kind, key string, v any) (Entity, error) {
+	if kind == "" || key == "" {
+		return Entity{}, ErrBadKey
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return Entity{}, fmt.Errorf("store: encode %s/%s: %w", kind, key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := s.kindLocked(kind)
+	e := Entity{Kind: kind, Key: key, Version: k[key].Version + 1, Data: data}
+	k[key] = e
+	return e, nil
+}
+
+// PutIfVersion stores v only if the current version of (kind, key) equals
+// version; version 0 means "must not exist". Returns ErrConflict otherwise.
+func (s *Store) PutIfVersion(kind, key string, version int64, v any) (Entity, error) {
+	if kind == "" || key == "" {
+		return Entity{}, ErrBadKey
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return Entity{}, fmt.Errorf("store: encode %s/%s: %w", kind, key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := s.kindLocked(kind)
+	cur, exists := k[key]
+	switch {
+	case version == 0 && exists:
+		return Entity{}, ErrConflict
+	case version != 0 && (!exists || cur.Version != version):
+		return Entity{}, ErrConflict
+	}
+	e := Entity{Kind: kind, Key: key, Version: cur.Version + 1, Data: data}
+	k[key] = e
+	return e, nil
+}
+
+// Get retrieves (kind, key) and decodes it into v if v is non-nil.
+func (s *Store) Get(kind, key string, v any) (Entity, error) {
+	s.mu.RLock()
+	e, ok := s.kinds[kind][key]
+	s.mu.RUnlock()
+	if !ok {
+		return Entity{}, fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
+	}
+	if v != nil {
+		if err := e.Decode(v); err != nil {
+			return Entity{}, err
+		}
+	}
+	return e, nil
+}
+
+// Exists reports whether (kind, key) is present.
+func (s *Store) Exists(kind, key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.kinds[kind][key]
+	return ok
+}
+
+// Delete removes (kind, key). Deleting a missing entity returns ErrNotFound.
+func (s *Store) Delete(kind, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, ok := s.kinds[kind]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
+	}
+	if _, ok := k[key]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, key)
+	}
+	delete(k, key)
+	return nil
+}
+
+// List returns all entities of a kind, sorted by key for determinism.
+func (s *Store) List(kind string) []Entity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k := s.kinds[kind]
+	out := make([]Entity, 0, len(k))
+	for _, e := range k {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ListPrefix returns all entities of a kind whose key starts with prefix,
+// sorted by key. This is the index primitive the AM uses for realm-scoped
+// lookups (keys are structured like "user/realm/resource").
+func (s *Store) ListPrefix(kind, prefix string) []Entity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k := s.kinds[kind]
+	var out []Entity
+	for key, e := range k {
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Query returns entities of a kind for which filter returns true, sorted by
+// key. Filter runs under the read lock and must not call back into the
+// store.
+func (s *Store) Query(kind string, filter func(Entity) bool) []Entity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k := s.kinds[kind]
+	var out []Entity
+	for _, e := range k {
+		if filter(e) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Count returns the number of entities of a kind.
+func (s *Store) Count(kind string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.kinds[kind])
+}
+
+// Kinds returns the sorted list of kinds with at least one entity.
+func (s *Store) Kinds() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.kinds))
+	for kind, m := range s.kinds {
+		if len(m) > 0 {
+			out = append(out, kind)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Update atomically reads (kind, key), applies fn to the decoded old value,
+// and writes the result back, retrying on concurrent modification. decode
+// receives a pointer to decode into (may be ignored when the entity does
+// not exist yet; fn then sees exists=false).
+func (s *Store) Update(kind, key string, decode any, fn func(exists bool) (any, error)) (Entity, error) {
+	for {
+		var version int64
+		e, err := s.Get(kind, key, nil)
+		exists := err == nil
+		if exists {
+			version = e.Version
+			if decode != nil {
+				if err := e.Decode(decode); err != nil {
+					return Entity{}, err
+				}
+			}
+		} else if !errors.Is(err, ErrNotFound) {
+			return Entity{}, err
+		}
+		next, err := fn(exists)
+		if err != nil {
+			return Entity{}, err
+		}
+		out, err := s.PutIfVersion(kind, key, version, next)
+		if errors.Is(err, ErrConflict) {
+			continue
+		}
+		return out, err
+	}
+}

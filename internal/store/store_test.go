@@ -1,0 +1,348 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type doc struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	if _, err := s.Put("doc", "a", doc{Name: "alpha", Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var d doc
+	e, err := s.Get("doc", "a", &d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "alpha" || d.Count != 1 {
+		t.Fatalf("got %+v", d)
+	}
+	if e.Version != 1 {
+		t.Fatalf("version = %d, want 1", e.Version)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	_, err := s.Get("doc", "missing", nil)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Store
+	if _, err := s.Put("k", "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if _, err := s.Get("k", "x", &v); err != nil || v != 1 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+}
+
+func TestPutBadKey(t *testing.T) {
+	s := New()
+	if _, err := s.Put("", "k", 1); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("empty kind: %v", err)
+	}
+	if _, err := s.Put("k", "", 1); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("empty key: %v", err)
+	}
+	if _, err := s.PutIfVersion("", "k", 0, 1); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("PutIfVersion empty kind: %v", err)
+	}
+}
+
+func TestVersionIncrements(t *testing.T) {
+	s := New()
+	for i := 1; i <= 5; i++ {
+		e, err := s.Put("doc", "a", doc{Count: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Version != int64(i) {
+			t.Fatalf("version = %d, want %d", e.Version, i)
+		}
+	}
+}
+
+func TestPutIfVersion(t *testing.T) {
+	s := New()
+	// Create-only semantics.
+	if _, err := s.PutIfVersion("doc", "a", 0, doc{Name: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutIfVersion("doc", "a", 0, doc{Name: "second"}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("create-over-existing: %v", err)
+	}
+	// Update with correct version.
+	if _, err := s.PutIfVersion("doc", "a", 1, doc{Name: "second"}); err != nil {
+		t.Fatal(err)
+	}
+	// Update with stale version.
+	if _, err := s.PutIfVersion("doc", "a", 1, doc{Name: "third"}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale version: %v", err)
+	}
+	// Update of a missing entity with nonzero version.
+	if _, err := s.PutIfVersion("doc", "nope", 3, doc{}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("missing entity: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	s.Put("doc", "a", doc{})
+	if err := s.Delete("doc", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("doc", "a") {
+		t.Fatal("still exists after delete")
+	}
+	if err := s.Delete("doc", "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := s.Delete("nokind", "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing kind: %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s := New()
+	for _, k := range []string{"c", "a", "b"} {
+		s.Put("doc", k, doc{Name: k})
+	}
+	got := s.List("doc")
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if got[i].Key != want {
+			t.Fatalf("got[%d].Key = %q, want %q", i, got[i].Key, want)
+		}
+	}
+	if got := s.List("empty"); len(got) != 0 {
+		t.Fatalf("empty kind list = %v", got)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	s := New()
+	s.Put("link", "bob/travel/p1", 1)
+	s.Put("link", "bob/travel/p2", 2)
+	s.Put("link", "bob/work/d1", 3)
+	s.Put("link", "alice/travel/p9", 4)
+	got := s.ListPrefix("link", "bob/travel/")
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0].Key != "bob/travel/p1" || got[1].Key != "bob/travel/p2" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQuery(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Put("doc", fmt.Sprintf("k%d", i), doc{Count: i})
+	}
+	got := s.Query("doc", func(e Entity) bool {
+		var d doc
+		if err := e.Decode(&d); err != nil {
+			return false
+		}
+		return d.Count%2 == 0
+	})
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+}
+
+func TestCountAndKinds(t *testing.T) {
+	s := New()
+	s.Put("a", "1", 1)
+	s.Put("a", "2", 2)
+	s.Put("b", "1", 3)
+	if s.Count("a") != 2 || s.Count("b") != 1 || s.Count("c") != 0 {
+		t.Fatal("counts wrong")
+	}
+	kinds := s.Kinds()
+	if len(kinds) != 2 || kinds[0] != "a" || kinds[1] != "b" {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	s.Delete("b", "1")
+	if got := s.Kinds(); len(got) != 1 {
+		t.Fatalf("kinds after delete = %v", got)
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	s := New()
+	s.Put("doc", "a", doc{Count: 1})
+	var cur doc
+	e, err := s.Update("doc", "a", &cur, func(exists bool) (any, error) {
+		if !exists {
+			t.Fatal("exists = false")
+		}
+		cur.Count++
+		return cur, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 2 {
+		t.Fatalf("version = %d", e.Version)
+	}
+	var d doc
+	s.Get("doc", "a", &d)
+	if d.Count != 2 {
+		t.Fatalf("count = %d", d.Count)
+	}
+}
+
+func TestUpdateCreates(t *testing.T) {
+	s := New()
+	_, err := s.Update("doc", "new", nil, func(exists bool) (any, error) {
+		if exists {
+			t.Fatal("exists = true for missing entity")
+		}
+		return doc{Count: 7}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d doc
+	if _, err := s.Get("doc", "new", &d); err != nil || d.Count != 7 {
+		t.Fatalf("d=%+v err=%v", d, err)
+	}
+}
+
+func TestUpdateFnError(t *testing.T) {
+	s := New()
+	wantErr := errors.New("boom")
+	_, err := s.Update("doc", "a", nil, func(bool) (any, error) {
+		return nil, wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUpdateConcurrentIncrements(t *testing.T) {
+	s := New()
+	s.Put("doc", "ctr", doc{Count: 0})
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				var cur doc
+				_, err := s.Update("doc", "ctr", &cur, func(bool) (any, error) {
+					cur.Count++
+					return cur, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var d doc
+	s.Get("doc", "ctr", &d)
+	if d.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d (lost updates)", d.Count, workers*perWorker)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	s := New()
+	s.Put("doc", "a", doc{Name: "alpha", Count: 1})
+	s.Put("doc", "b", doc{Name: "beta", Count: 2})
+	s.Put("policy", "p1", map[string]string{"effect": "permit"})
+	if err := s.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count("doc") != 2 || s2.Count("policy") != 1 {
+		t.Fatal("counts after load wrong")
+	}
+	var d doc
+	e, err := s2.Get("doc", "a", &d)
+	if err != nil || d.Name != "alpha" {
+		t.Fatalf("d=%+v err=%v", d, err)
+	}
+	if e.Version != 1 {
+		t.Fatalf("version not preserved: %d", e.Version)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Kinds()) != 0 {
+		t.Fatal("not empty")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	writeFile(t, path, "{not json")
+	s := New()
+	if err := s.Load(path); err == nil {
+		t.Fatal("loaded garbage")
+	}
+	writeFile(t, path, `{"format_version": 99, "entities": []}`)
+	if err := s.Load(path); err == nil {
+		t.Fatal("loaded wrong format version")
+	}
+}
+
+func TestPutGetRoundTripProperty(t *testing.T) {
+	s := New()
+	f := func(key string, name string, count int) bool {
+		if key == "" {
+			return true
+		}
+		if _, err := s.Put("prop", key, doc{Name: name, Count: count}); err != nil {
+			return false
+		}
+		var d doc
+		if _, err := s.Get("prop", key, &d); err != nil {
+			return false
+		}
+		return d.Name == name && d.Count == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := writeAll(path, content); err != nil {
+		t.Fatal(err)
+	}
+}

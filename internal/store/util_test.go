@@ -1,0 +1,8 @@
+package store
+
+import "os"
+
+// writeAll is a test helper writing content to path.
+func writeAll(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o600)
+}

@@ -1,0 +1,77 @@
+// Package webutil holds the small HTTP helpers shared by the AM, Hosts and
+// prototype applications: JSON request/response plumbing and error mapping.
+package webutil
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"umac/internal/core"
+)
+
+// MaxBodyBytes bounds request bodies accepted by ReadJSON.
+const MaxBodyBytes = 4 << 20 // 4 MiB
+
+// WriteJSON writes v as a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if v != nil {
+		_ = json.NewEncoder(w).Encode(v)
+	}
+}
+
+// ErrorBody is the JSON error envelope.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// WriteError writes a JSON error response.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, ErrorBody{Error: err.Error()})
+}
+
+// WriteErrorf writes a formatted JSON error response.
+func WriteErrorf(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// StatusFor maps protocol errors to HTTP statuses.
+func StatusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrAccessDenied):
+		return http.StatusForbidden
+	case errors.Is(err, core.ErrTokenInvalid), errors.Is(err, core.ErrTokenScope):
+		return http.StatusUnauthorized
+	case errors.Is(err, core.ErrUnknownRealm), errors.Is(err, core.ErrNotPaired):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// ReadJSON decodes the request body into v, rejecting oversized bodies and
+// trailing garbage.
+func ReadJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("webutil: decode body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("webutil: trailing data after JSON body")
+	}
+	return nil
+}
+
+// ReadJSONLoose decodes without rejecting unknown fields (for
+// forward-compatible endpoints).
+func ReadJSONLoose(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("webutil: decode body: %w", err)
+	}
+	return nil
+}

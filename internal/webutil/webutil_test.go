@@ -1,0 +1,111 @@
+package webutil
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"umac/internal/core"
+)
+
+func TestWriteJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusCreated, map[string]int{"n": 7})
+	if rec.Code != 201 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"n":7`) {
+		t.Fatalf("body = %s", rec.Body.String())
+	}
+}
+
+func TestWriteJSONNilBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusNoContent, nil)
+	if rec.Code != 204 || rec.Body.Len() != 0 {
+		t.Fatalf("code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestWriteErrorAndErrorf(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, http.StatusForbidden, errors.New("nope"))
+	if rec.Code != 403 || !strings.Contains(rec.Body.String(), `"error":"nope"`) {
+		t.Fatalf("code=%d body=%s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	WriteErrorf(rec, http.StatusBadRequest, "bad %s", "thing")
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), "bad thing") {
+		t.Fatalf("code=%d body=%s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestStatusFor(t *testing.T) {
+	cases := map[error]int{
+		core.ErrAccessDenied:        403,
+		core.ErrTokenInvalid:        401,
+		core.ErrTokenScope:          401,
+		core.ErrUnknownRealm:        404,
+		core.ErrNotPaired:           404,
+		errors.New("anything else"): 400,
+	}
+	for err, want := range cases {
+		if got := StatusFor(err); got != want {
+			t.Errorf("StatusFor(%v) = %d, want %d", err, got, want)
+		}
+	}
+	// Wrapped errors map too.
+	wrapped := errors.Join(errors.New("ctx"), core.ErrAccessDenied)
+	if StatusFor(wrapped) != 403 {
+		t.Error("wrapped error not unwrapped")
+	}
+}
+
+type payload struct {
+	Name string `json:"name"`
+}
+
+func postReq(body string) *http.Request {
+	r, _ := http.NewRequest(http.MethodPost, "http://x/", strings.NewReader(body))
+	return r
+}
+
+func TestReadJSON(t *testing.T) {
+	var p payload
+	if err := ReadJSON(postReq(`{"name":"a"}`), &p); err != nil || p.Name != "a" {
+		t.Fatalf("p=%+v err=%v", p, err)
+	}
+	if err := ReadJSON(postReq(`{"name":"a","extra":1}`), &p); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := ReadJSON(postReq(`{"name":"a"}{"name":"b"}`), &p); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+	if err := ReadJSON(postReq(`{`), &p); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadJSONLoose(t *testing.T) {
+	var p payload
+	if err := ReadJSONLoose(postReq(`{"name":"a","extra":1}`), &p); err != nil || p.Name != "a" {
+		t.Fatalf("p=%+v err=%v", p, err)
+	}
+	if err := ReadJSONLoose(postReq(`not json`), &p); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadJSONBodyLimit(t *testing.T) {
+	big := strings.Repeat("x", MaxBodyBytes+100)
+	var p payload
+	err := ReadJSON(postReq(`{"name":"`+big+`"}`), &p)
+	if err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Package umac is the public facade of the user-managed access control
+// library, a Go implementation of Machulak & van Moorsel, "Architecture and
+// Protocol for User-Controlled Access Management in Web 2.0 Applications"
+// (Newcastle CS-TR-1191 / ICDCS 2010).
+//
+// The system has four actors (Fig. 1 of the paper):
+//
+//   - a User owns resources scattered across Web applications;
+//   - Hosts store those resources and enforce decisions (PEP);
+//   - a user-chosen Authorization Manager (AM) stores the user's policies
+//     centrally, decides access requests (PAP+PDP) and issues authorization
+//     tokens;
+//   - Requesters obtain tokens from the AM and present them to Hosts.
+//
+// Typical use:
+//
+//	// Run an Authorization Manager.
+//	authMgr := umac.NewAM(umac.AMConfig{Name: "my-am"})
+//	http.ListenAndServe(":8080", authMgr.Handler())
+//
+//	// Protect a Host application.
+//	enforcer := umac.NewEnforcer(umac.EnforcerConfig{Host: "webpics"})
+//	// ... pair via enforcer.BeginPairing / HandlePairCallback, then:
+//	if enforcer.Require(w, r, owner, realm, resource, umac.ActionRead) {
+//	    // serve the resource
+//	}
+//
+//	// Access protected resources as a Requester.
+//	client := umac.NewRequester(umac.RequesterConfig{ID: "my-app", Subject: "alice"})
+//	data, err := client.Fetch(resourceURL, umac.ActionRead)
+//
+// The facade re-exports the protocol-level types from the internal
+// packages; the full surface (policy engine, DSL, stores, baselines,
+// prototype applications) lives under internal/ and is exercised by the
+// examples and the benchmark harness.
+package umac
+
+import (
+	"umac/internal/am"
+	"umac/internal/core"
+	"umac/internal/pep"
+	"umac/internal/policy"
+	"umac/internal/policylang"
+	"umac/internal/requester"
+	"umac/internal/store"
+)
+
+// Core protocol vocabulary.
+type (
+	// Action is an operation on a resource.
+	Action = core.Action
+	// Decision is a permit/deny outcome.
+	Decision = core.Decision
+	// UserID identifies a user.
+	UserID = core.UserID
+	// HostID identifies a Host application.
+	HostID = core.HostID
+	// RequesterID identifies a Requester application.
+	RequesterID = core.RequesterID
+	// RealmID identifies a protected group of resources.
+	RealmID = core.RealmID
+	// ResourceID identifies a resource within a Host.
+	ResourceID = core.ResourceID
+	// PolicyID identifies a stored policy.
+	PolicyID = core.PolicyID
+	// Tracer collects protocol trace events.
+	Tracer = core.Tracer
+)
+
+// Actions.
+const (
+	ActionRead   = core.ActionRead
+	ActionWrite  = core.ActionWrite
+	ActionDelete = core.ActionDelete
+	ActionList   = core.ActionList
+	ActionShare  = core.ActionShare
+)
+
+// Authorization Manager.
+type (
+	// AM is an Authorization Manager instance.
+	AM = am.AM
+	// AMConfig configures an AM.
+	AMConfig = am.Config
+	// Outbox is the simulated e-mail/SMS consent channel.
+	Outbox = am.Outbox
+)
+
+// NewAM constructs an Authorization Manager.
+func NewAM(cfg AMConfig) *AM { return am.New(cfg) }
+
+// Host-side enforcement.
+type (
+	// Enforcer is a Host's policy enforcement point.
+	Enforcer = pep.Enforcer
+	// EnforcerConfig configures an Enforcer.
+	EnforcerConfig = pep.Config
+)
+
+// NewEnforcer constructs a Host enforcer.
+func NewEnforcer(cfg EnforcerConfig) *Enforcer { return pep.New(cfg) }
+
+// Requester side.
+type (
+	// Requester is a protocol-aware HTTP client.
+	Requester = requester.Client
+	// RequesterConfig configures a Requester.
+	RequesterConfig = requester.Config
+)
+
+// NewRequester constructs a Requester client.
+func NewRequester(cfg RequesterConfig) *Requester { return requester.New(cfg) }
+
+// Policies.
+type (
+	// Policy is an access-control policy.
+	Policy = policy.Policy
+	// Rule is one policy rule.
+	Rule = policy.Rule
+	// Subject is a rule subject.
+	Subject = policy.Subject
+	// Condition guards a rule.
+	Condition = policy.Condition
+)
+
+// Policy kinds and effects.
+const (
+	KindGeneral  = policy.KindGeneral
+	KindSpecific = policy.KindSpecific
+	EffectPermit = policy.EffectPermit
+	EffectDeny   = policy.EffectDeny
+)
+
+// ParsePolicies parses the textual policy DSL (see internal/policylang).
+func ParsePolicies(owner UserID, src string) ([]Policy, error) {
+	return policylang.Parse(owner, src)
+}
+
+// FormatPolicies renders policies in the textual DSL.
+func FormatPolicies(policies []Policy) string {
+	return policylang.Format(policies)
+}
+
+// NewStore returns an empty persistent-capable datastore for AM state.
+func NewStore() *store.Store { return store.New() }
+
+// OpenStore loads (or initializes) a datastore snapshot file.
+func OpenStore(path string) (*store.Store, error) { return store.Open(path) }
