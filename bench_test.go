@@ -13,6 +13,7 @@ import (
 	"image"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"umac/internal/policy"
 	"umac/internal/requester"
 	"umac/internal/sim"
+	"umac/internal/store"
 	"umac/internal/token"
 )
 
@@ -588,6 +590,156 @@ func BenchmarkGalleryEditRotate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := appgallery.ApplyEdit(data, appgallery.EditParams{Op: appgallery.OpRotate90}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E13: datastore substrate — shard striping, WAL, recovery ---
+
+// benchEntity is the payload written in store benchmarks: roughly the size
+// of a policy link or pairing record.
+type benchEntity struct {
+	Owner string `json:"owner"`
+	Realm string `json:"realm"`
+	Seq   int    `json:"seq"`
+}
+
+// BenchmarkStoreShardedMixedRW drives concurrent readers+writers across the
+// lock-striped shards of a memory store (the AM's hot path: policy lookups
+// interleaved with pairing/token writes).
+func BenchmarkStoreShardedMixedRW(b *testing.B) {
+	for _, bench := range []struct {
+		name       string
+		writeEvery int // 1 write per N ops
+	}{
+		{"read-heavy-90-10", 10},
+		{"write-heavy-50-50", 2},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			s := store.New()
+			const keys = 16384
+			for i := 0; i < keys; i++ {
+				if _, err := s.Put("link", fmt.Sprintf("k%05d", i), benchEntity{Owner: "bob", Seq: i}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				var e benchEntity
+				for pb.Next() {
+					key := fmt.Sprintf("k%05d", i%keys)
+					if i%bench.writeEvery == 0 {
+						if _, err := s.Put("link", key, benchEntity{Owner: "bob", Seq: i}); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						if _, err := s.Get("link", key, &e); err != nil {
+							b.Fatal(err)
+						}
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreWALAppend measures acknowledged-durable write throughput:
+// every Put is on disk (in the page cache; fsync variant forces the platter)
+// before it returns.
+func BenchmarkStoreWALAppend(b *testing.B) {
+	run := func(b *testing.B, opts ...store.Option) {
+		s, err := store.Open(filepath.Join(b.TempDir(), "state.json"), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Put("link", fmt.Sprintf("k%06d", i), benchEntity{Owner: "bob", Seq: i}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("buffered", func(b *testing.B) { run(b) })
+	b.Run("parallel", func(b *testing.B) {
+		s, err := store.Open(filepath.Join(b.TempDir(), "state.json"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := s.Put("link", fmt.Sprintf("w%p-%d", pb, i), benchEntity{Seq: i}); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+	b.Run("fsync", func(b *testing.B) { run(b, store.WithFsync()) })
+}
+
+// BenchmarkStoreRecovery measures Open (snapshot load + WAL replay) against
+// a log of acknowledged-but-never-snapshot writes: the crash-recovery cost
+// as a function of log size.
+func BenchmarkStoreRecovery(b *testing.B) {
+	for _, records := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("wal-records-%d", records), func(b *testing.B) {
+			path := filepath.Join(b.TempDir(), "state.json")
+			s, err := store.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < records; i++ {
+				if _, err := s.Put("link", fmt.Sprintf("k%06d", i), benchEntity{Owner: "bob", Seq: i}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := store.Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Count("link") != records {
+					b.Fatal("incomplete replay")
+				}
+				if err := r.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreSnapshotCompaction measures the compaction point itself:
+// snapshotting a populated store and truncating its WAL.
+func BenchmarkStoreSnapshotCompaction(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "state.json")
+	s, err := store.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10000; i++ {
+		if _, err := s.Put("link", fmt.Sprintf("k%06d", i), benchEntity{Owner: "bob", Seq: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put("link", "dirty", benchEntity{Seq: i}); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Snapshot(path); err != nil {
 			b.Fatal(err)
 		}
 	}

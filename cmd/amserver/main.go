@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	amserver -addr :8080 -name my-am [-snapshot am-state.json] [-base-url http://am.example]
+//	amserver -addr :8080 -name my-am [-state am-state.json] [-base-url http://am.example]
 //
-// State (policies, pairings, realms, groups) is persisted to the snapshot
-// file on shutdown and every -snapshot-every interval, and reloaded on
-// start. Browser-facing endpoints authenticate via the X-Umac-User header
-// (front it with a real SSO proxy in production).
+// State (policies, pairings, realms, groups, token keys) is durable: every
+// write is appended to a write-ahead log beside the state file before it is
+// acknowledged, so a hard kill loses nothing. Snapshots every
+// -snapshot-every interval (and on shutdown) compact the log. Pass -fsync
+// to also survive machine crashes, or -no-wal for the legacy
+// snapshot-only behaviour. Browser-facing endpoints authenticate via the
+// X-Umac-User header (front it with a real SSO proxy in production).
 package main
 
 import (
@@ -28,19 +31,35 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		name     = flag.String("name", "am", "AM display name")
 		baseURL  = flag.String("base-url", "", "externally reachable URL (default http://<addr>)")
-		snapshot = flag.String("snapshot", "", "state snapshot file (empty = in-memory only)")
-		every    = flag.Duration("snapshot-every", time.Minute, "periodic snapshot interval")
+		statef   = flag.String("state", "", "state file (empty = in-memory only)")
+		snapshot = flag.String("snapshot", "", "deprecated alias for -state")
+		every    = flag.Duration("snapshot-every", time.Minute, "WAL compaction (snapshot) interval")
 		tokenTTL = flag.Duration("token-ttl", 30*time.Minute, "authorization token lifetime")
+		fsync    = flag.Bool("fsync", false, "fsync the WAL on every write (survive machine crashes, not just process kills)")
+		noWAL    = flag.Bool("no-wal", false, "disable the write-ahead log (persist on snapshot only)")
 	)
 	flag.Parse()
+	if *statef == "" {
+		*statef = *snapshot
+	}
 
 	st := umac.NewStore()
-	if *snapshot != "" {
-		loaded, err := umac.OpenStore(*snapshot)
+	if *statef != "" {
+		var opts []umac.StoreOption
+		if *noWAL {
+			opts = append(opts, umac.StoreWithoutWAL())
+		}
+		if *fsync {
+			opts = append(opts, umac.StoreWithFsync())
+		}
+		loaded, err := umac.OpenStore(*statef, opts...)
 		if err != nil {
-			log.Fatalf("amserver: load snapshot: %v", err)
+			log.Fatalf("amserver: open state: %v", err)
 		}
 		st = loaded
+		if n := st.WALSize(); n > 0 {
+			log.Printf("amserver: replayed %d bytes of write-ahead log", n)
+		}
 	}
 	base := *baseURL
 	if base == "" {
@@ -63,14 +82,14 @@ func main() {
 	}()
 
 	save := func() {
-		if *snapshot == "" {
+		if *statef == "" {
 			return
 		}
-		if err := st.Snapshot(*snapshot); err != nil {
+		if err := st.Snapshot(*statef); err != nil {
 			log.Printf("amserver: snapshot: %v", err)
 		}
 	}
-	if *snapshot != "" {
+	if *statef != "" {
 		go func() {
 			ticker := time.NewTicker(*every)
 			defer ticker.Stop()
@@ -86,5 +105,8 @@ func main() {
 	fmt.Println()
 	log.Print("amserver: shutting down")
 	save()
+	if err := st.Close(); err != nil {
+		log.Printf("amserver: close store: %v", err)
+	}
 	srv.Close()
 }

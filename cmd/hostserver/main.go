@@ -5,18 +5,24 @@
 //
 // Usage:
 //
-//	hostserver -app storage -addr :8081 -host-id storage
+//	hostserver -app storage -addr :8081 -host-id storage [-state host-state.json]
 //	hostserver -app gallery -addr :8082 -host-id gallery
+//
+// With -state, AM pairings are persisted through a WAL-backed store, so a
+// restarted (or killed) Host keeps its delegation relationships; -fsync
+// extends durability to machine crashes.
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"time"
 
 	"umac/internal/apps/gallery"
 	"umac/internal/apps/storage"
 	"umac/internal/core"
+	kvstore "umac/internal/store"
 )
 
 func main() {
@@ -25,6 +31,9 @@ func main() {
 		addr    = flag.String("addr", ":8081", "listen address")
 		hostID  = flag.String("host-id", "", "protocol host identity (default = app name)")
 		baseURL = flag.String("base-url", "", "externally reachable URL (default http://localhost<addr>)")
+		statef  = flag.String("state", "", "pairing state file (empty = in-memory only)")
+		fsync   = flag.Bool("fsync", false, "fsync the WAL on every write")
+		every   = flag.Duration("snapshot-every", time.Minute, "WAL compaction (snapshot) interval")
 	)
 	flag.Parse()
 
@@ -37,14 +46,39 @@ func main() {
 		base = "http://localhost" + *addr
 	}
 
+	var st *kvstore.Store
+	if *statef != "" {
+		var opts []kvstore.Option
+		if *fsync {
+			opts = append(opts, kvstore.WithFsync())
+		}
+		var err error
+		if st, err = kvstore.Open(*statef, opts...); err != nil {
+			log.Fatalf("hostserver: open state: %v", err)
+		}
+		// No explicit Close: every write is already on disk when
+		// acknowledged, and this process only exits by being killed or
+		// via log.Fatalf. Periodic snapshots bound WAL growth and the
+		// replay cost of the next start.
+		go func() {
+			ticker := time.NewTicker(*every)
+			defer ticker.Stop()
+			for range ticker.C {
+				if err := st.Snapshot(*statef); err != nil {
+					log.Printf("hostserver: snapshot: %v", err)
+				}
+			}
+		}()
+	}
+
 	var handler http.Handler
 	switch *app {
 	case "storage":
-		a := storage.New(storage.Config{HostID: id})
+		a := storage.New(storage.Config{HostID: id, PairingStore: st})
 		a.Enforcer.SetBaseURL(base)
 		handler = a.Handler()
 	case "gallery":
-		a := gallery.New(gallery.Config{HostID: id})
+		a := gallery.New(gallery.Config{HostID: id, PairingStore: st})
 		a.Enforcer.SetBaseURL(base)
 		handler = a.Handler()
 	default:

@@ -1,0 +1,3 @@
+module umac
+
+go 1.24

@@ -1,0 +1,90 @@
+package am
+
+import (
+	"path/filepath"
+	"testing"
+
+	"umac/internal/core"
+	"umac/internal/policy"
+	"umac/internal/store"
+)
+
+// TestAMStateSurvivesHardKill is the WAL counterpart of
+// TestAMStateSurvivesRestart: state written through the AM is NEVER
+// snapshot — the process "dies" with only the write-ahead log on disk —
+// and a second instance opened from the same path must still serve
+// decisions from every acknowledged write (what cmd/amserver guarantees
+// between -snapshot-every ticks).
+func TestAMStateSurvivesHardKill(t *testing.T) {
+	key := []byte("stable-master-key-0123456789abcd")
+	path := filepath.Join(t.TempDir(), "am-state.json")
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := New(Config{Name: "am", Store: st, TokenKey: key})
+
+	// Full setup through the first instance: pairing, realm, policy, link,
+	// group membership, and a minted token.
+	code, err := a1.ApprovePairing(core.PairingRequest{Host: "webpics", User: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairing, err := a1.ExchangeCode(code, "webpics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a1.RegisterRealm(pairing.PairingID, core.ProtectRequest{Realm: "travel"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := a1.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectGroup, Name: "friends"}},
+			Actions:  []core.Action{core.ActionRead},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.LinkGeneral("bob", "travel", p.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.AddGroupMember("bob", "bob", "friends", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := a1.IssueToken(core.TokenRequest{
+		Requester: "alice-browser", Subject: "alice", Host: "webpics",
+		Realm: "travel", Resource: "photo", Action: core.ActionRead,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hard kill: no Snapshot, no Close. Only the WAL survives.
+
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	a2 := New(Config{Name: "am", Store: st2, TokenKey: key})
+
+	secret, ok := a2.PairingSecret(pairing.PairingID)
+	if !ok || secret != pairing.Secret {
+		t.Fatal("pairing secret lost across hard kill")
+	}
+	if got := a2.GroupMembers("bob", "friends"); len(got) != 1 || got[0] != "alice" {
+		t.Fatalf("groups after replay = %v", got)
+	}
+	dec, err := a2.Decide(pairing.PairingID, core.DecisionQuery{
+		Host: "webpics", Realm: "travel", Resource: "photo",
+		Action: core.ActionRead, Token: tok.Token,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Permit() {
+		t.Fatalf("pre-kill token denied after WAL replay: %+v", dec)
+	}
+}

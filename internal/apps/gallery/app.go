@@ -14,6 +14,7 @@ import (
 	"umac/internal/identity"
 	"umac/internal/pep"
 	"umac/internal/requester"
+	"umac/internal/store"
 	"umac/internal/webutil"
 )
 
@@ -46,6 +47,9 @@ type Config struct {
 	HostID core.HostID
 	Auth   identity.Authenticator
 	Tracer *core.Tracer
+	// PairingStore, when non-nil, persists AM pairings across restarts
+	// (pass a WAL-backed store for crash durability).
+	PairingStore *store.Store
 }
 
 // New constructs the gallery application.
@@ -62,6 +66,7 @@ func New(cfg Config) *App {
 		HostID: hostID,
 		Enforcer: pep.New(pep.Config{
 			Host: hostID, Name: "Photo Gallery", Tracer: cfg.Tracer,
+			Store: cfg.PairingStore,
 		}),
 		ACL:    &localacl.Matrix{},
 		Auth:   auth,

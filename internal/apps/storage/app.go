@@ -13,6 +13,7 @@ import (
 	"umac/internal/identity"
 	"umac/internal/pep"
 	"umac/internal/requester"
+	"umac/internal/store"
 	"umac/internal/webutil"
 )
 
@@ -39,6 +40,9 @@ type Config struct {
 	Auth identity.Authenticator
 	// Tracer records protocol events.
 	Tracer *core.Tracer
+	// PairingStore, when non-nil, persists AM pairings across restarts
+	// (pass a WAL-backed store for crash durability).
+	PairingStore *store.Store
 }
 
 // New constructs the storage application.
@@ -55,6 +59,7 @@ func New(cfg Config) *App {
 		HostID: hostID,
 		Enforcer: pep.New(pep.Config{
 			Host: hostID, Name: "Online Storage", Tracer: cfg.Tracer,
+			Store: cfg.PairingStore,
 		}),
 		ACL:   &localacl.Matrix{},
 		Auth:  auth,

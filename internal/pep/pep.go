@@ -21,6 +21,7 @@ package pep
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,6 +31,7 @@ import (
 
 	"umac/internal/core"
 	"umac/internal/httpsig"
+	"umac/internal/store"
 )
 
 // Headers used on Host→Requester referral responses (the programmatic form
@@ -68,6 +70,33 @@ type Config struct {
 	Cache *DecisionCache
 	// Tracer records protocol events.
 	Tracer *core.Tracer
+	// Store, when non-nil, persists pairings: existing ones are loaded on
+	// construction and changes are written through, so a Host restarted
+	// against a durable (WAL-backed) store keeps its AM trust
+	// relationships. nil keeps pairings in memory only.
+	Store *store.Store
+}
+
+// Store kinds used by the enforcer for persisted pairing state.
+const (
+	kindPairing      = "pep_pairing"       // key: owner user ID
+	kindRealmPairing = "pep_realm_pairing" // key: owner + NUL + realm
+)
+
+// realmPairingRecord is the persisted form of a realm-scoped pairing. Owner
+// and realm travel as fields (not parsed back out of the key) so IDs may
+// contain any separator character.
+type realmPairingRecord struct {
+	Owner   core.UserID  `json:"owner"`
+	Realm   core.RealmID `json:"realm"`
+	Pairing Pairing      `json:"pairing"`
+}
+
+// realmPairingKey builds the store key for (owner, realm). NUL cannot
+// appear in IDs that arrive over HTTP query/path encoding, so the key is
+// collision-free even for owners containing '/'.
+func realmPairingKey(owner core.UserID, realm core.RealmID) string {
+	return string(owner) + "\x00" + string(realm)
 }
 
 // Enforcer is a Host's policy enforcement point. Create with New.
@@ -78,6 +107,7 @@ type Enforcer struct {
 	client  *http.Client
 	cache   *DecisionCache
 	tracer  *core.Tracer
+	store   *store.Store // nil = memory-only pairings
 
 	verifierOnce sync.Once
 	verifier     *httpsig.Verifier
@@ -110,15 +140,37 @@ func New(cfg Config) *Enforcer {
 	if name == "" {
 		name = string(cfg.Host)
 	}
-	return &Enforcer{
+	e := &Enforcer{
 		host:          cfg.Host,
 		name:          name,
 		baseURL:       cfg.BaseURL,
 		client:        client,
 		cache:         cache,
 		tracer:        cfg.Tracer,
+		store:         cfg.Store,
 		pairings:      make(map[core.UserID]Pairing),
 		realmPairings: make(map[realmKey]Pairing),
+	}
+	e.loadPairings()
+	return e
+}
+
+// loadPairings rehydrates persisted pairings from the backing store.
+func (e *Enforcer) loadPairings() {
+	if e.store == nil {
+		return
+	}
+	for _, ent := range e.store.List(kindPairing) {
+		var p Pairing
+		if err := ent.Decode(&p); err == nil {
+			e.pairings[p.User] = p
+		}
+	}
+	for _, ent := range e.store.List(kindRealmPairing) {
+		var rec realmPairingRecord
+		if err := ent.Decode(&rec); err == nil {
+			e.realmPairings[realmKey{rec.Owner, rec.Realm}] = rec.Pairing
+		}
 	}
 }
 
@@ -164,7 +216,17 @@ func (e *Enforcer) CompletePairing(amURL string, user core.UserID, code string) 
 		return Pairing{}, err
 	}
 	p.User = user
+	// Persist before installing, under the same critical section: on a
+	// persist failure the enforcer does not start honoring a pairing the
+	// caller was told failed, and racing completions for one user cannot
+	// commit different pairings to memory and disk.
 	e.mu.Lock()
+	if e.store != nil {
+		if _, err := e.store.Put(kindPairing, string(user), p); err != nil {
+			e.mu.Unlock()
+			return Pairing{}, fmt.Errorf("pep: persist pairing: %w", err)
+		}
+	}
 	e.pairings[user] = p
 	e.mu.Unlock()
 	e.trace(core.PhaseDelegatingAccessControl, "host:"+string(e.host), "am",
@@ -263,9 +325,23 @@ func (e *Enforcer) PairingFor(owner core.UserID) (Pairing, bool) {
 // AMs for different resources). Obtain the pairing with CompleteRealmPairing
 // or construct it from a stored credential.
 func (e *Enforcer) SetRealmPairing(owner core.UserID, realm core.RealmID, p Pairing) {
+	e.setRealmPairing(owner, realm, p)
+}
+
+// setRealmPairing persists and installs a realm pairing, reporting
+// persistence failures (SetRealmPairing's signature predates the store and
+// drops them; the protocol path surfaces them via CompleteRealmPairing).
+func (e *Enforcer) setRealmPairing(owner core.UserID, realm core.RealmID, p Pairing) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.store != nil {
+		rec := realmPairingRecord{Owner: owner, Realm: realm, Pairing: p}
+		if _, err := e.store.Put(kindRealmPairing, realmPairingKey(owner, realm), rec); err != nil {
+			return fmt.Errorf("pep: persist realm pairing: %w", err)
+		}
+	}
 	e.realmPairings[realmKey{owner, realm}] = p
+	return nil
 }
 
 // CompleteRealmPairing exchanges a pairing code at the given AM and binds
@@ -277,7 +353,9 @@ func (e *Enforcer) CompleteRealmPairing(amURL string, owner core.UserID, realm c
 		return Pairing{}, err
 	}
 	p.User = owner
-	e.SetRealmPairing(owner, realm, p)
+	if err := e.setRealmPairing(owner, realm, p); err != nil {
+		return Pairing{}, err
+	}
 	e.trace(core.PhaseDelegatingAccessControl, "host:"+string(e.host), "am",
 		"realm-pairing-complete", fmt.Sprintf("%s -> %s", realm, p.PairingID))
 	return p, nil
@@ -303,10 +381,20 @@ func (e *Enforcer) Delegated(owner core.UserID) bool {
 }
 
 // Unpair drops the owner's pairing (e.g. after the AM reports it revoked).
-func (e *Enforcer) Unpair(owner core.UserID) {
+// The in-memory pairing is removed unconditionally (fail-safe for a
+// revocation); a non-nil error means the persisted copy may survive and
+// resurrect on the next restart.
+func (e *Enforcer) Unpair(owner core.UserID) error {
 	e.mu.Lock()
 	delete(e.pairings, owner)
 	e.mu.Unlock()
+	if e.store == nil {
+		return nil
+	}
+	if err := e.store.Delete(kindPairing, string(owner)); err != nil && !errors.Is(err, store.ErrNotFound) {
+		return fmt.Errorf("pep: unpersist pairing: %w", err)
+	}
+	return nil
 }
 
 // --- Protecting resources (Fig. 4, Host leg) ---

@@ -19,15 +19,30 @@ const snapshotFormatVersion = 1
 
 // Snapshot writes the full store contents to path atomically (write to a
 // temp file in the same directory, then rename).
+//
+// For a durable store snapshotting to the path it was Opened from, Snapshot
+// is also the WAL compaction point: once the snapshot is safely renamed
+// into place, the log it subsumes is truncated. Writers are paused for the
+// duration (reads proceed), which is what makes "snapshot ∪ log" a
+// consistent recovery image.
 func (s *Store) Snapshot(path string) error {
-	s.mu.RLock()
+	compact := s.wal != nil && path == s.snapshotPath
+
+	s.lockAll(false)
+	if compact {
+		defer s.unlockAll(false)
+	}
 	snap := snapshot{FormatVersion: snapshotFormatVersion}
-	for _, m := range s.kinds {
-		for _, e := range m {
-			snap.Entities = append(snap.Entities, e)
+	for i := range s.shards {
+		for _, m := range s.shards[i].kinds {
+			for _, e := range m {
+				snap.Entities = append(snap.Entities, e)
+			}
 		}
 	}
-	s.mu.RUnlock()
+	if !compact {
+		s.unlockAll(false)
+	}
 	sort.Slice(snap.Entities, func(i, j int) bool {
 		a, b := snap.Entities[i], snap.Entities[j]
 		if a.Kind != b.Kind {
@@ -51,16 +66,36 @@ func (s *Store) Snapshot(path string) error {
 		tmp.Close()
 		return fmt.Errorf("store: snapshot write: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: snapshot sync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: snapshot close: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("store: snapshot rename: %w", err)
 	}
+	// Make the rename itself durable before the log it subsumes is
+	// truncated: without the directory fsync, a machine crash mid-compaction
+	// could surface the old snapshot next to an already-emptied WAL.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	if compact {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
+		if err := s.wal.reset(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// Load replaces the store contents with the snapshot at path.
+// Load replaces the store contents with the snapshot at path. It does not
+// touch the write-ahead log; it is the first phase of Open's recovery and a
+// direct way to seed memory-only stores.
 func (s *Store) Load(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -73,20 +108,21 @@ func (s *Store) Load(path string) error {
 	if snap.FormatVersion != snapshotFormatVersion {
 		return fmt.Errorf("store: load: unsupported format version %d", snap.FormatVersion)
 	}
-	kinds := make(map[string]map[string]Entity)
+	staged := make([][]Entity, shardCount)
 	for _, e := range snap.Entities {
 		if e.Kind == "" || e.Key == "" {
 			return fmt.Errorf("store: load: entity with empty kind or key")
 		}
-		m, ok := kinds[e.Kind]
-		if !ok {
-			m = make(map[string]Entity)
-			kinds[e.Kind] = m
-		}
-		m[e.Key] = e
+		i := s.shardIndex(e.Kind, e.Key)
+		staged[i] = append(staged[i], e)
 	}
-	s.mu.Lock()
-	s.kinds = kinds
-	s.mu.Unlock()
+	s.lockAll(true)
+	defer s.unlockAll(true)
+	for i := range s.shards {
+		s.shards[i].kinds = make(map[string]map[string]Entity)
+		for _, e := range staged[i] {
+			s.shards[i].kindLocked(e.Kind)[e.Key] = e
+		}
+	}
 	return nil
 }

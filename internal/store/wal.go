@@ -1,0 +1,180 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The write-ahead log is a flat sequence of length-prefixed, checksummed
+// records:
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// The payload is the JSON encoding of walRecord. Appends are a single
+// write(2) call, so the only possible failure mode on a hard kill is a torn
+// record at the tail — which the checksum (or a short read) detects, and
+// replay discards by truncating the file back to the last good record.
+
+// Operations recorded in the log.
+const (
+	opPut    = "put"
+	opDelete = "del"
+)
+
+// walRecord is one logged mutation.
+type walRecord struct {
+	Op      string          `json:"op"`
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	Version int64           `json:"version,omitempty"`
+	Data    json.RawMessage `json:"data,omitempty"`
+}
+
+const walHeaderSize = 8
+
+// wal is an open write-ahead log. All methods are called with the store's
+// walMu held.
+type wal struct {
+	f      *os.File
+	path   string
+	fsync  bool
+	size   int64
+	closed bool
+}
+
+// openWAL opens (creating if needed) the log at path, replays every intact
+// record, and truncates any torn or corrupt tail so the file ends on a
+// record boundary ready for appends.
+func openWAL(path string, fsync bool) (*wal, []walRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	records, good, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Discard the tail past the last intact record (torn write from a
+	// previous crash) and position for appends.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: wal truncate tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: wal seek: %w", err)
+	}
+	return &wal{f: f, path: path, fsync: fsync, size: good}, records, nil
+}
+
+// replay scans the log from the start, returning every intact record and
+// the offset just past the last one. Corruption (bad checksum, short read,
+// undecodable payload) ends the scan rather than failing the open: records
+// past a corrupt one were never acknowledged.
+func replay(f *os.File) ([]walRecord, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("store: wal seek: %w", err)
+	}
+	var (
+		records []walRecord
+		good    int64
+		header  [walHeaderSize]byte
+	)
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return records, good, nil
+			}
+			return nil, 0, fmt.Errorf("store: wal read: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return records, good, nil
+			}
+			return nil, 0, fmt.Errorf("store: wal read: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return records, good, nil
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return records, good, nil
+		}
+		records = append(records, rec)
+		good += walHeaderSize + int64(length)
+	}
+}
+
+// append durably logs one record.
+func (w *wal) append(rec walRecord) error {
+	if w.closed {
+		return ErrClosed
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: wal encode: %w", err)
+	}
+	buf := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[walHeaderSize:], payload)
+	if _, err := w.f.Write(buf); err != nil {
+		// A partial write (ENOSPC) would leave torn bytes that make every
+		// LATER acknowledged record unreachable at replay. Rewind to the
+		// last record boundary; if even that fails, poison the log so
+		// writes fail loudly instead of silently losing durability.
+		if w.f.Truncate(w.size) != nil {
+			w.closed = true
+		} else if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			w.closed = true
+		}
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+// reset empties the log after a snapshot has captured its contents.
+func (w *wal) reset() error {
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: wal reset seek: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal reset sync: %w", err)
+	}
+	w.size = 0
+	return nil
+}
+
+// close syncs and closes the file. Idempotent.
+func (w *wal) close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: wal close sync: %w", err)
+	}
+	return w.f.Close()
+}

@@ -141,8 +141,31 @@ func FormatPolicies(policies []Policy) string {
 	return policylang.Format(policies)
 }
 
-// NewStore returns an empty persistent-capable datastore for AM state.
-func NewStore() *store.Store { return store.New() }
+// Store is the sharded, WAL-backed datastore used for AM and Host state.
+type Store = store.Store
 
-// OpenStore loads (or initializes) a datastore snapshot file.
-func OpenStore(path string) (*store.Store, error) { return store.Open(path) }
+// StoreOption customizes OpenStore (see StoreWithoutWAL, StoreWithFsync,
+// StoreWithWALPath).
+type StoreOption = store.Option
+
+// NewStore returns an empty memory-only datastore for AM state.
+func NewStore() *Store { return store.New() }
+
+// OpenStore opens a durable datastore rooted at path: the snapshot file is
+// loaded if present, the write-ahead log beside it is replayed, and every
+// subsequent write is logged before it is acknowledged. Snapshot(path)
+// compacts the log; Close releases it.
+func OpenStore(path string, opts ...StoreOption) (*Store, error) { return store.Open(path, opts...) }
+
+// StoreWithoutWAL disables the write-ahead log: state persists only on
+// explicit Snapshot calls (the pre-WAL behaviour).
+func StoreWithoutWAL() StoreOption { return store.WithoutWAL() }
+
+// StoreWithFsync fsyncs the write-ahead log on every write, extending the
+// durability guarantee from "survives process kills" to "survives machine
+// crashes" at a per-write latency cost.
+func StoreWithFsync() StoreOption { return store.WithFsync() }
+
+// StoreWithWALPath places the write-ahead log at an explicit path instead
+// of "<state path>.wal".
+func StoreWithWALPath(path string) StoreOption { return store.WithWALPath(path) }
