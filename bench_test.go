@@ -745,6 +745,138 @@ func BenchmarkStoreSnapshotCompaction(b *testing.B) {
 	}
 }
 
+// --- E14: the batched decision path and scoped cache invalidation ---
+
+// decisionBenchFixture builds the batch-bench world: n readable resources,
+// a realm token for alice, and the request presenting it.
+func decisionBenchFixture(b *testing.B, n int) (*sim.World, *sim.SimpleHost, []pep.ResourceAction, *http.Request) {
+	b.Helper()
+	w, h := benchWorld(b, n)
+	pairs := make([]pep.ResourceAction, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pep.ResourceAction{Resource: core.ResourceID(fmt.Sprintf("photo-%04d", i)), Action: core.ActionRead}
+	}
+	tok, err := w.AM.IssueToken(core.TokenRequest{
+		Requester: "alice-browser", Subject: "alice", Host: "webpics",
+		Realm: "travel", Resource: "photo-0000", Action: core.ActionRead,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, h, pairs, sim.TokenRequestFor(tok.Token)
+}
+
+// BenchmarkDecisionBatchVsSingle is the tentpole measurement: resolving N
+// cold (resource, action) pairs with one batched round-trip versus N
+// per-pair decision queries. The am-rt/op metric is the AM round-trip count
+// per iteration — batch must sit at 1 where single sits at N.
+func BenchmarkDecisionBatchVsSingle(b *testing.B) {
+	const n = 16
+	b.Run(fmt.Sprintf("single-%d", n), func(b *testing.B) {
+		w, h, pairs, req := decisionBenchFixture(b, n)
+		w.ResetAMRequests()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Enforcer.Cache().Invalidate()
+			for _, pr := range pairs {
+				res, err := h.Enforcer.Check(req, "bob", "travel", pr.Resource, pr.Action)
+				if err != nil || res.Verdict != pep.VerdictAllow {
+					b.Fatalf("res=%+v err=%v", res, err)
+				}
+			}
+		}
+		b.ReportMetric(float64(w.AMRequests())/float64(b.N), "am-rt/op")
+	})
+	b.Run(fmt.Sprintf("batch-%d", n), func(b *testing.B) {
+		w, h, pairs, req := decisionBenchFixture(b, n)
+		w.ResetAMRequests()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Enforcer.Cache().Invalidate()
+			results, err := h.Enforcer.CheckBatch(req, "bob", "travel", pairs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Verdict != pep.VerdictAllow {
+					b.Fatalf("res=%+v", res)
+				}
+			}
+		}
+		b.ReportMetric(float64(w.AMRequests())/float64(b.N), "am-rt/op")
+	})
+}
+
+// BenchmarkDecisionScopedInvalidation measures the cost of one unrelated
+// policy change against a hot cache: with drop-all invalidation every
+// change forces a full re-query stampede of the hot set; with scoped
+// invalidation the hot entries survive and the AM sees nothing.
+func BenchmarkDecisionScopedInvalidation(b *testing.B) {
+	const hot = 32
+	run := func(b *testing.B, scoped bool) {
+		w, h, pairs, req := decisionBenchFixture(b, hot)
+		h.Enforcer.Cache().SetScopedInvalidation(scoped)
+		w.AM.EnableInvalidationPush(nil)
+		// An unrelated realm whose policy churns each iteration.
+		coldPol, err := w.AM.CreatePolicy("bob", policy.Policy{
+			Owner: "bob", Name: "cold", Kind: policy.KindGeneral,
+			Rules: []policy.Rule{{Effect: policy.EffectDeny, Subjects: []policy.Subject{{Type: policy.SubjectEveryone}}}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.AM.LinkGeneral("bob", "cold-realm", coldPol.ID); err != nil {
+			b.Fatal(err)
+		}
+		warm := func() {
+			if _, err := h.Enforcer.CheckBatch(req, "bob", "travel", pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Quiesce the setup's link-push before warming, so the generation
+		// guard does not drop the warmup fill.
+		w.AM.FlushInvalidations()
+		warm()
+		w.ResetAMRequests()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			coldPol.Name = fmt.Sprintf("cold-%d", i)
+			if err := w.AM.UpdatePolicy("bob", coldPol); err != nil {
+				b.Fatal(err)
+			}
+			w.AM.FlushInvalidations()
+			warm()
+		}
+		b.ReportMetric(float64(w.AMRequests())/float64(b.N), "am-rt/op")
+	}
+	b.Run("drop-all", func(b *testing.B) { run(b, false) })
+	b.Run("scoped", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkDecisionCacheLRU exercises the shard-striped LRU under capacity
+// pressure: every put on a full cache evicts.
+func BenchmarkDecisionCacheLRU(b *testing.B) {
+	c := pep.NewDecisionCacheCap(1024)
+	keys := make([]string, 4096) // 4x capacity
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := keys[i%len(keys)]
+			if i%4 == 0 {
+				c.Put(key, true, 3600)
+			} else {
+				c.Get(key)
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(c.Evictions())/float64(b.N), "evictions/op")
+}
+
 func BenchmarkDecisionCache(b *testing.B) {
 	c := pep.NewDecisionCache()
 	keys := make([]string, 1024)

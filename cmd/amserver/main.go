@@ -105,6 +105,9 @@ func main() {
 	fmt.Println()
 	log.Print("amserver: shutting down")
 	save()
+	if err := authMgr.Close(); err != nil {
+		log.Printf("amserver: close am: %v", err)
+	}
 	if err := st.Close(); err != nil {
 		log.Printf("amserver: close store: %v", err)
 	}

@@ -112,17 +112,18 @@ const DefaultDecisionCacheTTL = 60 * time.Second
 
 // AM is an Authorization Manager instance.
 type AM struct {
-	name     string
-	baseURL  string
-	store    *store.Store
-	tokens   *token.Service
-	groups   *groupStore
-	engine   *policy.Engine
-	audit    *audit.Log
-	auth     identity.Authenticator
-	notifier Notifier
-	tracer   *core.Tracer
-	cacheTTL time.Duration
+	name      string
+	baseURL   string
+	store     *store.Store
+	tokens    *token.Service
+	groups    *groupStore
+	engine    *policy.Engine
+	audit     *audit.Log
+	auditPipe *audit.Pipeline
+	auth      identity.Authenticator
+	notifier  Notifier
+	tracer    *core.Tracer
+	cacheTTL  time.Duration
 
 	mu       sync.Mutex
 	pending  map[string]pendingPairing // one-time pairing codes
@@ -171,9 +172,17 @@ func New(cfg Config) *AM {
 		pending:  make(map[string]pendingPairing),
 		consents: make(map[string]*consentTicket),
 	}
+	a.auditPipe = audit.NewPipeline(a.audit, 0)
 	a.groups = newGroupStore(st)
 	a.engine = policy.NewEngine(a.groups)
 	return a
+}
+
+// Close flushes the asynchronous audit pipeline and stops its worker. The
+// backing store is the caller's to close (it may be shared).
+func (a *AM) Close() error {
+	a.auditPipe.Close()
+	return nil
 }
 
 // Name returns the AM's display name.
@@ -186,8 +195,13 @@ func (a *AM) BaseURL() string { return a.baseURL }
 // bound (httptest servers learn their URL only after start).
 func (a *AM) SetBaseURL(u string) { a.baseURL = u }
 
-// Audit exposes the consolidated audit log.
-func (a *AM) Audit() *audit.Log { return a.audit }
+// Audit exposes the consolidated audit log. It flushes the asynchronous
+// decision-event pipeline first, so every decision issued before the call
+// is visible to the returned log's queries.
+func (a *AM) Audit() *audit.Log {
+	a.auditPipe.Flush()
+	return a.audit
+}
 
 // Store exposes the backing store (snapshots, tooling).
 func (a *AM) Store() *store.Store { return a.store }

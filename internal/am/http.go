@@ -35,6 +35,9 @@ import (
 //	  POST   /api/pair/exchange       (one-time code, pre-secret: unsigned)
 //	  POST   /api/protect
 //	  POST   /api/decision
+//	  POST   /api/decision/batch
+//
+//	See docs/PROTOCOL.md for the full request/response reference.
 func (a *AM) Handler() http.Handler {
 	verifier := httpsig.NewVerifier(a)
 	mux := http.NewServeMux()
@@ -43,6 +46,7 @@ func (a *AM) Handler() http.Handler {
 	mux.HandleFunc("POST /api/pair/exchange", a.handlePairExchange)
 	mux.Handle("POST /api/protect", a.signed(verifier, a.handleProtect))
 	mux.Handle("POST /api/decision", a.signed(verifier, a.handleDecision))
+	mux.Handle("POST /api/decision/batch", a.signed(verifier, a.handleDecisionBatch))
 	mux.Handle("POST /api/decision/pull", a.signed(verifier, a.handlePullDecision))
 	mux.Handle("POST /api/decision/state", a.signed(verifier, a.handleStateDecision))
 
@@ -254,6 +258,20 @@ func (a *AM) handleDecision(w http.ResponseWriter, r *http.Request, pairingID st
 		return
 	}
 	resp, err := a.Decide(pairingID, q)
+	if err != nil {
+		webutil.WriteError(w, webutil.StatusFor(err), err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (a *AM) handleDecisionBatch(w http.ResponseWriter, r *http.Request, pairingID string) {
+	var q core.BatchDecisionQuery
+	if err := webutil.ReadJSON(r, &q); err != nil {
+		webutil.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := a.DecideBatch(pairingID, q)
 	if err != nil {
 		webutil.WriteError(w, webutil.StatusFor(err), err)
 		return
@@ -653,7 +671,7 @@ func (a *AM) handleAudit(w http.ResponseWriter, r *http.Request, actor core.User
 		Requester: core.RequesterID(r.FormValue(core.ParamRequester)),
 		Type:      audit.EventType(r.FormValue("type")),
 	}
-	webutil.WriteJSON(w, http.StatusOK, a.audit.Query(f))
+	webutil.WriteJSON(w, http.StatusOK, a.Audit().Query(f))
 }
 
 func (a *AM) handleAuditSummary(w http.ResponseWriter, r *http.Request, actor core.UserID) {
@@ -662,7 +680,7 @@ func (a *AM) handleAuditSummary(w http.ResponseWriter, r *http.Request, actor co
 		webutil.WriteError(w, http.StatusForbidden, err)
 		return
 	}
-	webutil.WriteJSON(w, http.StatusOK, a.audit.Summarize(owner))
+	webutil.WriteJSON(w, http.StatusOK, a.Audit().Summarize(owner))
 }
 
 // --- Consent handlers ---

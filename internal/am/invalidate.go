@@ -2,6 +2,7 @@ package am
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"sync"
 
@@ -14,7 +15,9 @@ import (
 // to control caching of access control decisions" beyond passive TTLs:
 // when a user edits policies, groups or links, the AM notifies every paired
 // Host (over the signed channel) to drop cached decisions, so revocations
-// take effect immediately rather than at TTL expiry.
+// take effect immediately rather than at TTL expiry. The push names the
+// realms/resources the change affects, so Hosts evict only the matching
+// entries and unrelated cached decisions keep serving locally.
 //
 // Delivery is best-effort and asynchronous — a Host that misses the push
 // still converges at TTL expiry, so the TTL remains the correctness bound
@@ -55,12 +58,24 @@ func (a *AM) FlushInvalidations() {
 
 // pushInvalidation notifies every non-revoked pairing of owner's Hosts.
 // Call sites are the PAP mutations (policy update/delete, link changes,
-// group changes).
-func (a *AM) pushInvalidation(owner core.UserID) {
+// group changes). realms and resources scope the push to the cache entries
+// the mutation can have affected — the Host evicts only those, so a policy
+// edit on one realm no longer stampedes the AM with re-queries for every
+// other cached decision. Both empty means "evict everything of owner's"
+// (used for group changes, which may affect any policy).
+func (a *AM) pushInvalidation(owner core.UserID, realms []core.RealmID, resources []core.ResourceID) {
 	a.mu.Lock()
 	inv := a.inval
 	a.mu.Unlock()
 	if inv == nil {
+		return
+	}
+	body, err := json.Marshal(core.InvalidationPush{
+		Owner:     owner,
+		Realms:    realms,
+		Resources: resources,
+	})
+	if err != nil {
 		return
 	}
 	for _, p := range a.Pairings(owner) {
@@ -71,7 +86,7 @@ func (a *AM) pushInvalidation(owner core.UserID) {
 		go func(p Pairing) {
 			defer inv.pending.Done()
 			req, err := http.NewRequest(http.MethodPost, p.HostURL+InvalidatePath,
-				bytes.NewReader([]byte(`{"owner":"`+string(owner)+`"}`)))
+				bytes.NewReader(body))
 			if err != nil {
 				return
 			}

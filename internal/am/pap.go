@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"umac/internal/audit"
 	"umac/internal/core"
@@ -123,7 +124,12 @@ func (a *AM) UpdatePolicy(actor core.UserID, p policy.Policy) error {
 	a.audit.Append(audit.Event{
 		Type: audit.EventPolicyUpdated, Owner: old.Owner, Subject: actor, Detail: string(p.ID),
 	})
-	a.pushInvalidation(old.Owner)
+	realms, resources := a.linksForPolicy(old.Owner, p.ID)
+	if len(realms)+len(resources) > 0 {
+		// A policy with no links decides nothing, so there is nothing to
+		// evict; pushing an empty (owner-wide) scope would stampede.
+		a.pushInvalidation(old.Owner, realms, resources)
+	}
 	return nil
 }
 
@@ -137,14 +143,48 @@ func (a *AM) DeletePolicy(actor core.UserID, id core.PolicyID) error {
 	if !a.CanManage(old.Owner, actor) {
 		return fmt.Errorf("am: %s may not manage policies of %s", actor, old.Owner)
 	}
+	// Capture the affected scope while the links still resolve; after the
+	// delete they dangle (deny-biased) but still name the same targets.
+	realms, resources := a.linksForPolicy(old.Owner, id)
 	if err := a.store.Delete(kindPolicy, string(id)); err != nil {
 		return err
 	}
 	a.audit.Append(audit.Event{
 		Type: audit.EventPolicyDeleted, Owner: old.Owner, Subject: actor, Detail: string(id),
 	})
-	a.pushInvalidation(old.Owner)
+	if len(realms)+len(resources) > 0 {
+		a.pushInvalidation(old.Owner, realms, resources)
+	}
 	return nil
+}
+
+// linksForPolicy names every realm (general links) and resource (specific
+// links) of owner's currently bound to policy id — the exact scope of cache
+// entries a change to that policy can have affected.
+func (a *AM) linksForPolicy(owner core.UserID, id core.PolicyID) ([]core.RealmID, []core.ResourceID) {
+	prefix := string(owner) + "/"
+	var realms []core.RealmID
+	for _, e := range a.store.ListPrefix(kindLinkGen, prefix) {
+		var link linkRecord
+		if e.Decode(&link) != nil || link.Policy != id {
+			continue
+		}
+		realms = append(realms, core.RealmID(e.Key[len(prefix):]))
+	}
+	var resources []core.ResourceID
+	for _, e := range a.store.ListPrefix(kindLinkSpec, prefix) {
+		var link linkRecord
+		if e.Decode(&link) != nil || link.Policy != id {
+			continue
+		}
+		// Key layout is owner/host/resource; the resource may itself
+		// contain '/' (storage paths), so split off only the host segment.
+		rest := e.Key[len(prefix):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			resources = append(resources, core.ResourceID(rest[i+1:]))
+		}
+	}
+	return realms, resources
 }
 
 // GetPolicy fetches a policy by ID.
@@ -235,7 +275,7 @@ func (a *AM) LinkGeneral(owner core.UserID, realm core.RealmID, pid core.PolicyI
 	})
 	a.trace(core.PhaseComposingPolicies, "user:"+string(owner), "am:"+a.name,
 		"link-general", fmt.Sprintf("%s -> %s", realm, pid))
-	a.pushInvalidation(owner)
+	a.pushInvalidation(owner, []core.RealmID{realm}, nil)
 	return nil
 }
 
@@ -260,7 +300,7 @@ func (a *AM) LinkSpecific(owner core.UserID, host core.HostID, res core.Resource
 	})
 	a.trace(core.PhaseComposingPolicies, "user:"+string(owner), "am:"+a.name,
 		"link-specific", fmt.Sprintf("%s/%s -> %s", host, res, pid))
-	a.pushInvalidation(owner)
+	a.pushInvalidation(owner, nil, []core.ResourceID{res})
 	return nil
 }
 
@@ -269,7 +309,7 @@ func (a *AM) UnlinkGeneral(owner core.UserID, realm core.RealmID) error {
 	if err := a.store.Delete(kindLinkGen, linkGenKey(owner, realm)); err != nil {
 		return err
 	}
-	a.pushInvalidation(owner)
+	a.pushInvalidation(owner, []core.RealmID{realm}, nil)
 	return nil
 }
 
@@ -278,7 +318,7 @@ func (a *AM) UnlinkSpecific(owner core.UserID, host core.HostID, res core.Resour
 	if err := a.store.Delete(kindLinkSpec, linkSpecKey(owner, host, res)); err != nil {
 		return err
 	}
-	a.pushInvalidation(owner)
+	a.pushInvalidation(owner, nil, []core.ResourceID{res})
 	return nil
 }
 
@@ -393,7 +433,9 @@ func (a *AM) AddGroupMember(actor, owner core.UserID, group string, user core.Us
 	if err := a.groups.add(owner, group, user); err != nil {
 		return err
 	}
-	a.pushInvalidation(owner)
+	// Group membership may be referenced by any of the owner's policies, so
+	// the push is owner-wide (empty scope = evict everything of owner's).
+	a.pushInvalidation(owner, nil, nil)
 	return nil
 }
 
@@ -405,7 +447,7 @@ func (a *AM) RemoveGroupMember(actor, owner core.UserID, group string, user core
 	if err := a.groups.remove(owner, group, user); err != nil {
 		return err
 	}
-	a.pushInvalidation(owner)
+	a.pushInvalidation(owner, nil, nil)
 	return nil
 }
 

@@ -133,6 +133,62 @@ func (a *AM) evaluate(req core.TokenRequest, realm Realm, consent bool) policy.R
 	return a.engine.Evaluate(preq, general, specific)
 }
 
+// decideCtx memoizes the lookups shared by the items of one batch decision
+// query: realm resolution, token validation and grant-context recovery. A
+// batch of N items for one page of resources typically carries one token and
+// one realm, so the whole batch costs one validation and one realm fetch.
+type decideCtx struct {
+	realms map[core.RealmID]realmLookup
+	tokens map[string]tokenLookup
+	grants map[string]grantRecord
+}
+
+type realmLookup struct {
+	realm Realm
+	err   error
+}
+
+type tokenLookup struct {
+	claims token.Claims
+	err    error
+}
+
+func newDecideCtx() *decideCtx {
+	return &decideCtx{
+		realms: make(map[core.RealmID]realmLookup),
+		tokens: make(map[string]tokenLookup),
+		grants: make(map[string]grantRecord),
+	}
+}
+
+func (a *AM) realmCached(ctx *decideCtx, host core.HostID, realm core.RealmID) (Realm, error) {
+	if l, ok := ctx.realms[realm]; ok {
+		return l.realm, l.err
+	}
+	r, err := a.LookupRealm(host, realm)
+	ctx.realms[realm] = realmLookup{realm: r, err: err}
+	return r, err
+}
+
+func (a *AM) tokenCached(ctx *decideCtx, tok string) (token.Claims, error) {
+	if l, ok := ctx.tokens[tok]; ok {
+		return l.claims, l.err
+	}
+	claims, err := a.tokens.Validate(tok)
+	ctx.tokens[tok] = tokenLookup{claims: claims, err: err}
+	return claims, err
+}
+
+func (a *AM) grantCached(ctx *decideCtx, claimID string) grantRecord {
+	if g, ok := ctx.grants[claimID]; ok {
+		return g
+	}
+	var grant grantRecord
+	a.store.Get(kindGrant, claimID, &grant)
+	ctx.grants[claimID] = grant
+	return grant
+}
+
 // Decide answers a Host's decision query — Fig. 6. The pairingID is the
 // authenticated channel identity established by httpsig; the query is
 // rejected unless the pairing's Host matches the query's Host.
@@ -147,7 +203,64 @@ func (a *AM) Decide(pairingID string, q core.DecisionQuery) (core.DecisionRespon
 		return core.DecisionResponse{}, fmt.Errorf("am: pairing %s belongs to host %q, query claims %q",
 			pairingID, pairing.Host, q.Host)
 	}
-	realm, err := a.LookupRealm(q.Host, q.Realm)
+	return a.decideItem(newDecideCtx(), q)
+}
+
+// DecideBatch answers a batched decision query — N Fig. 6 queries in one
+// signed round-trip. The pairing is authenticated once; realm lookups,
+// token validations and grant fetches are memoized across items. Item-level
+// failures (unknown realm, storage errors) deny that item with Error set
+// instead of failing the batch, so one bad item cannot veto a page load.
+func (a *AM) DecideBatch(pairingID string, q core.BatchDecisionQuery) (core.BatchDecisionResponse, error) {
+	if len(q.Items) == 0 {
+		return core.BatchDecisionResponse{}, fmt.Errorf("am: batch decision query carries no items")
+	}
+	if len(q.Items) > core.MaxBatchDecisionItems {
+		return core.BatchDecisionResponse{}, fmt.Errorf("am: batch of %d items exceeds limit %d",
+			len(q.Items), core.MaxBatchDecisionItems)
+	}
+	a.trace(core.PhaseObtainingDecision, "host:"+string(q.Host), "am:"+a.name,
+		"decision-query-batch", fmt.Sprintf("%d items", len(q.Items)))
+	pairing, err := a.GetPairing(pairingID)
+	if err != nil {
+		return core.BatchDecisionResponse{}, err
+	}
+	if pairing.Host != q.Host {
+		return core.BatchDecisionResponse{}, fmt.Errorf("am: pairing %s belongs to host %q, query claims %q",
+			pairingID, pairing.Host, q.Host)
+	}
+	ctx := newDecideCtx()
+	resp := core.BatchDecisionResponse{Results: make([]core.BatchDecisionResult, len(q.Items))}
+	for i, item := range q.Items {
+		tok := item.Token
+		if tok == "" {
+			tok = q.Token
+		}
+		dec, err := a.decideItem(ctx, core.DecisionQuery{
+			PairingID: pairingID,
+			Host:      q.Host,
+			Realm:     item.Realm,
+			Resource:  item.Resource,
+			Action:    item.Action,
+			Token:     tok,
+		})
+		if err != nil {
+			resp.Results[i] = core.BatchDecisionResult{
+				DecisionResponse: core.DecisionResponse{Decision: core.DecisionDeny.String()},
+				Error:            err.Error(),
+			}
+			continue
+		}
+		resp.Results[i] = core.BatchDecisionResult{DecisionResponse: dec}
+	}
+	return resp, nil
+}
+
+// decideItem evaluates one decision query for an already-authenticated
+// pairing. ctx carries the batch-level memoization; single queries pass a
+// fresh one.
+func (a *AM) decideItem(ctx *decideCtx, q core.DecisionQuery) (core.DecisionResponse, error) {
+	realm, err := a.realmCached(ctx, q.Host, q.Realm)
 	if err != nil {
 		return core.DecisionResponse{}, err
 	}
@@ -162,7 +275,7 @@ func (a *AM) Decide(pairingID string, q core.DecisionQuery) (core.DecisionRespon
 		}
 	}
 
-	claims, err := a.tokens.Validate(q.Token)
+	claims, err := a.tokenCached(ctx, q.Token)
 	if err != nil {
 		if errors.Is(err, core.ErrTokenInvalid) {
 			return deny("token invalid: " + err.Error()), nil
@@ -176,8 +289,7 @@ func (a *AM) Decide(pairingID string, q core.DecisionQuery) (core.DecisionRespon
 	// Recover the grant context (claims presented, consent given) so the
 	// re-evaluation reproduces the conditions under which the token was
 	// issued.
-	var grant grantRecord
-	a.store.Get(kindGrant, claims.ID, &grant)
+	grant := a.grantCached(ctx, claims.ID)
 
 	req := core.TokenRequest{
 		Requester: claims.Requester,
@@ -217,8 +329,13 @@ func (a *AM) cacheTTLSeconds(res policy.Result) int {
 	}
 }
 
+// auditDecision records a decision event on the asynchronous audit
+// pipeline: the hot path pays one buffered-channel send and the pipeline
+// worker appends events to the log in batches, off the decision critical
+// section. Readers (Audit(), the /audit endpoints) flush the pipeline
+// first, so the log stays read-your-writes consistent.
 func (a *AM) auditDecision(realm Realm, q core.DecisionQuery, requester core.RequesterID, d core.Decision, reason string) {
-	a.audit.Append(audit.Event{
+	a.auditPipe.Enqueue(audit.Event{
 		Type: audit.EventDecision, Owner: realm.Owner, Host: q.Host,
 		Realm: q.Realm, Resource: q.Resource, Requester: requester,
 		Action: q.Action, Decision: d.String(), Detail: reason,

@@ -75,6 +75,26 @@ func (l *Log) Append(e Event) Event {
 	return e
 }
 
+// AppendBatch records a batch of events under a single lock acquisition,
+// stamping sequence numbers and (if unset) times. The audit Pipeline uses
+// it to amortize lock traffic when draining its queue.
+func (l *Log) AppendBatch(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	for i := range events {
+		l.seq++
+		events[i].Seq = l.seq
+		if events[i].Time.IsZero() {
+			events[i].Time = now
+		}
+	}
+	l.events = append(l.events, events...)
+}
+
 // Filter selects events. Zero-valued fields match everything.
 type Filter struct {
 	Owner     core.UserID

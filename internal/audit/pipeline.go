@@ -1,0 +1,144 @@
+package audit
+
+import (
+	"sync"
+	"time"
+)
+
+// Pipeline decouples hot-path event production from log appends: producers
+// enqueue onto a buffered channel and a single worker drains it, appending
+// events to the Log in batches under one lock acquisition. The AM's
+// decision path uses it so audit writes happen outside the decision
+// critical section.
+//
+// The pipeline is lossless: Enqueue blocks when the buffer is full
+// (backpressure instead of dropped audit records), and Flush/Close drain
+// everything already enqueued before returning. Readers that need
+// read-your-writes consistency call Flush before querying the log.
+type Pipeline struct {
+	log *Log
+
+	mu     sync.RWMutex // guards closed vs. sends on ch
+	closed bool
+
+	ch      chan pipelineMsg
+	stopped chan struct{}
+}
+
+// pipelineMsg is either one event or a flush barrier (flush != nil).
+type pipelineMsg struct {
+	event Event
+	flush chan struct{}
+}
+
+// maxAuditBatch bounds how many events one AppendBatch call carries, so a
+// deep backlog cannot hold the log lock for unbounded time.
+const maxAuditBatch = 256
+
+// DefaultPipelineBuffer is the channel capacity used when NewPipeline
+// receives buffer <= 0.
+const DefaultPipelineBuffer = 1024
+
+// NewPipeline starts a pipeline appending into log.
+func NewPipeline(log *Log, buffer int) *Pipeline {
+	if buffer <= 0 {
+		buffer = DefaultPipelineBuffer
+	}
+	p := &Pipeline{
+		log:     log,
+		ch:      make(chan pipelineMsg, buffer),
+		stopped: make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *Pipeline) run() {
+	defer close(p.stopped)
+	batch := make([]Event, 0, maxAuditBatch)
+	var flushes []chan struct{}
+	for msg := range p.ch {
+		batch, flushes = batch[:0], flushes[:0]
+		if msg.flush != nil {
+			flushes = append(flushes, msg.flush)
+		} else {
+			batch = append(batch, msg.event)
+		}
+		// Greedily drain whatever else is already buffered, up to the
+		// batch cap, so a burst of decisions costs one lock acquisition.
+	drain:
+		for len(batch) < maxAuditBatch {
+			select {
+			case m, ok := <-p.ch:
+				if !ok {
+					break drain
+				}
+				if m.flush != nil {
+					flushes = append(flushes, m.flush)
+				} else {
+					batch = append(batch, m.event)
+				}
+			default:
+				break drain
+			}
+		}
+		if len(batch) > 0 {
+			p.log.AppendBatch(batch)
+		}
+		for _, f := range flushes {
+			close(f)
+		}
+	}
+}
+
+// Enqueue hands an event to the pipeline. It blocks if the buffer is full
+// (the worker is draining continuously, so this only happens under sustained
+// overload). After Close, events are appended synchronously so no producer
+// racing a shutdown ever loses a record.
+func (p *Pipeline) Enqueue(e Event) {
+	// Stamp the time at enqueue, not at drain: the audit trail must record
+	// when the decision happened, not when the worker got to it — sync
+	// Appends from PAP mutations interleave with these events.
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		p.log.Append(e)
+		return
+	}
+	// Send while holding the read lock: Close takes the write lock, so the
+	// channel cannot close mid-send. The worker never takes p.mu, so a
+	// blocked send still drains.
+	p.ch <- pipelineMsg{event: e}
+	p.mu.RUnlock()
+}
+
+// Flush blocks until every event enqueued before the call is in the log.
+func (p *Pipeline) Flush() {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return
+	}
+	done := make(chan struct{})
+	p.ch <- pipelineMsg{flush: done}
+	p.mu.RUnlock()
+	<-done
+}
+
+// Close drains outstanding events and stops the worker. Safe to call more
+// than once; Enqueue after Close degrades to a synchronous append.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.stopped
+		return
+	}
+	p.closed = true
+	close(p.ch)
+	p.mu.Unlock()
+	<-p.stopped
+}

@@ -112,6 +112,10 @@ type Enforcer struct {
 	verifierOnce sync.Once
 	verifier     *httpsig.Verifier
 
+	// flights collapses concurrent decision queries for one cache key into
+	// a single signed round-trip (see singleflight.go).
+	flights flightGroup
+
 	mu       sync.RWMutex
 	pairings map[core.UserID]Pairing // per-owner default AM pairing
 	// realmPairings holds per-realm AM overrides: the Section V.D
@@ -298,17 +302,34 @@ func (e *Enforcer) PairingSecret(pairingID string) (string, bool) {
 
 // HandleInvalidate serves the AM→Host decision-cache invalidation push
 // (mounted at am.InvalidatePath). The request must be signed with a known
-// pairing secret; on success the local decision cache is dropped, making
-// policy changes at the AM effective immediately (Section V.B.5).
+// pairing secret. The body (core.InvalidationPush) names the owner and the
+// realms/resources a policy change affected; only the matching cache
+// entries are evicted, so unrelated cached decisions keep serving locally
+// while the change still takes effect immediately (Section V.B.5). A push
+// that names no owner — or an unreadable body — degrades to dropping the
+// whole cache: when in doubt, never leave a stale permit behind.
 func (e *Enforcer) HandleInvalidate(w http.ResponseWriter, r *http.Request) {
 	e.verifierOnce.Do(func() { e.verifier = httpsig.NewVerifier(e) })
 	if _, err := e.verifier.Verify(r); err != nil {
 		http.Error(w, err.Error(), http.StatusUnauthorized)
 		return
 	}
-	e.cache.Invalidate()
+	var push core.InvalidationPush
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&push); err != nil || push.Owner == "" {
+		e.cache.Invalidate()
+		e.trace(core.PhaseObtainingDecision, "am", "host:"+string(e.host),
+			"cache-invalidated", "all")
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	n := e.cache.InvalidateScope(Scope{
+		Owner:     push.Owner,
+		Realms:    push.Realms,
+		Resources: push.Resources,
+	})
 	e.trace(core.PhaseObtainingDecision, "am", "host:"+string(e.host),
-		"cache-invalidated", "")
+		"cache-invalidated", fmt.Sprintf("owner=%s realms=%d resources=%d evicted=%d",
+			push.Owner, len(push.Realms), len(push.Resources), n))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -521,19 +542,37 @@ func (e *Enforcer) Check(r *http.Request, owner core.UserID, realm core.RealmID,
 		return CheckResult{Verdict: verdict, CacheHit: true}, nil
 	}
 
-	// Fig. 6: decision query over the signed channel.
-	q := core.DecisionQuery{
-		PairingID: p.PairingID,
-		Host:      e.host,
-		Realm:     realm,
-		Resource:  res,
-		Action:    action,
-		Token:     tok,
-	}
-	var dec core.DecisionResponse
-	e.trace(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
-		"decision-query-sent", string(res))
-	if err := e.signedPost(p, "/api/decision", q, &dec); err != nil {
+	// Fig. 6: decision query over the signed channel. Concurrent misses for
+	// the same key collapse into one query — the leader asks the AM and
+	// fills the cache, followers share its response.
+	dec, err, shared := e.flights.do(key, func() (core.DecisionResponse, error) {
+		q := core.DecisionQuery{
+			PairingID: p.PairingID,
+			Host:      e.host,
+			Realm:     realm,
+			Resource:  res,
+			Action:    action,
+			Token:     tok,
+		}
+		// Capture the invalidation generation before the query: if a push
+		// lands while the response is in flight, the decision may predate
+		// the policy change and must not be written back.
+		gen := e.cache.Gen()
+		var d core.DecisionResponse
+		e.trace(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
+			"decision-query-sent", string(res))
+		if err := e.signedPost(p, "/api/decision", q, &d); err != nil {
+			return core.DecisionResponse{}, err
+		}
+		// Token-problem denials are about the token, not the policy; they
+		// must never be cached no matter what TTL the response claims.
+		if d.CacheTTLSeconds > 0 && !d.TokenProblem {
+			e.cache.PutScopedAt(gen, key, EntryScope{Owner: owner, Realm: realm, Resource: res},
+				d.Permit(), d.CacheTTLSeconds)
+		}
+		return d, nil
+	})
+	if err != nil {
 		return CheckResult{}, err
 	}
 	if dec.TokenProblem {
@@ -544,14 +583,122 @@ func (e *Enforcer) Check(r *http.Request, owner core.UserID, realm core.RealmID,
 			"refer-to-am", "token problem: "+dec.Reason)
 		return CheckResult{Verdict: VerdictNeedToken, AMURL: p.AMURL, Reason: dec.Reason}, nil
 	}
-	if dec.CacheTTLSeconds > 0 {
-		e.cache.Put(key, dec.Permit(), dec.CacheTTLSeconds)
-	}
 	verdict := VerdictDeny
 	if dec.Permit() {
 		verdict = VerdictAllow
 	}
-	return CheckResult{Verdict: verdict, Reason: dec.Reason}, nil
+	// A shared result cost this caller no round-trip of its own — report it
+	// like a cache hit so the fast path stays visible in metrics.
+	return CheckResult{Verdict: verdict, Reason: dec.Reason, CacheHit: shared}, nil
+}
+
+// ResourceAction names one (resource, action) pair in a batched check.
+type ResourceAction struct {
+	Resource core.ResourceID
+	Action   core.Action
+}
+
+// CheckBatch enforces access to many (resource, action) pairs of one
+// owner's realm in a single pass: cached decisions answer locally and every
+// uncached pair is resolved in ONE signed round-trip via the AM's batch
+// decision endpoint — a Host rendering a listing of N protected resources
+// pays one query instead of N (the batched form of Fig. 6). Results[i]
+// corresponds to pairs[i].
+func (e *Enforcer) CheckBatch(r *http.Request, owner core.UserID, realm core.RealmID, pairs []ResourceAction) ([]CheckResult, error) {
+	p, ok := e.pairingForRealm(owner, realm)
+	if !ok {
+		return nil, core.ErrNotPaired
+	}
+	results := make([]CheckResult, len(pairs))
+	tok, ok := ExtractToken(r)
+	if !ok {
+		e.trace(core.PhaseObtainingToken, "host:"+string(e.host), "requester",
+			"refer-to-am", fmt.Sprintf("batch of %d", len(pairs)))
+		for i := range results {
+			results[i] = CheckResult{Verdict: VerdictNeedToken, AMURL: p.AMURL}
+		}
+		return results, nil
+	}
+
+	// First pass: answer from the cache, collect the distinct misses.
+	missIdx := make(map[string][]int) // cache key -> result indexes
+	var items []core.BatchDecisionItem
+	for i, pr := range pairs {
+		key := cacheKey(tok, pr.Resource, pr.Action)
+		if idx, dup := missIdx[key]; dup {
+			missIdx[key] = append(idx, i)
+			continue
+		}
+		if decision, ok := e.cache.Get(key); ok {
+			verdict := VerdictDeny
+			if decision {
+				verdict = VerdictAllow
+			}
+			results[i] = CheckResult{Verdict: verdict, CacheHit: true}
+			continue
+		}
+		missIdx[key] = []int{i}
+		items = append(items, core.BatchDecisionItem{
+			Realm:    realm,
+			Resource: pr.Resource,
+			Action:   pr.Action,
+		})
+	}
+	if len(items) == 0 {
+		return results, nil
+	}
+
+	// Second pass: one signed round-trip resolves every miss — chunked to
+	// the AM's batch limit, so a page wider than MaxBatchDecisionItems
+	// still resolves (in ceil(n/max) round-trips) instead of erroring.
+	for start := 0; start < len(items); start += core.MaxBatchDecisionItems {
+		end := min(start+core.MaxBatchDecisionItems, len(items))
+		chunk := items[start:end]
+		q := core.BatchDecisionQuery{
+			PairingID: p.PairingID,
+			Host:      e.host,
+			Token:     tok,
+			Items:     chunk,
+		}
+		gen := e.cache.Gen()
+		var resp core.BatchDecisionResponse
+		e.trace(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
+			"decision-batch-sent", fmt.Sprintf("%d items", len(chunk)))
+		if err := e.signedPost(p, "/api/decision/batch", q, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Results) != len(chunk) {
+			return nil, fmt.Errorf("pep: batch decision answered %d of %d items",
+				len(resp.Results), len(chunk))
+		}
+		for j, item := range chunk {
+			res := resp.Results[j]
+			key := cacheKey(tok, item.Resource, item.Action)
+			var cr CheckResult
+			switch {
+			case res.Error != "":
+				// Item-level failure (e.g. unknown realm): deny-biased,
+				// never cached.
+				cr = CheckResult{Verdict: VerdictDeny, Reason: res.Error}
+			case res.TokenProblem:
+				cr = CheckResult{Verdict: VerdictNeedToken, AMURL: p.AMURL, Reason: res.Reason}
+			default:
+				if res.CacheTTLSeconds > 0 {
+					e.cache.PutScopedAt(gen, key, EntryScope{Owner: owner, Realm: realm, Resource: item.Resource},
+						res.Permit(), res.CacheTTLSeconds)
+				}
+				verdict := VerdictDeny
+				if res.Permit() {
+					verdict = VerdictAllow
+				}
+				cr = CheckResult{Verdict: verdict, Reason: res.Reason}
+			}
+			for _, i := range missIdx[key] {
+				results[i] = cr
+			}
+		}
+	}
+	return results, nil
 }
 
 // Require runs Check and writes the appropriate protocol response for

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"umac/internal/am"
+	"umac/internal/core"
+	"umac/internal/pep"
+	"umac/internal/policy"
+	"umac/internal/requester"
+)
+
+// batchWorld builds a world with one host, n read-permitted resources for
+// alice in realm "travel" owned by bob, and returns a request bearing
+// alice's realm token.
+func batchWorld(t *testing.T, n int) (*World, *SimpleHost, []pep.ResourceAction, *requestFixture) {
+	t.Helper()
+	w := NewWorldConfig(am.Config{DefaultCacheTTL: time.Hour})
+	t.Cleanup(w.Close)
+	h := w.AddHost("webpics")
+	ids := make([]core.ResourceID, n)
+	pairs := make([]pep.ResourceAction, n)
+	for i := 0; i < n; i++ {
+		ids[i] = core.ResourceID(fmt.Sprintf("photo-%04d", i))
+		pairs[i] = pep.ResourceAction{Resource: ids[i], Action: core.ActionRead}
+		h.AddResource("bob", "travel", ids[i], []byte("x"))
+	}
+	bob := NewUserAgent("bob")
+	if err := bob.PairHost(h, w.AMServer.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Enforcer.Protect("bob", "travel", ids, ""); err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.AM.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+			Actions:  []core.Action{core.ActionRead},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AM.LinkGeneral("bob", "travel", p.ID); err != nil {
+		t.Fatal(err)
+	}
+	client := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+	tok, err := client.ObtainToken(w.AMServer.URL, h.ID, "travel", ids[0], core.ActionRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, h, pairs, &requestFixture{token: tok}
+}
+
+type requestFixture struct{ token string }
+
+// TestBatchDecisionOneRoundTrip is the tentpole claim: resolving N uncached
+// (resource, action) pairs costs ONE signed AM round-trip via CheckBatch,
+// against N for per-pair Check — at least the 3× the acceptance criteria
+// demand, here N×.
+func TestBatchDecisionOneRoundTrip(t *testing.T) {
+	const n = 8
+	w, h, pairs, fx := batchWorld(t, n)
+	req := TokenRequestFor(fx.token)
+
+	// Per-pair baseline, cold cache.
+	h.Enforcer.Cache().Invalidate()
+	w.ResetAMRequests()
+	for _, pr := range pairs {
+		res, err := h.Enforcer.Check(req, "bob", "travel", pr.Resource, pr.Action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != pep.VerdictAllow {
+			t.Fatalf("single check denied: %+v", res)
+		}
+	}
+	single := w.AMRequests()
+	if single != n {
+		t.Fatalf("per-pair checks cost %d AM round-trips, want %d", single, n)
+	}
+
+	// Batched, cold cache.
+	h.Enforcer.Cache().Invalidate()
+	w.ResetAMRequests()
+	results, err := h.Enforcer.CheckBatch(req, "bob", "travel", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Verdict != pep.VerdictAllow {
+			t.Fatalf("batch item %d denied: %+v", i, res)
+		}
+	}
+	batched := w.AMRequests()
+	if batched != 1 {
+		t.Fatalf("batch check cost %d AM round-trips, want 1", batched)
+	}
+	if single < 3*batched {
+		t.Fatalf("batch saves %dx, want >= 3x", single/batched)
+	}
+
+	// The batch filled the cache: a second batch answers fully locally.
+	w.ResetAMRequests()
+	results, err = h.Enforcer.CheckBatch(req, "bob", "travel", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Verdict != pep.VerdictAllow || !res.CacheHit {
+			t.Fatalf("warm batch item %d not a cache hit: %+v", i, res)
+		}
+	}
+	if got := w.AMRequests(); got != 0 {
+		t.Fatalf("warm batch cost %d AM round-trips, want 0", got)
+	}
+}
+
+// TestBatchDecisionMixedVerdicts: one batch carrying permitted reads and a
+// policy-denied write keeps per-item verdicts straight.
+func TestBatchDecisionMixedVerdicts(t *testing.T) {
+	_, h, pairs, fx := batchWorld(t, 2)
+	req := TokenRequestFor(fx.token)
+	mixed := append(pairs, pep.ResourceAction{Resource: pairs[0].Resource, Action: core.ActionWrite})
+	results, err := h.Enforcer.CheckBatch(req, "bob", "travel", mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Verdict != pep.VerdictAllow || results[1].Verdict != pep.VerdictAllow {
+		t.Fatalf("reads denied: %+v", results)
+	}
+	if results[2].Verdict != pep.VerdictDeny {
+		t.Fatalf("write verdict = %v, want deny", results[2].Verdict)
+	}
+}
+
+// TestBatchDecisionDuplicatePairs: the same (resource, action) pair listed
+// twice resolves once upstream and both result slots agree.
+func TestBatchDecisionDuplicatePairs(t *testing.T) {
+	w, h, pairs, fx := batchWorld(t, 1)
+	req := TokenRequestFor(fx.token)
+	dup := []pep.ResourceAction{pairs[0], pairs[0], pairs[0]}
+	h.Enforcer.Cache().Invalidate()
+	w.ResetAMRequests()
+	results, err := h.Enforcer.CheckBatch(req, "bob", "travel", dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Verdict != pep.VerdictAllow {
+			t.Fatalf("dup item %d: %+v", i, res)
+		}
+	}
+	if got := w.AMRequests(); got != 1 {
+		t.Fatalf("duplicate pairs cost %d round-trips, want 1", got)
+	}
+}
+
+// TestBatchDecisionChunksAboveLimit: a page wider than the AM's per-batch
+// item limit resolves in ceil(n/limit) round-trips instead of erroring.
+func TestBatchDecisionChunksAboveLimit(t *testing.T) {
+	n := core.MaxBatchDecisionItems + 8
+	w, h, pairs, fx := batchWorld(t, n)
+	req := TokenRequestFor(fx.token)
+	w.ResetAMRequests()
+	results, err := h.Enforcer.CheckBatch(req, "bob", "travel", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Verdict != pep.VerdictAllow {
+			t.Fatalf("item %d denied: %+v", i, res)
+		}
+	}
+	if got := w.AMRequests(); got != 2 {
+		t.Fatalf("oversized batch cost %d round-trips, want 2 (chunked)", got)
+	}
+}
+
+// TestBatchDecisionWithoutToken: a tokenless batch refers every pair to the
+// AM without any round-trip.
+func TestBatchDecisionWithoutToken(t *testing.T) {
+	w, h, pairs, _ := batchWorld(t, 3)
+	req, err := newGet("http://host/res/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ResetAMRequests()
+	results, err := h.Enforcer.CheckBatch(req, "bob", "travel", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Verdict != pep.VerdictNeedToken || res.AMURL == "" {
+			t.Fatalf("item %d = %+v, want need-token with AM URL", i, res)
+		}
+	}
+	if got := w.AMRequests(); got != 0 {
+		t.Fatalf("tokenless batch cost %d round-trips, want 0", got)
+	}
+}
+
+// TestScopedInvalidationKeepsUnrelatedEntries is the scoped-eviction
+// acceptance criterion: after a policy change on one realm, the affected
+// pairing's entries are gone (no stale PERMIT survives) while cached
+// decisions for an unrelated realm still answer locally.
+func TestScopedInvalidationKeepsUnrelatedEntries(t *testing.T) {
+	w := NewWorldConfig(am.Config{DefaultCacheTTL: time.Hour})
+	t.Cleanup(w.Close)
+	w.AM.EnableInvalidationPush(nil)
+	h := w.AddHost("webpics")
+	h.AddResource("bob", "travel", "photo-1", []byte("x"))
+	h.AddResource("bob", "work", "doc-1", []byte("x"))
+	bob := NewUserAgent("bob")
+	if err := bob.PairHost(h, w.AMServer.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Enforcer.Protect("bob", "travel", []core.ResourceID{"photo-1"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Enforcer.Protect("bob", "work", []core.ResourceID{"doc-1"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	mkPolicy := func(name string) policy.Policy {
+		return policy.Policy{
+			Owner: "bob", Name: name, Kind: policy.KindGeneral,
+			Rules: []policy.Rule{{
+				Effect:   policy.EffectPermit,
+				Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+				Actions:  []core.Action{core.ActionRead},
+			}},
+		}
+	}
+	travelPol, err := w.AM.CreatePolicy("bob", mkPolicy("travel-pol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AM.LinkGeneral("bob", "travel", travelPol.ID); err != nil {
+		t.Fatal(err)
+	}
+	workPol, err := w.AM.CreatePolicy("bob", mkPolicy("work-pol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AM.LinkGeneral("bob", "work", workPol.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Separate clients per realm so each keeps presenting its own realm's
+	// token (a shared client's token juggling would add referral
+	// round-trips that have nothing to do with the cache under test).
+	alice := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+	aliceWork := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+	if _, err := alice.Fetch(h.ResourceURL("photo-1"), core.ActionRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aliceWork.Fetch(h.ResourceURL("doc-1"), core.ActionRead); err != nil {
+		t.Fatal(err)
+	}
+	if n := h.Enforcer.Cache().Len(); n != 2 {
+		t.Fatalf("cache len = %d, want 2", n)
+	}
+
+	// Bob flips the travel policy to deny; the scoped push must evict the
+	// travel entry and leave the work entry alone.
+	travelPol.Rules = []policy.Rule{{
+		Effect:   policy.EffectDeny,
+		Subjects: []policy.Subject{{Type: policy.SubjectEveryone}},
+	}}
+	if err := w.AM.UpdatePolicy("bob", travelPol); err != nil {
+		t.Fatal(err)
+	}
+	w.AM.FlushInvalidations()
+	if n := h.Enforcer.Cache().Len(); n != 1 {
+		t.Fatalf("cache len after scoped push = %d, want 1 (work entry only)", n)
+	}
+
+	// No stale PERMIT: the next travel access is denied immediately.
+	if resp, err := alice.Get(h.ResourceURL("photo-1"), core.ActionRead); err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != 403 {
+			t.Fatalf("travel status = %d, want 403 right after the policy change", resp.StatusCode)
+		}
+	}
+
+	// The unrelated work entry still answers locally: no AM round-trip.
+	w.ResetAMRequests()
+	if _, err := aliceWork.Fetch(h.ResourceURL("doc-1"), core.ActionRead); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.AMRequests(); got != 0 {
+		t.Fatalf("unrelated access cost %d AM round-trips, want 0 (still cached)", got)
+	}
+}
+
+// TestChurnWorkloadScopedBeatsDropAll runs the E14 workload both ways and
+// asserts the scoped mode suppresses the invalidation stampede entirely on
+// this mix (hot realm untouched by the churn).
+func TestChurnWorkloadScopedBeatsDropAll(t *testing.T) {
+	cfg := ChurnConfig{HotResources: 8, Rounds: 6, ChurnEvery: 2}
+
+	cfg.Scoped = false
+	dropAll, err := RunChurnWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scoped = true
+	scoped, err := RunChurnWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropAll.Denied != 0 || scoped.Denied != 0 {
+		t.Fatalf("hot accesses denied: drop-all=%d scoped=%d", dropAll.Denied, scoped.Denied)
+	}
+	// Drop-all: every churn wipes the hot entries, so each of the 3 churns
+	// forces a full re-query round (8 queries each).
+	if dropAll.AMRoundTrips < int64(cfg.HotResources) {
+		t.Fatalf("drop-all round-trips = %d, expected a stampede (>= %d)",
+			dropAll.AMRoundTrips, cfg.HotResources)
+	}
+	// Scoped: the churned realm is not the hot realm, so the hot cache
+	// survives every push and no decision re-queries happen at all.
+	if scoped.AMRoundTrips != 0 {
+		t.Fatalf("scoped round-trips = %d, want 0 (hot cache must survive churn)", scoped.AMRoundTrips)
+	}
+	t.Logf("drop-all: %+v", dropAll)
+	t.Logf("scoped:   %+v", scoped)
+}

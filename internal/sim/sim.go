@@ -95,6 +95,7 @@ func (w *World) Close() {
 		h.Server.Close()
 	}
 	w.AMServer.Close()
+	w.AM.Close()
 }
 
 // Host returns a previously added host by ID.
