@@ -104,6 +104,9 @@ func main() {
 	<-sig
 	fmt.Println()
 	log.Print("amserver: shutting down")
+	// Flip /v1/readyz to 503 first so load balancers drain this instance
+	// before the listener goes away.
+	authMgr.SetDraining(true)
 	save()
 	if err := authMgr.Close(); err != nil {
 		log.Printf("amserver: close am: %v", err)

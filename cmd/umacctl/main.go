@@ -18,12 +18,11 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"net/http"
 	"os"
-	"strings"
 
 	"umac"
-	"umac/internal/identity"
+	"umac/internal/amclient"
+	"umac/internal/core"
 	"umac/internal/policy"
 )
 
@@ -87,22 +86,9 @@ func cmdFormat(args []string) {
 	fmt.Print(umac.FormatPolicies(policies))
 }
 
-// amRequest performs an authenticated request against an AM.
-func amRequest(method, amURL, path, user string, body io.Reader) *http.Response {
-	req, err := http.NewRequest(method, strings.TrimSuffix(amURL, "/")+path, body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	req.Header.Set(identity.DefaultUserHeader, user)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode >= 400 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		log.Fatalf("umacctl: AM replied %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
-	}
-	return resp
+// amClient builds the typed AM client acting as user.
+func amClient(amURL, user string) *amclient.Client {
+	return amclient.New(amclient.Config{BaseURL: amURL, User: core.UserID(user)})
 }
 
 func cmdExport(args []string) {
@@ -114,9 +100,9 @@ func cmdExport(args []string) {
 	if *amURL == "" || *user == "" {
 		log.Fatal("umacctl export: -am and -user required")
 	}
-	resp := amRequest(http.MethodGet, *amURL, "/policies/export?format="+*format, *user, nil)
-	defer resp.Body.Close()
-	io.Copy(os.Stdout, resp.Body)
+	if err := amClient(*amURL, *user).ExportPolicies(os.Stdout, "", *format); err != nil {
+		log.Fatalf("umacctl export: %v", err)
+	}
 }
 
 func cmdImport(args []string) {
@@ -128,10 +114,11 @@ func cmdImport(args []string) {
 	if *amURL == "" || *user == "" {
 		log.Fatal("umacctl import: -am and -user required")
 	}
-	resp := amRequest(http.MethodPost, *amURL, "/policies/import?format="+*format, *user, os.Stdin)
-	defer resp.Body.Close()
-	io.Copy(os.Stdout, resp.Body)
-	fmt.Println()
+	n, err := amClient(*amURL, *user).ImportPolicies(os.Stdin, "", *format)
+	if err != nil {
+		log.Fatalf("umacctl import: %v", err)
+	}
+	fmt.Printf("{\"imported\": %d}\n", n)
 }
 
 func cmdAudit(args []string) {
@@ -142,11 +129,9 @@ func cmdAudit(args []string) {
 	if *amURL == "" || *user == "" {
 		log.Fatal("umacctl audit: -am and -user required")
 	}
-	resp := amRequest(http.MethodGet, *amURL, "/audit/summary", *user, nil)
-	defer resp.Body.Close()
-	var summary map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&summary); err != nil {
-		log.Fatal(err)
+	summary, err := amClient(*amURL, *user).AuditSummary("")
+	if err != nil {
+		log.Fatalf("umacctl audit: %v", err)
 	}
 	out, _ := json.MarshalIndent(summary, "", "  ")
 	fmt.Println(string(out))

@@ -20,6 +20,7 @@ package am
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"umac/internal/audit"
@@ -125,6 +126,13 @@ type AM struct {
 	tracer    *core.Tracer
 	cacheTTL  time.Duration
 
+	// draining flips the /v1/readyz probe to 503 so load balancers stop
+	// routing new traffic ahead of a shutdown.
+	draining atomic.Bool
+	// routes is the table the last Handler call registered (guarded by
+	// mu; the metrics registry itself lives in the handler closure).
+	routes []RouteInfo
+
 	mu       sync.Mutex
 	pending  map[string]pendingPairing // one-time pairing codes
 	consents map[string]*consentTicket
@@ -184,6 +192,14 @@ func (a *AM) Close() error {
 	a.auditPipe.Close()
 	return nil
 }
+
+// SetDraining marks the AM as (not) draining: while draining, the
+// /v1/readyz probe answers 503 so load balancers pull the instance out of
+// rotation ahead of shutdown. Serving routes keep working either way.
+func (a *AM) SetDraining(v bool) { a.draining.Store(v) }
+
+// Draining reports the drain flag.
+func (a *AM) Draining() bool { return a.draining.Load() }
 
 // Name returns the AM's display name.
 func (a *AM) Name() string { return a.name }

@@ -15,85 +15,148 @@ import (
 	"umac/internal/webutil"
 )
 
-// Handler returns the AM's HTTP API:
+// APIVersionPrefix is the path prefix of the current API version. Every
+// route is canonically mounted under it; the bare pre-v1 paths remain as
+// thin legacy aliases sharing the same handlers (and metrics label).
+const APIVersionPrefix = "/v1"
+
+// RouteInfo describes one registered API route: the canonical v1 pattern
+// plus any legacy alias patterns. The route-drift test asserts every entry
+// is documented in docs/PROTOCOL.md.
+type RouteInfo struct {
+	Method string
+	Path   string   // canonical path, including the /v1 prefix
+	Legacy []string // alias paths served by the same handler
+}
+
+// Handler returns the AM's versioned HTTP API. Canonical routes live under
+// /v1; pre-v1 paths are retained as aliases:
 //
 //	Browser-facing (authenticated via Config.Auth):
-//	  GET    /pair/confirm            Fig. 3 user-consent leg
-//	  GET    /compose                 Fig. 4 policy-composition page
-//	  CRUD   /policies, /policies/{id}, /policies/export, /policies/import
-//	  POST   /links/general, /links/specific (+ DELETE)
-//	  CRUD   /groups/{group}/members, /custodians
-//	  GET    /audit, /audit/summary
-//	  GET    /consents, POST /consents/{ticket}
-//	  GET    /pairings, POST /pairings/{id}/revoke
+//	  GET    /v1/pair/confirm            Fig. 3 user-consent leg
+//	  GET    /v1/compose                 Fig. 4 policy-composition page
+//	  CRUD   /v1/policies, /v1/policies/{id}, /v1/policies/export, /v1/policies/import
+//	  POST   /v1/links/general, /v1/links/specific (+ DELETE)
+//	  CRUD   /v1/groups/{group}/members, /v1/custodians
+//	  GET    /v1/audit, /v1/audit/summary
+//	  GET    /v1/consents, POST /v1/consents/{ticket}
+//	  GET    /v1/pairings, DELETE /v1/pairings/{id}
 //
 //	Requester-facing (unauthenticated; Fig. 5):
-//	  POST   /token
-//	  GET    /token/status
+//	  POST   /v1/token
+//	  GET    /v1/token/status
 //
 //	Host-facing (HMAC-signed with the pairing secret; Figs. 3/4/6):
-//	  POST   /api/pair/exchange       (one-time code, pre-secret: unsigned)
-//	  POST   /api/protect
-//	  POST   /api/decision
-//	  POST   /api/decision/batch
+//	  POST   /v1/api/pair/exchange       (one-time code, pre-secret: unsigned)
+//	  POST   /v1/api/protect
+//	  POST   /v1/api/decision
+//	  POST   /v1/api/decision/batch
 //
-//	See docs/PROTOCOL.md for the full request/response reference.
+//	Operational (unauthenticated):
+//	  GET    /v1/healthz, /v1/readyz, /v1/metrics
+//
+// Every route runs inside the shared middleware stack: request-ID
+// injection, panic recovery, and per-route latency/status counters
+// (exposed on GET /v1/metrics). All errors are the structured
+// core.APIError envelope. See docs/PROTOCOL.md for the full reference.
 func (a *AM) Handler() http.Handler {
 	verifier := httpsig.NewVerifier(a)
+	// metrics and routes are locals closed over by this handler's own
+	// endpoints, so a second Handler() call cannot zero or race a live
+	// handler's counters; the AM fields only back Routes() (drift test).
+	metrics := webutil.NewMetrics()
+	var routes []RouteInfo
 	mux := http.NewServeMux()
 
+	// reg mounts h under "method /v1<path>" and every legacy alias, all
+	// sharing one instrumented wrapper so alias traffic lands in the
+	// canonical route's counters.
+	reg := func(method, path string, h http.Handler, aliases ...string) {
+		canonical := method + " " + APIVersionPrefix + path
+		wrapped := metrics.Instrument(canonical, h)
+		mux.Handle(canonical, wrapped)
+		for _, alias := range aliases {
+			mux.Handle(method+" "+alias, wrapped)
+		}
+		routes = append(routes, RouteInfo{Method: method, Path: APIVersionPrefix + path, Legacy: aliases})
+	}
+	// regSame registers path with the pre-v1 alias at the identical path.
+	regSame := func(method, path string, h http.Handler) {
+		reg(method, path, h, path)
+	}
+
 	// --- Host-facing API ---
-	mux.HandleFunc("POST /api/pair/exchange", a.handlePairExchange)
-	mux.Handle("POST /api/protect", a.signed(verifier, a.handleProtect))
-	mux.Handle("POST /api/decision", a.signed(verifier, a.handleDecision))
-	mux.Handle("POST /api/decision/batch", a.signed(verifier, a.handleDecisionBatch))
-	mux.Handle("POST /api/decision/pull", a.signed(verifier, a.handlePullDecision))
-	mux.Handle("POST /api/decision/state", a.signed(verifier, a.handleStateDecision))
+	regSame("POST", "/api/pair/exchange", http.HandlerFunc(a.handlePairExchange))
+	regSame("POST", "/api/protect", a.signed(verifier, a.handleProtect))
+	regSame("POST", "/api/decision", a.signed(verifier, a.handleDecision))
+	regSame("POST", "/api/decision/batch", a.signed(verifier, a.handleDecisionBatch))
+	regSame("POST", "/api/decision/pull", a.signed(verifier, a.handlePullDecision))
+	regSame("POST", "/api/decision/state", a.signed(verifier, a.handleStateDecision))
 
 	// --- Requester-facing ---
-	mux.HandleFunc("POST /token", a.handleToken)
-	mux.HandleFunc("GET /token/status", a.handleTokenStatus)
-	mux.HandleFunc("POST /state", a.handleEstablishState)
+	regSame("POST", "/token", http.HandlerFunc(a.handleToken))
+	regSame("GET", "/token/status", http.HandlerFunc(a.handleTokenStatus))
+	regSame("POST", "/state", http.HandlerFunc(a.handleEstablishState))
 
 	// --- Browser-facing ---
-	mux.Handle("GET /pair/confirm", a.authed(a.handlePairConfirm))
-	mux.Handle("GET /compose", a.authed(a.handleComposePage))
+	regSame("GET", "/pair/confirm", a.authed(a.handlePairConfirm))
+	regSame("GET", "/compose", a.authed(a.handleComposePage))
 
-	mux.Handle("GET /policies", a.authed(a.handlePolicyList))
-	mux.Handle("POST /policies", a.authed(a.handlePolicyCreate))
-	mux.Handle("GET /policies/export", a.authed(a.handlePolicyExport))
-	mux.Handle("POST /policies/import", a.authed(a.handlePolicyImport))
-	mux.Handle("GET /policies/{id}", a.authed(a.handlePolicyGet))
-	mux.Handle("PUT /policies/{id}", a.authed(a.handlePolicyUpdate))
-	mux.Handle("DELETE /policies/{id}", a.authed(a.handlePolicyDelete))
+	regSame("GET", "/policies", a.authed(a.handlePolicyList))
+	regSame("POST", "/policies", a.authed(a.handlePolicyCreate))
+	regSame("GET", "/policies/export", a.authed(a.handlePolicyExport))
+	regSame("POST", "/policies/import", a.authed(a.handlePolicyImport))
+	regSame("GET", "/policies/{id}", a.authed(a.handlePolicyGet))
+	regSame("PUT", "/policies/{id}", a.authed(a.handlePolicyUpdate))
+	regSame("DELETE", "/policies/{id}", a.authed(a.handlePolicyDelete))
 
-	mux.Handle("POST /links/general", a.authed(a.handleLinkGeneral))
-	mux.Handle("POST /links/specific", a.authed(a.handleLinkSpecific))
-	mux.Handle("DELETE /links/general", a.authed(a.handleUnlinkGeneral))
-	mux.Handle("DELETE /links/specific", a.authed(a.handleUnlinkSpecific))
+	regSame("POST", "/links/general", a.authed(a.handleLinkGeneral))
+	regSame("POST", "/links/specific", a.authed(a.handleLinkSpecific))
+	regSame("DELETE", "/links/general", a.authed(a.handleUnlinkGeneral))
+	regSame("DELETE", "/links/specific", a.authed(a.handleUnlinkSpecific))
 
-	mux.Handle("GET /groups", a.authed(a.handleGroupList))
-	mux.Handle("GET /groups/{group}/members", a.authed(a.handleGroupMembers))
-	mux.Handle("POST /groups/{group}/members", a.authed(a.handleGroupAdd))
-	mux.Handle("DELETE /groups/{group}/members/{user}", a.authed(a.handleGroupRemove))
+	regSame("GET", "/groups", a.authed(a.handleGroupList))
+	regSame("GET", "/groups/{group}/members", a.authed(a.handleGroupMembers))
+	regSame("POST", "/groups/{group}/members", a.authed(a.handleGroupAdd))
+	regSame("DELETE", "/groups/{group}/members/{user}", a.authed(a.handleGroupRemove))
 
-	mux.Handle("GET /custodians", a.authed(a.handleCustodianList))
-	mux.Handle("POST /custodians", a.authed(a.handleCustodianAdd))
-	mux.Handle("DELETE /custodians/{user}", a.authed(a.handleCustodianRemove))
+	regSame("GET", "/custodians", a.authed(a.handleCustodianList))
+	regSame("POST", "/custodians", a.authed(a.handleCustodianAdd))
+	regSame("DELETE", "/custodians/{user}", a.authed(a.handleCustodianRemove))
 
-	mux.Handle("GET /audit", a.authed(a.handleAudit))
-	mux.Handle("GET /audit/summary", a.authed(a.handleAuditSummary))
+	regSame("GET", "/audit", a.authed(a.handleAudit))
+	regSame("GET", "/audit/summary", a.authed(a.handleAuditSummary))
 
-	mux.Handle("GET /consents", a.authed(a.handleConsentList))
-	mux.Handle("POST /consents/{ticket}", a.authed(a.handleConsentResolve))
+	regSame("GET", "/consents", a.authed(a.handleConsentList))
+	regSame("POST", "/consents/{ticket}", a.authed(a.handleConsentResolve))
 
-	mux.Handle("GET /pairings", a.authed(a.handlePairingList))
-	mux.Handle("POST /pairings/{id}/revoke", a.authed(a.handlePairingRevoke))
+	regSame("GET", "/pairings", a.authed(a.handlePairingList))
+	// DELETE is the canonical revocation; the pre-v1 POST …/revoke form is
+	// kept as an alias on both surfaces.
+	reg("DELETE", "/pairings/{id}", a.authed(a.handlePairingRevoke))
+	regSame("POST", "/pairings/{id}/revoke", a.authed(a.handlePairingRevoke))
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		webutil.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok", "am": a.name})
-	})
-	return mux
+	// --- Operational ---
+	// healthz predates v1 and keeps its alias; readyz and metrics are new
+	// endpoints, so per the frozen-alias policy they exist under /v1 only.
+	regSame("GET", "/healthz", http.HandlerFunc(a.handleHealthz))
+	reg("GET", "/readyz", http.HandlerFunc(a.handleReadyz))
+	reg("GET", "/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		webutil.WriteJSON(w, http.StatusOK, metricsBody{AM: a.name, MetricsSnapshot: metrics.Snapshot()})
+	}))
+
+	a.mu.Lock()
+	a.routes = routes
+	a.mu.Unlock()
+	return webutil.RequestID(webutil.Recover(mux))
+}
+
+// Routes returns the route table the last Handler call registered. The
+// route-drift test keeps it in lockstep with docs/PROTOCOL.md.
+func (a *AM) Routes() []RouteInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.routes
 }
 
 // authedHandler receives the authenticated actor.
@@ -104,7 +167,7 @@ func (a *AM) authed(h authedHandler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		actor, ok := a.auth.Authenticate(r)
 		if !ok {
-			webutil.WriteErrorf(w, http.StatusUnauthorized, "authentication required")
+			webutil.FailCode(w, r, core.CodeUnauthenticated, "am: authentication required")
 			return
 		}
 		h(w, r, actor)
@@ -117,11 +180,11 @@ func (a *AM) signed(v *httpsig.Verifier, h func(w http.ResponseWriter, r *http.R
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		pairingID, err := v.Verify(r)
 		if err != nil {
-			status := http.StatusUnauthorized
+			code := core.CodeSignatureInvalid
 			if errors.Is(err, httpsig.ErrReplay) {
-				status = http.StatusConflict
+				code = core.CodeSignatureReplay
 			}
-			webutil.WriteError(w, status, err)
+			webutil.FailCode(w, r, code, "%s", err.Error())
 			return
 		}
 		h(w, r, pairingID)
@@ -137,9 +200,44 @@ func (a *AM) ownerParam(r *http.Request, actor core.UserID) (core.UserID, error)
 		owner = actor
 	}
 	if !a.CanManage(owner, actor) {
-		return "", fmt.Errorf("am: %s may not manage %s", actor, owner)
+		return "", core.APIErrorf(core.CodeForbidden, "am: %s may not manage %s", actor, owner)
 	}
 	return owner, nil
+}
+
+// --- Operational handlers ---
+
+func (a *AM) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	webutil.WriteJSON(w, http.StatusOK, core.HealthStatus{
+		Status: "ok",
+		AM:     a.name,
+		Store: core.StoreHealth{
+			Durable:  a.store.Durable(),
+			WALBytes: a.store.WALSize(),
+		},
+		Audit: core.AuditHealth{
+			Events:        a.audit.Len(),
+			PipelineDepth: a.auditPipe.Depth(),
+			PipelineCap:   a.auditPipe.Capacity(),
+		},
+	})
+}
+
+// handleReadyz is the load-balancer readiness probe: 200 while serving,
+// 503 (code "unavailable", retryable) once SetDraining(true) — so an LB
+// stops routing new traffic while in-flight requests finish.
+func (a *AM) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if a.draining.Load() {
+		webutil.FailCode(w, r, core.CodeUnavailable, "am: %s is draining", a.name)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, map[string]any{"ready": true, "am": a.name})
+}
+
+// metricsBody is the GET /v1/metrics response.
+type metricsBody struct {
+	AM string `json:"am"`
+	webutil.MetricsSnapshot
 }
 
 // --- Pairing handlers ---
@@ -166,7 +264,7 @@ func (a *AM) handlePairConfirm(w http.ResponseWriter, r *http.Request, actor cor
 	returnTo := q.Get(core.ParamReturnTo)
 	code, err := a.ApprovePairing(req)
 	if err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	if returnTo == "" {
@@ -175,7 +273,7 @@ func (a *AM) handlePairConfirm(w http.ResponseWriter, r *http.Request, actor cor
 	}
 	u, err := url.Parse(returnTo)
 	if err != nil {
-		webutil.WriteErrorf(w, http.StatusBadRequest, "bad return_to")
+		webutil.FailCode(w, r, core.CodeBadRequest, "am: bad return_to")
 		return
 	}
 	uq := u.Query()
@@ -184,20 +282,15 @@ func (a *AM) handlePairConfirm(w http.ResponseWriter, r *http.Request, actor cor
 	http.Redirect(w, r, u.String(), http.StatusFound)
 }
 
-type pairExchangeRequest struct {
-	Code string      `json:"code"`
-	Host core.HostID `json:"host"`
-}
-
 func (a *AM) handlePairExchange(w http.ResponseWriter, r *http.Request) {
-	var req pairExchangeRequest
+	var req core.PairExchangeRequest
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	resp, err := a.ExchangeCode(req.Code, req.Host)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.FailCode(w, r, core.CodePairingCodeInvalid, "%s", err.Error())
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, resp)
@@ -206,30 +299,48 @@ func (a *AM) handlePairExchange(w http.ResponseWriter, r *http.Request) {
 func (a *AM) handlePairingList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
-	pairings := a.Pairings(owner)
-	// Never leak channel secrets through the listing API.
-	for i := range pairings {
-		pairings[i].Secret = ""
+	offset, limit, err := webutil.ParsePage(r)
+	if err != nil {
+		webutil.Fail(w, r, err)
+		return
 	}
-	webutil.WriteJSON(w, http.StatusOK, pairings)
+	// Serve the declared wire struct (core.PairingInfo), which has no
+	// secret field at all — the channel secret cannot leak through the
+	// listing API even by omission.
+	pairings := a.Pairings(owner)
+	infos := make([]core.PairingInfo, len(pairings))
+	for i, p := range pairings {
+		infos[i] = core.PairingInfo{
+			ID:        p.ID,
+			Host:      p.Host,
+			HostName:  p.HostName,
+			HostURL:   p.HostURL,
+			User:      p.User,
+			Scope:     p.Scope,
+			Resources: p.Resources,
+			CreatedAt: p.CreatedAt,
+			Revoked:   p.Revoked,
+		}
+	}
+	webutil.WritePage(w, http.StatusOK, infos, len(infos), offset, limit)
 }
 
 func (a *AM) handlePairingRevoke(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	id := r.PathValue("id")
 	p, err := a.GetPairing(id)
 	if err != nil {
-		webutil.WriteError(w, http.StatusNotFound, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	if !a.CanManage(p.User, actor) {
-		webutil.WriteErrorf(w, http.StatusForbidden, "am: %s may not revoke pairing of %s", actor, p.User)
+		webutil.FailCode(w, r, core.CodeForbidden, "am: %s may not revoke pairing of %s", actor, p.User)
 		return
 	}
 	if err := a.RevokePairing(id); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, map[string]string{"revoked": id})
@@ -240,12 +351,12 @@ func (a *AM) handlePairingRevoke(w http.ResponseWriter, r *http.Request, actor c
 func (a *AM) handleProtect(w http.ResponseWriter, r *http.Request, pairingID string) {
 	var req core.ProtectRequest
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	resp, err := a.RegisterRealm(pairingID, req)
 	if err != nil {
-		webutil.WriteError(w, webutil.StatusFor(err), err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, resp)
@@ -254,12 +365,12 @@ func (a *AM) handleProtect(w http.ResponseWriter, r *http.Request, pairingID str
 func (a *AM) handleDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
 	var q core.DecisionQuery
 	if err := webutil.ReadJSON(r, &q); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	resp, err := a.Decide(pairingID, q)
 	if err != nil {
-		webutil.WriteError(w, webutil.StatusFor(err), err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, resp)
@@ -268,54 +379,40 @@ func (a *AM) handleDecision(w http.ResponseWriter, r *http.Request, pairingID st
 func (a *AM) handleDecisionBatch(w http.ResponseWriter, r *http.Request, pairingID string) {
 	var q core.BatchDecisionQuery
 	if err := webutil.ReadJSON(r, &q); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	resp, err := a.DecideBatch(pairingID, q)
 	if err != nil {
-		webutil.WriteError(w, webutil.StatusFor(err), err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, resp)
 }
 
-// pullDecisionRequest is a tokenless decision query (pull-model baseline):
-// the Host asserts the identities it observed.
-type pullDecisionRequest struct {
-	Query     core.DecisionQuery `json:"query"`
-	Subject   core.UserID        `json:"subject,omitempty"`
-	Requester core.RequesterID   `json:"requester,omitempty"`
-}
-
 func (a *AM) handlePullDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
-	var req pullDecisionRequest
+	var req core.PullDecisionQuery
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	resp, err := a.PullDecide(pairingID, req.Query, req.Subject, req.Requester)
 	if err != nil {
-		webutil.WriteError(w, webutil.StatusFor(err), err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, resp)
 }
 
-// stateDecisionRequest is a decision query in the UMA-state baseline.
-type stateDecisionRequest struct {
-	Query  core.DecisionQuery `json:"query"`
-	Handle string             `json:"handle"`
-}
-
 func (a *AM) handleStateDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
-	var req stateDecisionRequest
+	var req core.StateDecisionQuery
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	resp, err := a.StateDecide(pairingID, req.Query, req.Handle)
 	if err != nil {
-		webutil.WriteError(w, webutil.StatusFor(err), err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, resp)
@@ -324,15 +421,15 @@ func (a *AM) handleStateDecision(w http.ResponseWriter, r *http.Request, pairing
 func (a *AM) handleEstablishState(w http.ResponseWriter, r *http.Request) {
 	var req core.TokenRequest
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	handle, err := a.EstablishState(req)
 	if err != nil {
-		webutil.WriteError(w, webutil.StatusFor(err), err)
+		webutil.Fail(w, r, err)
 		return
 	}
-	webutil.WriteJSON(w, http.StatusOK, map[string]string{"handle": handle})
+	webutil.WriteJSON(w, http.StatusOK, core.StateResponse{Handle: handle})
 }
 
 // --- Requester handlers ---
@@ -340,15 +437,13 @@ func (a *AM) handleEstablishState(w http.ResponseWriter, r *http.Request) {
 func (a *AM) handleToken(w http.ResponseWriter, r *http.Request) {
 	var req core.TokenRequest
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	resp, err := a.IssueToken(req)
 	switch {
-	case errors.Is(err, core.ErrAccessDenied):
-		webutil.WriteError(w, http.StatusForbidden, err)
 	case err != nil:
-		webutil.WriteError(w, webutil.StatusFor(err), err)
+		webutil.Fail(w, r, err)
 	case resp.Pending():
 		// 202: the request is accepted but the token is not ready —
 		// consent pending or terms outstanding (asynchronous flow).
@@ -361,7 +456,7 @@ func (a *AM) handleToken(w http.ResponseWriter, r *http.Request) {
 func (a *AM) handleTokenStatus(w http.ResponseWriter, r *http.Request) {
 	st, err := a.ConsentStatus(r.FormValue(core.ParamTicket))
 	if err != nil {
-		webutil.WriteError(w, http.StatusNotFound, err)
+		webutil.FailCode(w, r, core.CodeNotFound, "%s", err.Error())
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, st)
@@ -372,16 +467,22 @@ func (a *AM) handleTokenStatus(w http.ResponseWriter, r *http.Request) {
 func (a *AM) handlePolicyList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
-	webutil.WriteJSON(w, http.StatusOK, a.ListPolicies(owner))
+	offset, limit, err := webutil.ParsePage(r)
+	if err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	policies := a.ListPolicies(owner)
+	webutil.WritePage(w, http.StatusOK, policies, len(policies), offset, limit)
 }
 
 func (a *AM) handlePolicyCreate(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	var p policy.Policy
 	if err := webutil.ReadJSONLoose(r, &p); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	if p.Owner == "" {
@@ -389,7 +490,7 @@ func (a *AM) handlePolicyCreate(w http.ResponseWriter, r *http.Request, actor co
 	}
 	created, err := a.CreatePolicy(actor, p)
 	if err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusCreated, created)
@@ -398,11 +499,11 @@ func (a *AM) handlePolicyCreate(w http.ResponseWriter, r *http.Request, actor co
 func (a *AM) handlePolicyGet(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	p, err := a.GetPolicy(core.PolicyID(r.PathValue("id")))
 	if err != nil {
-		webutil.WriteError(w, http.StatusNotFound, err)
+		webutil.FailCode(w, r, core.CodeNotFound, "%s", err.Error())
 		return
 	}
 	if !a.CanManage(p.Owner, actor) {
-		webutil.WriteErrorf(w, http.StatusForbidden, "am: %s may not view policies of %s", actor, p.Owner)
+		webutil.FailCode(w, r, core.CodeForbidden, "am: %s may not view policies of %s", actor, p.Owner)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, p)
@@ -411,12 +512,12 @@ func (a *AM) handlePolicyGet(w http.ResponseWriter, r *http.Request, actor core.
 func (a *AM) handlePolicyUpdate(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	var p policy.Policy
 	if err := webutil.ReadJSONLoose(r, &p); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	p.ID = core.PolicyID(r.PathValue("id"))
 	if err := a.UpdatePolicy(actor, p); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, p)
@@ -424,7 +525,7 @@ func (a *AM) handlePolicyUpdate(w http.ResponseWriter, r *http.Request, actor co
 
 func (a *AM) handlePolicyDelete(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	if err := a.DeletePolicy(actor, core.PolicyID(r.PathValue("id"))); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -433,12 +534,12 @@ func (a *AM) handlePolicyDelete(w http.ResponseWriter, r *http.Request, actor co
 func (a *AM) handlePolicyExport(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	format, err := policy.ParseFormat(formatParam(r))
 	if err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", format.ContentType())
@@ -451,17 +552,17 @@ func (a *AM) handlePolicyExport(w http.ResponseWriter, r *http.Request, actor co
 func (a *AM) handlePolicyImport(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	format, err := policy.ParseFormat(formatParam(r))
 	if err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	n, err := a.ImportPolicies(actor, owner, r.Body, format)
 	if err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, map[string]int{"imported": n})
@@ -480,16 +581,10 @@ func formatParam(r *http.Request) string {
 
 // --- Link handlers ---
 
-type linkGeneralRequest struct {
-	Owner  core.UserID   `json:"owner,omitempty"`
-	Realm  core.RealmID  `json:"realm"`
-	Policy core.PolicyID `json:"policy"`
-}
-
 func (a *AM) handleLinkGeneral(w http.ResponseWriter, r *http.Request, actor core.UserID) {
-	var req linkGeneralRequest
+	var req core.LinkGeneralRequest
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	owner := req.Owner
@@ -497,27 +592,20 @@ func (a *AM) handleLinkGeneral(w http.ResponseWriter, r *http.Request, actor cor
 		owner = actor
 	}
 	if !a.CanManage(owner, actor) {
-		webutil.WriteErrorf(w, http.StatusForbidden, "am: %s may not manage %s", actor, owner)
+		webutil.FailCode(w, r, core.CodeForbidden, "am: %s may not manage %s", actor, owner)
 		return
 	}
 	if err := a.LinkGeneral(owner, req.Realm, req.Policy); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, map[string]string{"linked": string(req.Realm)})
 }
 
-type linkSpecificRequest struct {
-	Owner    core.UserID     `json:"owner,omitempty"`
-	Host     core.HostID     `json:"host"`
-	Resource core.ResourceID `json:"resource"`
-	Policy   core.PolicyID   `json:"policy"`
-}
-
 func (a *AM) handleLinkSpecific(w http.ResponseWriter, r *http.Request, actor core.UserID) {
-	var req linkSpecificRequest
+	var req core.LinkSpecificRequest
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	owner := req.Owner
@@ -525,11 +613,11 @@ func (a *AM) handleLinkSpecific(w http.ResponseWriter, r *http.Request, actor co
 		owner = actor
 	}
 	if !a.CanManage(owner, actor) {
-		webutil.WriteErrorf(w, http.StatusForbidden, "am: %s may not manage %s", actor, owner)
+		webutil.FailCode(w, r, core.CodeForbidden, "am: %s may not manage %s", actor, owner)
 		return
 	}
 	if err := a.LinkSpecific(owner, req.Host, req.Resource, req.Policy); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, map[string]string{"linked": string(req.Resource)})
@@ -538,11 +626,11 @@ func (a *AM) handleLinkSpecific(w http.ResponseWriter, r *http.Request, actor co
 func (a *AM) handleUnlinkGeneral(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	if err := a.UnlinkGeneral(owner, core.RealmID(r.FormValue(core.ParamRealm))); err != nil {
-		webutil.WriteError(w, http.StatusNotFound, err)
+		webutil.FailCode(w, r, core.CodeNotFound, "%s", err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -551,14 +639,14 @@ func (a *AM) handleUnlinkGeneral(w http.ResponseWriter, r *http.Request, actor c
 func (a *AM) handleUnlinkSpecific(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	err = a.UnlinkSpecific(owner,
 		core.HostID(r.FormValue(core.ParamHost)),
 		core.ResourceID(r.FormValue(core.ParamResource)))
 	if err != nil {
-		webutil.WriteError(w, http.StatusNotFound, err)
+		webutil.FailCode(w, r, core.CodeNotFound, "%s", err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -569,7 +657,7 @@ func (a *AM) handleUnlinkSpecific(w http.ResponseWriter, r *http.Request, actor 
 func (a *AM) handleGroupList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, a.Groups(owner))
@@ -578,21 +666,16 @@ func (a *AM) handleGroupList(w http.ResponseWriter, r *http.Request, actor core.
 func (a *AM) handleGroupMembers(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, a.GroupMembers(owner, r.PathValue("group")))
 }
 
-type groupMemberRequest struct {
-	Owner core.UserID `json:"owner,omitempty"`
-	User  core.UserID `json:"user"`
-}
-
 func (a *AM) handleGroupAdd(w http.ResponseWriter, r *http.Request, actor core.UserID) {
-	var req groupMemberRequest
+	var req core.GroupMemberRequest
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	owner := req.Owner
@@ -600,7 +683,7 @@ func (a *AM) handleGroupAdd(w http.ResponseWriter, r *http.Request, actor core.U
 		owner = actor
 	}
 	if err := a.AddGroupMember(actor, owner, r.PathValue("group"), req.User); err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.FailCode(w, r, core.CodeForbidden, "%s", err.Error())
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, a.GroupMembers(owner, r.PathValue("group")))
@@ -609,11 +692,11 @@ func (a *AM) handleGroupAdd(w http.ResponseWriter, r *http.Request, actor core.U
 func (a *AM) handleGroupRemove(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	if err := a.RemoveGroupMember(actor, owner, r.PathValue("group"), core.UserID(r.PathValue("user"))); err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.FailCode(w, r, core.CodeForbidden, "%s", err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -624,25 +707,21 @@ func (a *AM) handleGroupRemove(w http.ResponseWriter, r *http.Request, actor cor
 func (a *AM) handleCustodianList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, a.Custodians(owner))
 }
 
-type custodianRequest struct {
-	Custodian core.UserID `json:"custodian"`
-}
-
 func (a *AM) handleCustodianAdd(w http.ResponseWriter, r *http.Request, actor core.UserID) {
-	var req custodianRequest
+	var req core.CustodianRequest
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	// Only the owner themselves may appoint custodians.
 	if err := a.AddCustodian(actor, req.Custodian); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, a.Custodians(actor))
@@ -650,7 +729,7 @@ func (a *AM) handleCustodianAdd(w http.ResponseWriter, r *http.Request, actor co
 
 func (a *AM) handleCustodianRemove(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	if err := a.RemoveCustodian(actor, core.UserID(r.PathValue("user"))); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -661,7 +740,12 @@ func (a *AM) handleCustodianRemove(w http.ResponseWriter, r *http.Request, actor
 func (a *AM) handleAudit(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
+		return
+	}
+	offset, limit, err := webutil.ParsePage(r)
+	if err != nil {
+		webutil.Fail(w, r, err)
 		return
 	}
 	f := audit.Filter{
@@ -671,13 +755,16 @@ func (a *AM) handleAudit(w http.ResponseWriter, r *http.Request, actor core.User
 		Requester: core.RequesterID(r.FormValue(core.ParamRequester)),
 		Type:      audit.EventType(r.FormValue("type")),
 	}
-	webutil.WriteJSON(w, http.StatusOK, a.Audit().Query(f))
+	// QueryPage windows at the source (one pass, page-sized allocation);
+	// the frame headers are computed from the request offset.
+	events, total := a.Audit().QueryPage(f, offset, limit)
+	webutil.WritePageFrame(w, http.StatusOK, events, total, offset)
 }
 
 func (a *AM) handleAuditSummary(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, a.Audit().Summarize(owner))
@@ -688,24 +775,26 @@ func (a *AM) handleAuditSummary(w http.ResponseWriter, r *http.Request, actor co
 func (a *AM) handleConsentList(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	owner, err := a.ownerParam(r, actor)
 	if err != nil {
-		webutil.WriteError(w, http.StatusForbidden, err)
+		webutil.Fail(w, r, err)
 		return
 	}
-	webutil.WriteJSON(w, http.StatusOK, a.PendingConsents(owner))
-}
-
-type consentResolveRequest struct {
-	Approve bool `json:"approve"`
+	offset, limit, err := webutil.ParsePage(r)
+	if err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	pending := a.PendingConsents(owner)
+	webutil.WritePage(w, http.StatusOK, pending, len(pending), offset, limit)
 }
 
 func (a *AM) handleConsentResolve(w http.ResponseWriter, r *http.Request, actor core.UserID) {
-	var req consentResolveRequest
+	var req core.ConsentResolveRequest
 	if err := webutil.ReadJSON(r, &req); err != nil {
-		webutil.WriteError(w, http.StatusBadRequest, err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	if err := a.ResolveConsent(actor, r.PathValue("ticket"), req.Approve); err != nil {
-		webutil.WriteError(w, webutil.StatusFor(err), err)
+		webutil.Fail(w, r, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, map[string]bool{"approved": req.Approve})
@@ -716,7 +805,7 @@ func (a *AM) handleConsentResolve(w http.ResponseWriter, r *http.Request, actor 
 // handleComposePage renders the policy-composition landing page a user
 // reaches when redirected from a Host's "share" control. It lists the
 // user's policies so one can be linked to the realm the Host supplied.
-// Programmatic clients use POST /links/general instead.
+// Programmatic clients use POST /v1/links/general instead.
 func (a *AM) handleComposePage(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	q := r.URL.Query()
 	host := q.Get(core.ParamHost)
@@ -729,7 +818,7 @@ func (a *AM) handleComposePage(w http.ResponseWriter, r *http.Request, actor cor
 		fmt.Fprintf(&b, "<li>%s (%s, %d rules)</li>",
 			html.EscapeString(string(p.ID)), html.EscapeString(p.Kind.String()), len(p.Rules))
 	}
-	b.WriteString("</ul><p>Link a policy via POST /links/general.</p>")
+	b.WriteString("</ul><p>Link a policy via POST /v1/links/general.</p>")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, b.String())
 	a.trace(core.PhaseComposingPolicies, "user:"+string(actor), "am:"+a.name,

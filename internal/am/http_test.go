@@ -83,13 +83,22 @@ func simplePolicy(owner string) policy.Policy {
 
 func TestHTTPHealthz(t *testing.T) {
 	f := newHTTPFixture(t)
-	resp := f.do(t, "", http.MethodGet, "/healthz", nil)
-	if resp.StatusCode != 200 {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	body := decodeBody[map[string]string](t, resp)
-	if body["status"] != "ok" {
-		t.Fatalf("body = %v", body)
+	// Both the legacy alias and the canonical v1 path serve the upgraded
+	// subsystem-health report.
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		resp := f.do(t, "", http.MethodGet, path, nil)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s status = %d", path, resp.StatusCode)
+		}
+		body := decodeBody[map[string]any](t, resp)
+		if body["status"] != "ok" {
+			t.Fatalf("%s body = %v", path, body)
+		}
+		for _, key := range []string{"store", "audit"} {
+			if _, ok := body[key].(map[string]any); !ok {
+				t.Fatalf("%s body missing %s report: %v", path, key, body)
+			}
+		}
 	}
 }
 

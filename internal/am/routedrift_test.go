@@ -1,0 +1,42 @@
+package am
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRouteDrift fails when a mux-registered route is missing from
+// docs/PROTOCOL.md, keeping the documented surface in lockstep with the
+// real one. Every canonical route must appear as an inline-code literal
+// ("METHOD /v1/path"), and every route with pre-v1 aliases must appear in
+// the legacy-alias table.
+func TestRouteDrift(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("read protocol doc: %v", err)
+	}
+	text := string(doc)
+
+	a := New(Config{Name: "am"})
+	defer a.Close()
+	a.Handler()
+	routes := a.Routes()
+	if len(routes) == 0 {
+		t.Fatal("no routes registered")
+	}
+	for _, rt := range routes {
+		needle := rt.Method + " " + rt.Path
+		if !strings.Contains(text, needle) {
+			t.Errorf("docs/PROTOCOL.md is missing route %q — document it (and its error codes) before adding the endpoint", needle)
+		}
+		for _, alias := range rt.Legacy {
+			// Anchor the alias as a standalone inline-code literal so the
+			// check cannot be satisfied by the alias being a substring of
+			// its own /v1 form ("/policies" inside "/v1/policies").
+			if !strings.Contains(text, "`"+alias+"`") {
+				t.Errorf("docs/PROTOCOL.md legacy-alias table is missing `%s` (alias of %s %s)", alias, rt.Method, rt.Path)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package amclient is the shared typed Go client for the Authorization
+// Manager's versioned v1 API. It is the single place Host (PEP),
+// Requester, CLI and simulation code build AM requests: every protocol and
+// management route is wrapped in a method taking and returning the wire
+// structs from internal/core, with both authentication modes built in —
+// the HMAC-signed Host↔AM channel (pairing credentials) and the
+// session-identity header used by the management surface.
+//
+// Error responses decode into *core.APIError, so callers branch on stable
+// machine-readable codes (or errors.Is against the core sentinels, which
+// APIError unwraps to) instead of string-matching response bodies.
+package amclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"umac/internal/core"
+	"umac/internal/httpsig"
+	"umac/internal/identity"
+)
+
+// Config configures a Client.
+type Config struct {
+	// BaseURL is the AM's base URL (scheme://host[:port]); a trailing
+	// slash is tolerated.
+	BaseURL string
+	// HTTPClient performs the calls; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// User, when set, authenticates management calls via the session
+	// identity header (UserHeader, default identity.DefaultUserHeader).
+	// Front the AM with a real SSO proxy in production.
+	User core.UserID
+	// UserHeader overrides the identity header name.
+	UserHeader string
+	// PairingID and Secret, when set, HMAC-sign every request with the
+	// pairing secret — the Host↔AM channel of Figs. 3/4/6.
+	PairingID string
+	Secret    string
+	// Legacy pins the client to the pre-v1 alias paths. Used by the
+	// compatibility tests; new code should leave it false.
+	Legacy bool
+}
+
+// Client is a typed AM API client. Methods are safe for concurrent use.
+type Client struct {
+	cfg  Config
+	base string
+}
+
+// New constructs a Client.
+func New(cfg Config) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.UserHeader == "" {
+		cfg.UserHeader = identity.DefaultUserHeader
+	}
+	return &Client{cfg: cfg, base: strings.TrimSuffix(cfg.BaseURL, "/")}
+}
+
+// WithCredential returns a copy of the client signing with the given
+// pairing credentials (the Host side uses one Client per paired AM).
+func (c *Client) WithCredential(pairingID, secret string) *Client {
+	cfg := c.cfg
+	cfg.PairingID = pairingID
+	cfg.Secret = secret
+	return &Client{cfg: cfg, base: c.base}
+}
+
+// BaseURL returns the configured AM base URL (trailing slash trimmed).
+func (c *Client) BaseURL() string { return c.base }
+
+// url joins the base URL, version prefix and route path + query.
+func (c *Client) url(path string, q url.Values) string {
+	u := c.base
+	if !c.cfg.Legacy {
+		u += "/v1"
+	}
+	u += path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u
+}
+
+// Page selects a window of a list endpoint. The zero value means the
+// server defaults (offset 0, default limit).
+type Page struct {
+	Offset int
+	Limit  int
+}
+
+func (p Page) apply(q url.Values) url.Values {
+	if p.Offset > 0 {
+		if q == nil {
+			q = url.Values{}
+		}
+		q.Set("offset", fmt.Sprint(p.Offset))
+	}
+	if p.Limit > 0 {
+		if q == nil {
+			q = url.Values{}
+		}
+		q.Set("limit", fmt.Sprint(p.Limit))
+	}
+	return q
+}
+
+// ownerQuery builds the ?owner= query management routes accept.
+func ownerQuery(owner core.UserID) url.Values {
+	q := url.Values{}
+	if owner != "" {
+		q.Set("owner", string(owner))
+	}
+	return q
+}
+
+// do performs one API call: method + route path (+ query), JSON-encoding
+// in (nil = no body) and decoding a 2xx response into out (nil = discard).
+// Non-2xx responses return *core.APIError.
+func (c *Client) do(method, path string, q url.Values, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("amclient: encode %s: %w", path, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	return c.doRaw(method, path, q, body, "application/json", out)
+}
+
+// newRequest builds an API request with both auth modes applied: the
+// session identity header and (when credentials are configured) the HMAC
+// signature. Every call path goes through here so auth can never drift
+// between methods.
+func (c *Client) newRequest(method, path string, q url.Values, body io.Reader, contentType string) (*http.Request, error) {
+	req, err := http.NewRequest(method, c.url(path, q), body)
+	if err != nil {
+		return nil, fmt.Errorf("amclient: build %s: %w", path, err)
+	}
+	if body != nil && contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if c.cfg.User != "" {
+		req.Header.Set(c.cfg.UserHeader, string(c.cfg.User))
+	}
+	if c.cfg.PairingID != "" {
+		if err := httpsig.Sign(req, c.cfg.PairingID, c.cfg.Secret); err != nil {
+			return nil, fmt.Errorf("amclient: sign %s: %w", path, err)
+		}
+	}
+	return req, nil
+}
+
+// doRaw is do with a caller-supplied body stream and content type.
+func (c *Client) doRaw(method, path string, q url.Values, body io.Reader, contentType string, out any) error {
+	req, err := c.newRequest(method, path, q, body, contentType)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("amclient: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("amclient: decode %s response: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// get performs a GET decoding into out.
+func (c *Client) get(path string, q url.Values, out any) error {
+	return c.do(http.MethodGet, path, q, nil, out)
+}
+
+// PairConfirmURL builds the browser URL of the Fig. 3 consent leg
+// (GET /v1/pair/confirm): a redirect the user's browser follows, not a
+// request this client performs.
+func PairConfirmURL(amURL string, q url.Values) string {
+	return strings.TrimSuffix(amURL, "/") + "/v1/pair/confirm?" + q.Encode()
+}
+
+// ComposeURL builds the browser URL of the Fig. 4 policy-composition page
+// (GET /v1/compose) a Host's "share" control redirects to.
+func ComposeURL(amURL string, q url.Values) string {
+	return strings.TrimSuffix(amURL, "/") + "/v1/compose?" + q.Encode()
+}
+
+// maxErrorBody bounds how much of an error response is read.
+const maxErrorBody = 64 << 10
+
+// decodeError turns a non-2xx response into *core.APIError. Structured
+// envelopes pass through; legacy {"error": "..."} bodies and non-JSON
+// bodies degrade to code "unknown" with the raw text as message.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	var envelope struct {
+		core.APIError
+		LegacyError string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &envelope); err == nil {
+		e := envelope.APIError
+		if e.Code == "" {
+			e.Code = core.CodeUnknown
+			e.Message = envelope.LegacyError
+		}
+		if e.Message == "" {
+			e.Message = strings.TrimSpace(string(raw))
+		}
+		if e.Status == 0 {
+			e.Status = resp.StatusCode
+		}
+		if e.RequestID == "" {
+			e.RequestID = resp.Header.Get("X-Request-Id")
+		}
+		return &e
+	}
+	msg := strings.TrimSpace(string(raw))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &core.APIError{
+		Code:      core.CodeUnknown,
+		Status:    resp.StatusCode,
+		Message:   msg,
+		RequestID: resp.Header.Get("X-Request-Id"),
+	}
+}

@@ -1,0 +1,88 @@
+package amclient
+
+import (
+	"net/http"
+	"net/url"
+
+	"umac/internal/core"
+)
+
+// This file wraps the protocol routes: the Host-facing signed API
+// (pair/exchange, protect, decision family) and the open Requester-facing
+// token service. Management routes live in management.go.
+
+// ExchangePairingCode completes Fig. 3: the Host presents the one-time
+// code minted by the user's confirmation and receives the pairing ID plus
+// channel secret. The only Host-facing call that is not signed (it runs
+// before the Host has a secret).
+func (c *Client) ExchangePairingCode(code string, host core.HostID) (core.PairingResponse, error) {
+	var resp core.PairingResponse
+	err := c.do(http.MethodPost, "/api/pair/exchange", nil,
+		core.PairExchangeRequest{Code: code, Host: host}, &resp)
+	return resp, err
+}
+
+// Protect registers a protected realm over the signed channel (Fig. 4).
+func (c *Client) Protect(req core.ProtectRequest) (core.ProtectResponse, error) {
+	var resp core.ProtectResponse
+	err := c.do(http.MethodPost, "/api/protect", nil, req, &resp)
+	return resp, err
+}
+
+// Decide runs one decision query over the signed channel (Fig. 6).
+func (c *Client) Decide(q core.DecisionQuery) (core.DecisionResponse, error) {
+	var resp core.DecisionResponse
+	err := c.do(http.MethodPost, "/api/decision", nil, q, &resp)
+	return resp, err
+}
+
+// DecideBatch resolves up to core.MaxBatchDecisionItems decision queries
+// in one signed round-trip.
+func (c *Client) DecideBatch(q core.BatchDecisionQuery) (core.BatchDecisionResponse, error) {
+	var resp core.BatchDecisionResponse
+	err := c.do(http.MethodPost, "/api/decision/batch", nil, q, &resp)
+	return resp, err
+}
+
+// PullDecide runs a tokenless pull-model decision query (the SSP'09
+// baseline kept for the E9 comparison).
+func (c *Client) PullDecide(q core.PullDecisionQuery) (core.DecisionResponse, error) {
+	var resp core.DecisionResponse
+	err := c.do(http.MethodPost, "/api/decision/pull", nil, q, &resp)
+	return resp, err
+}
+
+// StateDecide runs a decision query in the UMA authorization-state
+// baseline, carrying the handle from EstablishState.
+func (c *Client) StateDecide(q core.StateDecisionQuery) (core.DecisionResponse, error) {
+	var resp core.DecisionResponse
+	err := c.do(http.MethodPost, "/api/decision/state", nil, q, &resp)
+	return resp, err
+}
+
+// EstablishState pre-authorizes in the UMA-state baseline, returning the
+// opaque handle the Host presents in StateDecide queries.
+func (c *Client) EstablishState(req core.TokenRequest) (string, error) {
+	var resp core.StateResponse
+	err := c.do(http.MethodPost, "/state", nil, req, &resp)
+	return resp.Handle, err
+}
+
+// RequestToken asks for an authorization token (Fig. 5). Inspect the
+// response: Token set means granted; Pending() means consent or terms are
+// outstanding (poll TokenStatus / retry with claims). A policy deny is an
+// error with errors.Is(err, core.ErrAccessDenied) == true (wire code
+// "access_denied").
+func (c *Client) RequestToken(req core.TokenRequest) (core.TokenResponse, error) {
+	var resp core.TokenResponse
+	err := c.do(http.MethodPost, "/token", nil, req, &resp)
+	return resp, err
+}
+
+// TokenStatus polls a pending-consent ticket (§V.D). Unknown tickets are
+// a not_found APIError.
+func (c *Client) TokenStatus(ticket string) (core.ConsentStatus, error) {
+	var st core.ConsentStatus
+	err := c.get("/token/status", url.Values{core.ParamTicket: {ticket}}, &st)
+	return st, err
+}

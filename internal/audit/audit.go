@@ -144,6 +144,33 @@ func (l *Log) Query(f Filter) []Event {
 	return out
 }
 
+// QueryPage returns the [offset, offset+limit) window of the matching
+// events in sequence order, plus the total match count. It materializes
+// only the requested window, so paging a million-event log costs one pass
+// and a page-sized allocation.
+func (l *Log) QueryPage(f Filter, offset, limit int) ([]Event, int) {
+	if offset < 0 {
+		offset = 0
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Event, 0, min(limit, 64))
+	total := 0
+	for _, e := range l.events {
+		if !f.matches(e) {
+			continue
+		}
+		if total >= offset && len(out) < limit {
+			out = append(out, e)
+		}
+		total++
+	}
+	return out, total
+}
+
 // Len returns the total number of events.
 func (l *Log) Len() int {
 	l.mu.RLock()

@@ -115,6 +115,14 @@ func (p *Pipeline) Enqueue(e Event) {
 	p.mu.RUnlock()
 }
 
+// Depth reports how many events are buffered but not yet appended — the
+// health signal surfaced by the AM's /v1/healthz (a persistently full
+// buffer means the log writer is the bottleneck).
+func (p *Pipeline) Depth() int { return len(p.ch) }
+
+// Capacity reports the pipeline's buffer size.
+func (p *Pipeline) Capacity() int { return cap(p.ch) }
+
 // Flush blocks until every event enqueued before the call is in the log.
 func (p *Pipeline) Flush() {
 	p.mu.RLock()

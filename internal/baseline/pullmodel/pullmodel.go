@@ -11,14 +11,11 @@
 package pullmodel
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 
+	"umac/internal/amclient"
 	"umac/internal/core"
-	"umac/internal/httpsig"
 	"umac/internal/pep"
 )
 
@@ -38,18 +35,11 @@ func New(host core.HostID, client *http.Client, tracer *core.Tracer) *Enforcer {
 	return &Enforcer{host: host, client: client, tracer: tracer}
 }
 
-// pullDecisionRequest mirrors the AM's wire format.
-type pullDecisionRequest struct {
-	Query     core.DecisionQuery `json:"query"`
-	Subject   core.UserID        `json:"subject,omitempty"`
-	Requester core.RequesterID   `json:"requester,omitempty"`
-}
-
 // Check queries the AM for every access — the defining property (and cost)
 // of the pull model.
 func (e *Enforcer) Check(p pep.Pairing, subject core.UserID, requester core.RequesterID,
 	realm core.RealmID, res core.ResourceID, action core.Action) (bool, error) {
-	req := pullDecisionRequest{
+	req := core.PullDecisionQuery{
 		Query: core.DecisionQuery{
 			PairingID: p.PairingID,
 			Host:      e.host,
@@ -62,30 +52,15 @@ func (e *Enforcer) Check(p pep.Pairing, subject core.UserID, requester core.Requ
 	}
 	e.tracer.Record(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
 		"pull-decision-query", string(res))
-	body, err := json.Marshal(req)
-	if err != nil {
-		return false, fmt.Errorf("pullmodel: encode: %w", err)
-	}
-	httpReq, err := http.NewRequest(http.MethodPost, p.AMURL+"/api/decision/pull", bytes.NewReader(body))
-	if err != nil {
-		return false, fmt.Errorf("pullmodel: build request: %w", err)
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	if err := httpsig.Sign(httpReq, p.PairingID, p.Secret); err != nil {
-		return false, fmt.Errorf("pullmodel: sign: %w", err)
-	}
-	resp, err := e.client.Do(httpReq)
+	am := amclient.New(amclient.Config{
+		BaseURL:    p.AMURL,
+		HTTPClient: e.client,
+		PairingID:  p.PairingID,
+		Secret:     p.Secret,
+	})
+	dec, err := am.PullDecide(req)
 	if err != nil {
 		return false, fmt.Errorf("pullmodel: query: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return false, fmt.Errorf("pullmodel: status %d: %s", resp.StatusCode, msg)
-	}
-	var dec core.DecisionResponse
-	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
-		return false, fmt.Errorf("pullmodel: decode: %w", err)
 	}
 	return dec.Permit(), nil
 }

@@ -18,7 +18,7 @@ func fakeAM(t *testing.T, secret string, decision string) *httptest.Server {
 		return secret, true
 	}))
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/api/decision/pull" {
+		if r.URL.Path != "/v1/api/decision/pull" {
 			http.NotFound(w, r)
 			return
 		}

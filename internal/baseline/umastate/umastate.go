@@ -12,15 +12,12 @@
 package umastate
 
 import (
-	"bytes"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
-	"strings"
 
+	"umac/internal/amclient"
 	"umac/internal/core"
-	"umac/internal/httpsig"
 	"umac/internal/pep"
 )
 
@@ -32,40 +29,28 @@ type RequesterClient struct {
 }
 
 // EstablishState runs the UMA-style pre-authorization at the AM, returning
-// the state handle to present to the Host.
+// the state handle to present to the Host. Refusals surface as
+// core.ErrAccessDenied.
 func (c *RequesterClient) EstablishState(amURL string, host core.HostID, realm core.RealmID, res core.ResourceID, action core.Action) (string, error) {
-	httpClient := c.HTTP
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
-	req := core.TokenRequest{
+	am := amclient.New(amclient.Config{BaseURL: amURL, HTTPClient: c.HTTP})
+	handle, err := am.EstablishState(core.TokenRequest{
 		Requester: c.ID,
 		Subject:   c.Subject,
 		Host:      host,
 		Realm:     realm,
 		Resource:  res,
 		Action:    action,
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return "", fmt.Errorf("umastate: encode: %w", err)
-	}
-	resp, err := httpClient.Post(strings.TrimSuffix(amURL, "/")+"/state", "application/json", bytes.NewReader(body))
-	if err != nil {
+	})
+	var ae *core.APIError
+	switch {
+	case errors.As(err, &ae):
+		// The AM answered with an error response: the state was refused.
+		return "", fmt.Errorf("%w: state refused: %v", core.ErrAccessDenied, err)
+	case err != nil:
+		// Transport failure — not a denial.
 		return "", fmt.Errorf("umastate: establish: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return "", fmt.Errorf("%w: state refused: %s", core.ErrAccessDenied, strings.TrimSpace(string(msg)))
-	}
-	var out struct {
-		Handle string `json:"handle"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return "", fmt.Errorf("umastate: decode: %w", err)
-	}
-	return out.Handle, nil
+	return handle, nil
 }
 
 // Enforcer is the Host-side checker for the state model.
@@ -83,15 +68,9 @@ func New(host core.HostID, client *http.Client, tracer *core.Tracer) *Enforcer {
 	return &Enforcer{host: host, client: client, tracer: tracer}
 }
 
-// stateDecisionRequest mirrors the AM's wire format.
-type stateDecisionRequest struct {
-	Query  core.DecisionQuery `json:"query"`
-	Handle string             `json:"handle"`
-}
-
 // Check queries the AM with the Requester's state handle.
 func (e *Enforcer) Check(p pep.Pairing, handle string, realm core.RealmID, res core.ResourceID, action core.Action) (bool, error) {
-	req := stateDecisionRequest{
+	req := core.StateDecisionQuery{
 		Query: core.DecisionQuery{
 			PairingID: p.PairingID,
 			Host:      e.host,
@@ -103,30 +82,15 @@ func (e *Enforcer) Check(p pep.Pairing, handle string, realm core.RealmID, res c
 	}
 	e.tracer.Record(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
 		"state-decision-query", string(res))
-	body, err := json.Marshal(req)
-	if err != nil {
-		return false, fmt.Errorf("umastate: encode: %w", err)
-	}
-	httpReq, err := http.NewRequest(http.MethodPost, p.AMURL+"/api/decision/state", bytes.NewReader(body))
-	if err != nil {
-		return false, fmt.Errorf("umastate: build request: %w", err)
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	if err := httpsig.Sign(httpReq, p.PairingID, p.Secret); err != nil {
-		return false, fmt.Errorf("umastate: sign: %w", err)
-	}
-	resp, err := e.client.Do(httpReq)
+	am := amclient.New(amclient.Config{
+		BaseURL:    p.AMURL,
+		HTTPClient: e.client,
+		PairingID:  p.PairingID,
+		Secret:     p.Secret,
+	})
+	dec, err := am.StateDecide(req)
 	if err != nil {
 		return false, fmt.Errorf("umastate: query: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return false, fmt.Errorf("umastate: status %d: %s", resp.StatusCode, msg)
-	}
-	var dec core.DecisionResponse
-	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
-		return false, fmt.Errorf("umastate: decode: %w", err)
 	}
 	return dec.Permit(), nil
 }

@@ -19,7 +19,7 @@ func fakeAM(t *testing.T, grantState bool, decision string) *httptest.Server {
 		return "s3cret", true
 	}))
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /state", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/state", func(w http.ResponseWriter, r *http.Request) {
 		var req core.TokenRequest
 		json.NewDecoder(r.Body).Decode(&req)
 		if !grantState {
@@ -28,7 +28,7 @@ func fakeAM(t *testing.T, grantState bool, decision string) *httptest.Server {
 		}
 		json.NewEncoder(w).Encode(map[string]string{"handle": "state-1"})
 	})
-	mux.HandleFunc("POST /api/decision/state", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/api/decision/state", func(w http.ResponseWriter, r *http.Request) {
 		if _, err := verifier.Verify(r); err != nil {
 			http.Error(w, err.Error(), http.StatusUnauthorized)
 			return

@@ -19,7 +19,6 @@
 package pep
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"umac/internal/amclient"
 	"umac/internal/core"
 	"umac/internal/httpsig"
 	"umac/internal/store"
@@ -208,7 +208,7 @@ func (e *Enforcer) BeginPairing(amURL string, user core.UserID) string {
 	}.Encode())
 	e.trace(core.PhaseDelegatingAccessControl, "host:"+string(e.host), "user:"+string(user),
 		"redirect-to-am", amURL)
-	return strings.TrimSuffix(amURL, "/") + "/pair/confirm?" + q.Encode()
+	return amclient.PairConfirmURL(amURL, q)
 }
 
 // CompletePairing exchanges the one-time code at the AM for the channel
@@ -238,26 +238,24 @@ func (e *Enforcer) CompletePairing(amURL string, user core.UserID, code string) 
 	return p, nil
 }
 
+// amFor returns a typed AM client signing with the pairing's credentials.
+func (e *Enforcer) amFor(p Pairing) *amclient.Client {
+	return amclient.New(amclient.Config{
+		BaseURL:    p.AMURL,
+		HTTPClient: e.client,
+		PairingID:  p.PairingID,
+		Secret:     p.Secret,
+	})
+}
+
 // exchange performs the code-for-secret exchange at an AM.
 func (e *Enforcer) exchange(amURL, code string) (Pairing, error) {
-	body, err := json.Marshal(map[string]any{"code": code, "host": e.host})
-	if err != nil {
-		return Pairing{}, fmt.Errorf("pep: encode exchange: %w", err)
-	}
-	resp, err := e.client.Post(strings.TrimSuffix(amURL, "/")+"/api/pair/exchange",
-		"application/json", bytes.NewReader(body))
+	c := amclient.New(amclient.Config{BaseURL: amURL, HTTPClient: e.client})
+	pr, err := c.ExchangePairingCode(code, e.host)
 	if err != nil {
 		return Pairing{}, fmt.Errorf("pep: pairing exchange: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return Pairing{}, fmt.Errorf("pep: pairing exchange failed: %s", readError(resp.Body))
-	}
-	var pr core.PairingResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return Pairing{}, fmt.Errorf("pep: decode pairing response: %w", err)
-	}
-	return Pairing{AMURL: strings.TrimSuffix(amURL, "/"), PairingID: pr.PairingID, Secret: pr.Secret}, nil
+	return Pairing{AMURL: c.BaseURL(), PairingID: pr.PairingID, Secret: pr.Secret}, nil
 }
 
 // HandlePairCallback is the HTTP handler for the pairing redirect leg; Host
@@ -434,9 +432,8 @@ func (e *Enforcer) Protect(owner core.UserID, realm core.RealmID, resources []co
 		Resources: resources,
 		Policy:    pol,
 	}
-	var resp core.ProtectResponse
-	if err := e.signedPost(p, "/api/protect", req, &resp); err != nil {
-		return err
+	if _, err := e.amFor(p).Protect(req); err != nil {
+		return fmt.Errorf("pep: protect %s: %w", realm, err)
 	}
 	e.trace(core.PhaseComposingPolicies, "host:"+string(e.host), "am",
 		"protect", string(realm))
@@ -455,7 +452,7 @@ func (e *Enforcer) ComposeURL(owner core.UserID, realm core.RealmID) (string, er
 	q.Set(core.ParamHost, string(e.host))
 	q.Set(core.ParamRealm, string(realm))
 	q.Set(core.ParamReturnTo, e.baseURL)
-	return p.AMURL + "/compose?" + q.Encode(), nil
+	return amclient.ComposeURL(p.AMURL, q), nil
 }
 
 // --- Enforcement (Figs. 5, 6 and subsequent access) ---
@@ -558,11 +555,11 @@ func (e *Enforcer) Check(r *http.Request, owner core.UserID, realm core.RealmID,
 		// lands while the response is in flight, the decision may predate
 		// the policy change and must not be written back.
 		gen := e.cache.Gen()
-		var d core.DecisionResponse
 		e.trace(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
 			"decision-query-sent", string(res))
-		if err := e.signedPost(p, "/api/decision", q, &d); err != nil {
-			return core.DecisionResponse{}, err
+		d, err := e.amFor(p).Decide(q)
+		if err != nil {
+			return core.DecisionResponse{}, fmt.Errorf("pep: decision query: %w", err)
 		}
 		// Token-problem denials are about the token, not the policy; they
 		// must never be cached no matter what TTL the response claims.
@@ -661,11 +658,11 @@ func (e *Enforcer) CheckBatch(r *http.Request, owner core.UserID, realm core.Rea
 			Items:     chunk,
 		}
 		gen := e.cache.Gen()
-		var resp core.BatchDecisionResponse
 		e.trace(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
 			"decision-batch-sent", fmt.Sprintf("%d items", len(chunk)))
-		if err := e.signedPost(p, "/api/decision/batch", q, &resp); err != nil {
-			return nil, err
+		resp, err := e.amFor(p).DecideBatch(q)
+		if err != nil {
+			return nil, fmt.Errorf("pep: batch decision query: %w", err)
 		}
 		if len(resp.Results) != len(chunk) {
 			return nil, fmt.Errorf("pep: batch decision answered %d of %d items",
@@ -744,40 +741,4 @@ func (e *Enforcer) WriteReferral(w http.ResponseWriter, amURL string, realm core
 		"resource": string(res),
 		"action":   string(action),
 	})
-}
-
-// signedPost sends a JSON POST over the HMAC-signed Host↔AM channel.
-func (e *Enforcer) signedPost(p Pairing, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("pep: encode %s: %w", path, err)
-	}
-	req, err := http.NewRequest(http.MethodPost, p.AMURL+path, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("pep: build %s: %w", path, err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if err := httpsig.Sign(req, p.PairingID, p.Secret); err != nil {
-		return fmt.Errorf("pep: sign %s: %w", path, err)
-	}
-	resp, err := e.client.Do(req)
-	if err != nil {
-		return fmt.Errorf("pep: %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("pep: %s: status %d: %s", path, resp.StatusCode, readError(resp.Body))
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("pep: decode %s response: %w", path, err)
-		}
-	}
-	return nil
-}
-
-// readError extracts a short error string from a response body.
-func readError(r io.Reader) string {
-	b, _ := io.ReadAll(io.LimitReader(r, 512))
-	return strings.TrimSpace(string(b))
 }

@@ -150,7 +150,7 @@ func TestCheckWithoutPairing(t *testing.T) {
 func TestBeginPairingURL(t *testing.T) {
 	e := New(Config{Host: "webpics", Name: "WebPics", BaseURL: "http://pics.example"})
 	u := e.BeginPairing("http://am.example/", "bob")
-	if !strings.HasPrefix(u, "http://am.example/pair/confirm?") {
+	if !strings.HasPrefix(u, "http://am.example/v1/pair/confirm?") {
 		t.Fatalf("url = %s", u)
 	}
 	for _, want := range []string{"host=webpics", "host_name=WebPics", "return_to="} {
@@ -163,7 +163,7 @@ func TestBeginPairingURL(t *testing.T) {
 func TestCompletePairingAgainstFakeAM(t *testing.T) {
 	// A minimal fake AM exchange endpoint.
 	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/api/pair/exchange" {
+		if r.URL.Path != "/v1/api/pair/exchange" {
 			http.NotFound(w, r)
 			return
 		}

@@ -13,7 +13,7 @@ import (
 func fakeExchangeAM(t *testing.T) *httptest.Server {
 	t.Helper()
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/api/pair/exchange" {
+		if r.URL.Path != "/v1/api/pair/exchange" {
 			http.NotFound(w, r)
 			return
 		}

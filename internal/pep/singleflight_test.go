@@ -17,7 +17,7 @@ import (
 func TestSingleflightCollapsesConcurrentMisses(t *testing.T) {
 	var decisions atomic.Int64
 	am := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/api/decision" {
+		if r.URL.Path != "/v1/api/decision" {
 			http.NotFound(w, r)
 			return
 		}

@@ -15,16 +15,15 @@ package requester
 
 import (
 	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"net/url"
 	"strings"
 	"sync"
 	"time"
 
+	"umac/internal/amclient"
 	"umac/internal/core"
 	"umac/internal/pep"
 )
@@ -282,38 +281,42 @@ func (c *Client) ObtainToken(amURL string, host core.HostID, realm core.RealmID,
 	}
 	c.trace(core.PhaseObtainingToken, "requester:"+string(c.id), "am",
 		"token-request", fmt.Sprintf("%s/%s %s", host, realm, action))
-	body, err := json.Marshal(req)
-	if err != nil {
-		return "", fmt.Errorf("requester: encode token request: %w", err)
-	}
-	resp, err := c.http.Post(strings.TrimSuffix(amURL, "/")+"/token", "application/json", bytes.NewReader(body))
-	if err != nil {
+	tr, err := c.am(amURL).RequestToken(req)
+	switch {
+	case isDenied(err):
+		return "", fmt.Errorf("%w: AM refused token", ErrDenied)
+	case err != nil:
 		return "", fmt.Errorf("requester: token request: %w", err)
 	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK, http.StatusAccepted:
-		var tr core.TokenResponse
-		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
-			return "", fmt.Errorf("requester: decode token response: %w", err)
-		}
-		switch {
-		case tr.Token != "":
-			c.trace(core.PhaseObtainingToken, "am", "requester:"+string(c.id), "token-received", "")
-			return tr.Token, nil
-		case tr.PendingConsent != "":
-			return c.pollConsent(amURL, tr.PendingConsent)
-		case len(tr.RequiredTerms) > 0:
-			return "", &TermsError{Terms: tr.RequiredTerms}
-		default:
-			return "", fmt.Errorf("requester: empty token response")
-		}
-	case http.StatusForbidden:
-		return "", fmt.Errorf("%w: AM refused token", ErrDenied)
+	switch {
+	case tr.Token != "":
+		c.trace(core.PhaseObtainingToken, "am", "requester:"+string(c.id), "token-received", "")
+		return tr.Token, nil
+	case tr.PendingConsent != "":
+		return c.pollConsent(amURL, tr.PendingConsent)
+	case len(tr.RequiredTerms) > 0:
+		return "", &TermsError{Terms: tr.RequiredTerms}
 	default:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return "", fmt.Errorf("requester: token endpoint status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		return "", fmt.Errorf("requester: empty token response")
 	}
+}
+
+// am returns a typed client for the referred AM (Requester calls are
+// unauthenticated: identity travels in the request body, mediated by
+// policy, consent and terms).
+func (c *Client) am(amURL string) *amclient.Client {
+	return amclient.New(amclient.Config{BaseURL: amURL, HTTPClient: c.http})
+}
+
+// isDenied classifies a token-endpoint error as a policy deny: the
+// structured access_denied code (which unwraps to the sentinel), or —
+// from a pre-v1 AM with no machine-readable code — a bare 403.
+func isDenied(err error) bool {
+	if errors.Is(err, core.ErrAccessDenied) {
+		return true
+	}
+	var ae *core.APIError
+	return errors.As(err, &ae) && ae.Code == core.CodeUnknown && ae.Status == http.StatusForbidden
 }
 
 // pollConsent implements the asynchronous Requester↔AM interaction of
@@ -322,17 +325,11 @@ func (c *Client) pollConsent(amURL, ticket string) (string, error) {
 	c.trace(core.PhaseObtainingToken, "requester:"+string(c.id), "am",
 		"consent-poll-start", ticket)
 	deadline := time.Now().Add(c.pollTimeout)
-	statusURL := strings.TrimSuffix(amURL, "/") + "/token/status?" + url.Values{core.ParamTicket: {ticket}}.Encode()
+	am := c.am(amURL)
 	for {
-		resp, err := c.http.Get(statusURL)
+		st, err := am.TokenStatus(ticket)
 		if err != nil {
 			return "", fmt.Errorf("requester: consent poll: %w", err)
-		}
-		var st core.ConsentStatus
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			return "", fmt.Errorf("requester: decode consent status: %w", err)
 		}
 		if st.Resolved {
 			if !st.Approved {

@@ -28,7 +28,7 @@ func newFakeAM(t *testing.T) *fakeAM {
 	t.Helper()
 	f := &fakeAM{}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /token", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/token", func(w http.ResponseWriter, r *http.Request) {
 		f.tokenCalls.Add(1)
 		var req core.TokenRequest
 		json.NewDecoder(r.Body).Decode(&req)
@@ -37,7 +37,7 @@ func newFakeAM(t *testing.T) *fakeAM {
 		w.WriteHeader(status)
 		json.NewEncoder(w).Encode(resp)
 	})
-	mux.HandleFunc("GET /token/status", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/token/status", func(w http.ResponseWriter, r *http.Request) {
 		n := int(f.statusCalls.Add(1)) - 1
 		if n >= len(f.statusResponses) {
 			n = len(f.statusResponses) - 1

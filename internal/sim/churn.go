@@ -83,7 +83,11 @@ func RunChurnWorkload(cfg ChurnConfig) (ChurnResult, error) {
 	if err := h.Enforcer.Protect("bob", "cold", []core.ResourceID{"cold-0"}, ""); err != nil {
 		return result, err
 	}
-	hotPol, err := w.AM.CreatePolicy("bob", policy.Policy{
+	// Policy setup goes through the typed v1 management API — the same
+	// surface a real owner's tooling uses. (This is warmup traffic: the
+	// round-trip counters reset below, after the cache warm.)
+	mgmt := w.Client("bob")
+	hotPol, err := mgmt.CreatePolicy(policy.Policy{
 		Owner: "bob", Name: "hot-readers", Kind: policy.KindGeneral,
 		Rules: []policy.Rule{{
 			Effect:   policy.EffectPermit,
@@ -94,10 +98,10 @@ func RunChurnWorkload(cfg ChurnConfig) (ChurnResult, error) {
 	if err != nil {
 		return result, err
 	}
-	if err := w.AM.LinkGeneral("bob", "hot", hotPol.ID); err != nil {
+	if err := mgmt.LinkGeneral("bob", "hot", hotPol.ID); err != nil {
 		return result, err
 	}
-	coldPol, err := w.AM.CreatePolicy("bob", policy.Policy{
+	coldPol, err := mgmt.CreatePolicy(policy.Policy{
 		Owner: "bob", Name: "cold-policy", Kind: policy.KindGeneral,
 		Rules: []policy.Rule{{
 			Effect:   policy.EffectDeny,
@@ -107,7 +111,7 @@ func RunChurnWorkload(cfg ChurnConfig) (ChurnResult, error) {
 	if err != nil {
 		return result, err
 	}
-	if err := w.AM.LinkGeneral("bob", "cold", coldPol.ID); err != nil {
+	if err := mgmt.LinkGeneral("bob", "cold", coldPol.ID); err != nil {
 		return result, err
 	}
 

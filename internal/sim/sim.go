@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"umac/internal/am"
+	"umac/internal/amclient"
 	"umac/internal/core"
 	"umac/internal/identity"
 	"umac/internal/pep"
@@ -75,6 +76,12 @@ func NewWorldConfig(cfg am.Config) *World {
 	}))
 	a.SetBaseURL(w.AMServer.URL)
 	return w
+}
+
+// Client returns a typed v1 API client acting as user — the programmatic
+// equivalent of that user's browser session against the world's AM.
+func (w *World) Client(user core.UserID) *amclient.Client {
+	return amclient.New(amclient.Config{BaseURL: w.AMServer.URL, User: user})
 }
 
 // AMRequests returns the number of HTTP requests the AM has served.

@@ -63,7 +63,10 @@ func comparisonWorld(n int) (*World, *SimpleHost, error) {
 		w.Close()
 		return nil, nil, err
 	}
-	p, err := w.AM.CreatePolicy("bob", policy.Policy{
+	// Management traffic flows through the typed v1 client; the per-model
+	// round-trip counters reset after this setup.
+	mgmt := w.Client("bob")
+	p, err := mgmt.CreatePolicy(policy.Policy{
 		Owner: "bob", Kind: policy.KindGeneral,
 		Rules: []policy.Rule{{
 			Effect:   policy.EffectPermit,
@@ -75,7 +78,7 @@ func comparisonWorld(n int) (*World, *SimpleHost, error) {
 		w.Close()
 		return nil, nil, err
 	}
-	if err := w.AM.LinkGeneral("bob", "travel", p.ID); err != nil {
+	if err := mgmt.LinkGeneral("bob", "travel", p.ID); err != nil {
 		w.Close()
 		return nil, nil, err
 	}

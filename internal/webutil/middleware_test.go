@@ -1,0 +1,132 @@
+package webutil
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"umac/internal/core"
+)
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	var seen string
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestIDFrom(r.Context())
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if seen == "" || rec.Header().Get(RequestIDHeader) != seen {
+		t.Fatalf("ctx=%q header=%q", seen, rec.Header().Get(RequestIDHeader))
+	}
+
+	// A sane inbound ID is honoured…
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "req-from-proxy")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "req-from-proxy" {
+		t.Fatalf("inbound id dropped: %q", seen)
+	}
+
+	// …an oversized or non-printable one is replaced.
+	for _, bad := range []string{strings.Repeat("x", 65), "evil\nheader"} {
+		req = httptest.NewRequest("GET", "/x", nil)
+		req.Header.Set(RequestIDHeader, bad)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		if seen == bad {
+			t.Fatalf("bad inbound id %q accepted", bad)
+		}
+	}
+}
+
+func TestRecoverWritesStructured500(t *testing.T) {
+	h := RequestID(Recover(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != 500 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var e struct {
+		Code      string `json:"code"`
+		Retryable bool   `json:"retryable"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != core.CodeInternal || !e.Retryable || e.RequestID == "" {
+		t.Fatalf("envelope = %+v", e)
+	}
+}
+
+func TestMetricsCountsByRouteAndClass(t *testing.T) {
+	m := NewMetrics()
+	okH := m.Instrument("GET /v1/a", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hi")) // implicit 200
+	}))
+	errH := m.Instrument("GET /v1/b", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(404)
+	}))
+	for i := 0; i < 3; i++ {
+		okH.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/a", nil))
+	}
+	errH.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/b", nil))
+
+	snap := m.Snapshot()
+	if snap.Requests != 4 {
+		t.Fatalf("requests = %d", snap.Requests)
+	}
+	a := snap.Routes["GET /v1/a"]
+	if a.Count != 3 || a.Status["2xx"] != 3 {
+		t.Fatalf("a = %+v", a)
+	}
+	b := snap.Routes["GET /v1/b"]
+	if b.Count != 1 || b.Status["4xx"] != 1 {
+		t.Fatalf("b = %+v", b)
+	}
+}
+
+// TestMetricsCountsPanics asserts a panicking handler is still accounted
+// (as 5xx) even though the panic unwinds through the instrumentation to
+// the outer Recover middleware.
+func TestMetricsCountsPanics(t *testing.T) {
+	m := NewMetrics()
+	h := Recover(m.Instrument("GET /v1/boom", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/boom", nil))
+	if rec.Code != 500 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	rs := m.Snapshot().Routes["GET /v1/boom"]
+	if rs.Count != 1 || rs.Status["5xx"] != 1 {
+		t.Fatalf("snapshot = %+v", rs)
+	}
+}
+
+func TestWritePageFrames(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WritePage(rec, 200, []int{1, 2, 3, 4, 5}, 5, 1, 2)
+	if rec.Header().Get(HeaderTotalCount) != "5" || rec.Header().Get(HeaderNextOffset) != "3" {
+		t.Fatalf("headers = %v", rec.Header())
+	}
+	var page []int
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 2 || page[0] != 2 {
+		t.Fatalf("page = %v", page)
+	}
+
+	// Past-the-end offset → empty array, no next-offset header.
+	rec = httptest.NewRecorder()
+	WritePage(rec, 200, []int{1}, 1, 9, 10)
+	if strings.TrimSpace(rec.Body.String()) != "[]" || rec.Header().Get(HeaderNextOffset) != "" {
+		t.Fatalf("past-end body=%q next=%q", rec.Body.String(), rec.Header().Get(HeaderNextOffset))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"umac/internal/core"
 )
@@ -23,7 +24,8 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// ErrorBody is the JSON error envelope.
+// ErrorBody is the legacy JSON error envelope (pre-v1 surface and the
+// prototype Hosts).
 type ErrorBody struct {
 	Error string `json:"error"`
 }
@@ -36,6 +38,112 @@ func WriteError(w http.ResponseWriter, status int, err error) {
 // WriteErrorf writes a formatted JSON error response.
 func WriteErrorf(w http.ResponseWriter, status int, format string, args ...any) {
 	WriteJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// ProblemContentType is the content type of structured error responses.
+const ProblemContentType = "application/problem+json"
+
+// apiErrorBody is the rendered envelope: the structured fields plus the
+// legacy "error" member, so pre-v1 clients that decode ErrorBody keep
+// reading a message.
+type apiErrorBody struct {
+	*core.APIError
+	LegacyError string `json:"error"`
+}
+
+// WriteAPIError writes the structured error envelope, stamping the request
+// ID from the request context when the error carries none.
+func WriteAPIError(w http.ResponseWriter, r *http.Request, e *core.APIError) {
+	if e.RequestID == "" && r != nil {
+		e.RequestID = RequestIDFrom(r.Context())
+	}
+	w.Header().Set("Content-Type", ProblemContentType)
+	w.WriteHeader(e.Status)
+	_ = json.NewEncoder(w).Encode(apiErrorBody{APIError: e, LegacyError: e.Message})
+}
+
+// Fail classifies err (core.APIErrorFor) and writes the envelope.
+func Fail(w http.ResponseWriter, r *http.Request, err error) {
+	WriteAPIError(w, r, core.APIErrorFor(err))
+}
+
+// FailCode writes the envelope for an explicit error code.
+func FailCode(w http.ResponseWriter, r *http.Request, code, format string, args ...any) {
+	WriteAPIError(w, r, core.APIErrorf(code, format, args...))
+}
+
+// Pagination defaults for the list endpoints: a request with no explicit
+// limit gets DefaultPageLimit items; explicit limits are capped at
+// MaxPageLimit so one response cannot dump a million-event log.
+const (
+	DefaultPageLimit = 100
+	MaxPageLimit     = 1000
+)
+
+// Pagination response headers. The body stays a plain JSON array (the
+// pre-v1 shape); the page frame travels in headers.
+const (
+	HeaderTotalCount = "X-Total-Count"
+	HeaderNextOffset = "X-Next-Offset"
+)
+
+// ParsePage reads ?offset= and ?limit= with the shared defaults. Invalid
+// values yield a bad_request APIError.
+func ParsePage(r *http.Request) (offset, limit int, err error) {
+	offset, err = pageInt(r, "offset", 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	limit, err = pageInt(r, "limit", DefaultPageLimit)
+	if err != nil {
+		return 0, 0, err
+	}
+	if limit <= 0 || limit > MaxPageLimit {
+		limit = MaxPageLimit
+	}
+	return offset, limit, nil
+}
+
+func pageInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, core.APIErrorf(core.CodeBadRequest, "webutil: %s must be a non-negative integer, got %q", name, raw)
+	}
+	return n, nil
+}
+
+// WritePage slices items to [offset, offset+limit), sets the pagination
+// headers and writes the page as a JSON array. total is the pre-slice
+// size of the filtered set.
+func WritePage[T any](w http.ResponseWriter, status int, items []T, total, offset, limit int) {
+	if offset > len(items) {
+		offset = len(items)
+	}
+	end := offset + limit
+	if end > len(items) {
+		end = len(items)
+	}
+	WritePageFrame(w, status, items[offset:end], total, offset)
+}
+
+// WritePageFrame writes an already-windowed page whose first element sits
+// at offset within the total matching set (for handlers that window at
+// the source, like the audit log). It sets the pagination headers and
+// writes the page as a JSON array.
+func WritePageFrame[T any](w http.ResponseWriter, status int, page []T, total, offset int) {
+	w.Header().Set(HeaderTotalCount, strconv.Itoa(total))
+	if next := offset + len(page); next < total {
+		w.Header().Set(HeaderNextOffset, strconv.Itoa(next))
+	}
+	// An empty page renders as [] (not null) so clients can range over it.
+	if page == nil {
+		page = []T{}
+	}
+	WriteJSON(w, status, page)
 }
 
 // StatusFor maps protocol errors to HTTP statuses.

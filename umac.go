@@ -37,6 +37,7 @@ package umac
 
 import (
 	"umac/internal/am"
+	"umac/internal/amclient"
 	"umac/internal/core"
 	"umac/internal/pep"
 	"umac/internal/policy"
@@ -88,6 +89,26 @@ type (
 
 // NewAM constructs an Authorization Manager.
 func NewAM(cfg AMConfig) *AM { return am.New(cfg) }
+
+// Typed AM API client.
+type (
+	// AMClient is the typed client for the AM's versioned v1 HTTP API:
+	// every protocol and management route, with signed (Host) and
+	// session (management) authentication built in. Errors are
+	// *APIError values carrying stable machine-readable codes.
+	AMClient = amclient.Client
+	// AMClientConfig configures an AMClient.
+	AMClientConfig = amclient.Config
+	// Page selects a window of a paginated list endpoint.
+	Page = amclient.Page
+	// AuditFilter narrows an AMClient audit query.
+	AuditFilter = amclient.AuditFilter
+	// APIError is the structured error envelope of the v1 API.
+	APIError = core.APIError
+)
+
+// NewAMClient constructs a typed AM API client.
+func NewAMClient(cfg AMClientConfig) *AMClient { return amclient.New(cfg) }
 
 // Host-side enforcement.
 type (
