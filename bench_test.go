@@ -14,9 +14,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"umac/internal/am"
+	"umac/internal/amclient"
 	appgallery "umac/internal/apps/gallery"
 	appstorage "umac/internal/apps/storage"
 	"umac/internal/baseline/localacl"
@@ -889,5 +893,169 @@ func BenchmarkDecisionCache(b *testing.B) {
 		if _, ok := c.Get(keys[i%len(keys)]); !ok {
 			b.Fatal("miss")
 		}
+	}
+}
+
+// --- E15: WAL-shipping replication — apply throughput, visibility lag,
+// read scaling across replicas ---
+
+// replBenchSecret / replBenchKey are the shared deployment secrets of the
+// replication benchmarks.
+const replBenchSecret = "bench-repl-secret"
+
+var replBenchKey = []byte("bench-shared-token-key-012345678")
+
+// BenchmarkReplicationApplyThroughput measures the follower's apply path in
+// isolation: records/s a follower sustains installing an already-fetched
+// WAL stream into its store (ns/op is per record).
+func BenchmarkReplicationApplyThroughput(b *testing.B) {
+	primary := store.New()
+	primary.EnableReplication(b.N + 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := primary.Put("link", fmt.Sprintf("k%08d", i), benchEntity{Owner: "bob", Seq: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	records, _, err := primary.TailSince(0, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	follower := store.New()
+	b.ResetTimer()
+	for _, rec := range records {
+		if err := follower.ApplyReplicated(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if follower.LastSeq() != primary.LastSeq() {
+		b.Fatalf("follower at %d, primary at %d", follower.LastSeq(), primary.LastSeq())
+	}
+}
+
+// replBenchWorld starts a primary AM with the standard pairing fixture and
+// n-1 followers syncing from it over HTTP, returning one signed decision
+// client per node (primary first).
+func replBenchWorld(b *testing.B, nodes int) (*am.AM, []*am.AM, []*amclient.Client, core.DecisionQuery) {
+	b.Helper()
+	primary := am.New(am.Config{
+		Name: "am-primary", TokenKey: replBenchKey,
+		Replication: am.ReplicationConfig{Role: am.RolePrimary, Secret: replBenchSecret},
+	})
+	primarySrv := httptest.NewServer(primary.Handler())
+	primary.SetBaseURL(primarySrv.URL)
+	b.Cleanup(func() { primarySrv.Close(); primary.Close() })
+
+	code, err := primary.ApprovePairing(core.PairingRequest{Host: "webpics", User: "bob"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairing, err := primary.ExchangeCode(code, "webpics")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := primary.RegisterRealm(pairing.PairingID, core.ProtectRequest{Realm: "travel"}); err != nil {
+		b.Fatal(err)
+	}
+	pol, err := primary.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+			Actions:  []core.Action{core.ActionRead},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := primary.LinkGeneral("bob", "travel", pol.ID); err != nil {
+		b.Fatal(err)
+	}
+	tok, err := primary.IssueToken(core.TokenRequest{
+		Requester: "alice-browser", Subject: "alice", Host: "webpics",
+		Realm: "travel", Resource: "photo", Action: core.ActionRead,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	clients := []*amclient.Client{amclient.New(amclient.Config{
+		BaseURL: primarySrv.URL, PairingID: pairing.PairingID, Secret: pairing.Secret,
+	})}
+	var followers []*am.AM
+	for i := 1; i < nodes; i++ {
+		f := am.New(am.Config{
+			Name: fmt.Sprintf("am-follower-%d", i), TokenKey: replBenchKey,
+			Replication: am.ReplicationConfig{
+				Role: am.RoleFollower, Secret: replBenchSecret,
+				PrimaryURL: primarySrv.URL, PollWait: 100 * time.Millisecond,
+			},
+		})
+		srv := httptest.NewServer(f.Handler())
+		f.SetBaseURL(srv.URL)
+		b.Cleanup(func() { srv.Close(); f.Close() })
+		if !f.WaitReplicated(primary.Store().LastSeq(), 10*time.Second) {
+			b.Fatal("follower never caught up during setup")
+		}
+		followers = append(followers, f)
+		clients = append(clients, amclient.New(amclient.Config{
+			BaseURL: srv.URL, PairingID: pairing.PairingID, Secret: pairing.Secret,
+		}))
+	}
+	q := core.DecisionQuery{
+		Host: "webpics", Realm: "travel", Resource: "photo",
+		Action: core.ActionRead, Token: tok.Token,
+	}
+	return primary, followers, clients, q
+}
+
+// BenchmarkReplicationVisibilityLag measures primary→follower visibility
+// over real HTTP: per iteration one write is acknowledged by the primary
+// and the clock stops when the follower has applied it. Reports the mean
+// as ns/op and the p99 as a custom metric.
+func BenchmarkReplicationVisibilityLag(b *testing.B) {
+	primary, followers, _, _ := replBenchWorld(b, 2)
+	follower := followers[0]
+	lags := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := primary.Store().Put("bench", fmt.Sprintf("k%08d", i), benchEntity{Seq: i}); err != nil {
+			b.Fatal(err)
+		}
+		target := primary.Store().LastSeq()
+		for follower.Store().LastSeq() < target {
+			time.Sleep(50 * time.Microsecond)
+		}
+		lags = append(lags, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	b.ReportMetric(float64(lags[len(lags)*99/100]), "p99-visibility-ns")
+}
+
+// BenchmarkReplicaDecisionReadScaling measures decision read throughput as
+// replicas join: the same signed decision query spread round-robin across
+// 1, 2 and 3 serving nodes (primary plus followers). ns/op is the
+// per-decision latency of the whole fleet under parallel load.
+func BenchmarkReplicaDecisionReadScaling(b *testing.B) {
+	for _, nodes := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("replicas-%d", nodes), func(b *testing.B) {
+			_, _, clients, q := replBenchWorld(b, nodes)
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := clients[int(next.Add(1))%len(clients)]
+				for pb.Next() {
+					dec, err := c.Decide(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !dec.Permit() {
+						b.Fatalf("deny: %+v", dec)
+					}
+				}
+			})
+		})
 	}
 }

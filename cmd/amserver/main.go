@@ -1,4 +1,5 @@
-// Command amserver runs a standalone Authorization Manager.
+// Command amserver runs an Authorization Manager node — standalone, or as
+// the primary or a follower of a replicated deployment.
 //
 // Usage:
 //
@@ -11,6 +12,22 @@
 // to also survive machine crashes, or -no-wal for the legacy
 // snapshot-only behaviour. Browser-facing endpoints authenticate via the
 // X-Umac-User header (front it with a real SSO proxy in production).
+//
+// Replication (see docs/OPERATIONS.md for the full runbook):
+//
+//	# primary: serves writes and streams its WAL on /v1/replication/*
+//	amserver -addr :8080 -state primary.json -role primary \
+//	    -repl-secret-file repl.secret -token-key-file token.key
+//
+//	# follower: syncs from the primary, serves the read-only decision path
+//	amserver -addr :8081 -state follower.json -role follower \
+//	    -replica-of http://localhost:8080 \
+//	    -repl-secret-file repl.secret -token-key-file token.key
+//
+// Both sides must share the replication secret and the token-service key
+// (so a follower validates tokens the primary minted). Followers answer
+// writes with the structured not_primary error carrying the primary's URL;
+// the typed client (umac.AMClient with Endpoints) fails over on it.
 package main
 
 import (
@@ -20,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,10 +55,45 @@ func main() {
 		tokenTTL = flag.Duration("token-ttl", 30*time.Minute, "authorization token lifetime")
 		fsync    = flag.Bool("fsync", false, "fsync the WAL on every write (survive machine crashes, not just process kills)")
 		noWAL    = flag.Bool("no-wal", false, "disable the write-ahead log (persist on snapshot only)")
+
+		role      = flag.String("role", "", "replication role: \"primary\" or \"follower\" (empty = standalone)")
+		replicaOf = flag.String("replica-of", "", "primary base URL to sync from (follower role)")
+		replSec   = flag.String("repl-secret", "", "shared replication secret (prefer -repl-secret-file)")
+		replSecF  = flag.String("repl-secret-file", "", "file holding the shared replication secret")
+		tokenKey  = flag.String("token-key", "", "token-service master key, shared across the deployment (prefer -token-key-file)")
+		tokenKeyF = flag.String("token-key-file", "", "file holding the token-service master key")
 	)
 	flag.Parse()
 	if *statef == "" {
 		*statef = *snapshot
+	}
+
+	secret := readSecret(*replSec, *replSecF, "repl-secret")
+	key := readSecret(*tokenKey, *tokenKeyF, "token-key")
+	var repl umac.ReplicationConfig
+	switch *role {
+	case "":
+		if *replicaOf != "" {
+			log.Fatal("amserver: -replica-of requires -role follower")
+		}
+	case "primary":
+		if *replicaOf != "" {
+			log.Fatal("amserver: -replica-of contradicts -role primary; a primary syncs from nobody")
+		}
+		if secret == "" {
+			log.Fatal("amserver: -role primary requires a replication secret (-repl-secret-file)")
+		}
+		repl = umac.ReplicationConfig{Role: umac.RolePrimary, Secret: secret}
+	case "follower":
+		if *replicaOf == "" || secret == "" {
+			log.Fatal("amserver: -role follower requires -replica-of and a replication secret")
+		}
+		if key == "" {
+			log.Fatal("amserver: -role follower requires the shared token key (-token-key-file), or primary-minted tokens will not validate here")
+		}
+		repl = umac.ReplicationConfig{Role: umac.RoleFollower, Secret: secret, PrimaryURL: *replicaOf}
+	default:
+		log.Fatalf("amserver: unknown -role %q", *role)
 	}
 
 	st := umac.NewStore()
@@ -66,12 +119,17 @@ func main() {
 		base = "http://localhost" + *addr
 	}
 	authMgr := umac.NewAM(umac.AMConfig{
-		Name:     *name,
-		BaseURL:  base,
-		Store:    st,
-		TokenTTL: *tokenTTL,
-		Notifier: &umac.Outbox{},
+		Name:        *name,
+		BaseURL:     base,
+		Store:       st,
+		TokenKey:    []byte(key),
+		TokenTTL:    *tokenTTL,
+		Notifier:    &umac.Outbox{},
+		Replication: repl,
 	})
+	if repl.Role != "" {
+		log.Printf("amserver: replication role %s (applied seq %d)", repl.Role, st.LastSeq())
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: authMgr.Handler()}
 	go func() {
@@ -115,4 +173,17 @@ func main() {
 		log.Printf("amserver: close store: %v", err)
 	}
 	srv.Close()
+}
+
+// readSecret resolves a value/file flag pair: the file wins when set, its
+// contents trimmed of trailing whitespace.
+func readSecret(value, file, name string) string {
+	if file == "" {
+		return value
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		log.Fatalf("amserver: read -%s-file: %v", name, err)
+	}
+	return strings.TrimSpace(string(data))
 }

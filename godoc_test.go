@@ -1,0 +1,151 @@
+package umac_test
+
+// Documentation-drift enforcement (the docs counterpart of the route-drift
+// test): every internal package must carry a package-level godoc comment,
+// and every exported identifier of internal/core — the shared protocol
+// vocabulary other packages and external readers navigate by — must carry
+// a doc comment. Run by CI as its own step, so documentation cannot
+// silently rot as the surface grows.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parsePackages parses every non-test Go file under dir (recursively),
+// returning dir→package mappings.
+func parsePackages(t *testing.T, root string) map[string]*ast.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs := make(map[string]*ast.Package)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		parsed, err := parser.ParseDir(fset, path, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return err
+		}
+		for _, pkg := range parsed {
+			pkgs[path] = pkg
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestGodocPackageComments fails for any internal package whose files all
+// lack a "// Package x ..." comment.
+func TestGodocPackageComments(t *testing.T) {
+	for dir, pkg := range parsePackages(t, "internal") {
+		documented := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package %s (%s) has no package-level godoc comment — add one (\"// Package %s ...\")",
+				pkg.Name, dir, pkg.Name)
+		}
+	}
+}
+
+// TestGodocCoreExportedComments fails for any exported top-level
+// identifier (type, func, method, const, var) in internal/core that
+// carries no doc comment. A comment on a const/var group documents every
+// spec inside it unless a spec carries its own.
+func TestGodocCoreExportedComments(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, filepath.Join("internal", "core"), func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := func(pos token.Pos, kind, name string) {
+		t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), kind, name)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range f2sorted(pkg.Files) {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedReceiver(d) {
+						continue
+					}
+					if d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					groupDoc := d.Doc != nil
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if groupDoc || s.Doc != nil || s.Comment != nil {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									report(s.Pos(), "const/var", n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a func decl is package-level or a
+// method on an exported type (unexported receivers are internal detail).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// f2sorted returns the files of a package in deterministic name order so
+// failure output is stable.
+func f2sorted(files map[string]*ast.File) []*ast.File {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		out = append(out, files[name])
+	}
+	return out
+}

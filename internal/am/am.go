@@ -18,6 +18,7 @@
 package am
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -106,6 +107,10 @@ type Config struct {
 	Notifier Notifier
 	// Tracer records protocol events; nil disables tracing.
 	Tracer *core.Tracer
+	// Replication selects the node's role in a replicated deployment
+	// (primary streaming its WAL, or follower applying it and serving
+	// reads only). The zero value is a standalone AM.
+	Replication ReplicationConfig
 }
 
 // DefaultDecisionCacheTTL is the fallback Host decision-cache TTL.
@@ -132,6 +137,18 @@ type AM struct {
 	// routes is the table the last Handler call registered (guarded by
 	// mu; the metrics registry itself lives in the handler closure).
 	routes []RouteInfo
+
+	// Replication state (see replication.go). roleFollower gates writes;
+	// the remaining fields are the follower sync loop's telemetry.
+	replCfg        ReplicationConfig
+	roleFollower   atomic.Bool
+	replConnected  atomic.Bool
+	replPrimarySeq atomic.Int64
+	replApplied    atomic.Int64
+	replCtx        context.Context
+	replCancel     context.CancelFunc
+	replStopOnce   sync.Once
+	replDone       chan struct{}
 
 	mu       sync.Mutex
 	pending  map[string]pendingPairing // one-time pairing codes
@@ -177,18 +194,22 @@ func New(cfg Config) *AM {
 		notifier: cfg.Notifier,
 		tracer:   cfg.Tracer,
 		cacheTTL: cacheTTL,
+		replCfg:  cfg.Replication,
 		pending:  make(map[string]pendingPairing),
 		consents: make(map[string]*consentTicket),
 	}
 	a.auditPipe = audit.NewPipeline(a.audit, 0)
 	a.groups = newGroupStore(st)
 	a.engine = policy.NewEngine(a.groups)
+	a.startReplication()
 	return a
 }
 
-// Close flushes the asynchronous audit pipeline and stops its worker. The
-// backing store is the caller's to close (it may be shared).
+// Close stops the follower replication loop (if any) and flushes the
+// asynchronous audit pipeline. The backing store is the caller's to close
+// (it may be shared).
 func (a *AM) Close() error {
+	a.stopReplication()
 	a.auditPipe.Close()
 	return nil
 }

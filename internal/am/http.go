@@ -52,8 +52,16 @@ type RouteInfo struct {
 //	  POST   /v1/api/decision
 //	  POST   /v1/api/decision/batch
 //
+//	Replication (shared-secret bearer auth; primaries only):
+//	  GET    /v1/replication/snapshot   follower bootstrap image
+//	  GET    /v1/replication/wal        resumable WAL tail (long poll)
+//
 //	Operational (unauthenticated):
 //	  GET    /v1/healthz, /v1/readyz, /v1/metrics
+//
+// On a follower (Config.Replication.Role == RoleFollower) every mutating
+// route answers the structured not_primary error with a leader hint; the
+// decision family and all reads keep serving from replicated state.
 //
 // Every route runs inside the shared middleware stack: request-ID
 // injection, panic recovery, and per-route latency/status counters
@@ -85,56 +93,67 @@ func (a *AM) Handler() http.Handler {
 		reg(method, path, h, path)
 	}
 
+	// Mutating routes additionally pass through a.primaryOnly, so a
+	// read-only follower rejects them with the structured not_primary
+	// error (leader hint included) before authentication runs. The
+	// decision family and all GET reads stay open on followers.
+
 	// --- Host-facing API ---
-	regSame("POST", "/api/pair/exchange", http.HandlerFunc(a.handlePairExchange))
-	regSame("POST", "/api/protect", a.signed(verifier, a.handleProtect))
+	regSame("POST", "/api/pair/exchange", a.primaryOnly(http.HandlerFunc(a.handlePairExchange)))
+	regSame("POST", "/api/protect", a.primaryOnly(a.signed(verifier, a.handleProtect)))
 	regSame("POST", "/api/decision", a.signed(verifier, a.handleDecision))
 	regSame("POST", "/api/decision/batch", a.signed(verifier, a.handleDecisionBatch))
 	regSame("POST", "/api/decision/pull", a.signed(verifier, a.handlePullDecision))
 	regSame("POST", "/api/decision/state", a.signed(verifier, a.handleStateDecision))
 
 	// --- Requester-facing ---
-	regSame("POST", "/token", http.HandlerFunc(a.handleToken))
+	regSame("POST", "/token", a.primaryOnly(http.HandlerFunc(a.handleToken)))
 	regSame("GET", "/token/status", http.HandlerFunc(a.handleTokenStatus))
-	regSame("POST", "/state", http.HandlerFunc(a.handleEstablishState))
+	regSame("POST", "/state", a.primaryOnly(http.HandlerFunc(a.handleEstablishState)))
 
 	// --- Browser-facing ---
-	regSame("GET", "/pair/confirm", a.authed(a.handlePairConfirm))
+	regSame("GET", "/pair/confirm", a.primaryOnly(a.authed(a.handlePairConfirm)))
 	regSame("GET", "/compose", a.authed(a.handleComposePage))
 
 	regSame("GET", "/policies", a.authed(a.handlePolicyList))
-	regSame("POST", "/policies", a.authed(a.handlePolicyCreate))
+	regSame("POST", "/policies", a.primaryOnly(a.authed(a.handlePolicyCreate)))
 	regSame("GET", "/policies/export", a.authed(a.handlePolicyExport))
-	regSame("POST", "/policies/import", a.authed(a.handlePolicyImport))
+	regSame("POST", "/policies/import", a.primaryOnly(a.authed(a.handlePolicyImport)))
 	regSame("GET", "/policies/{id}", a.authed(a.handlePolicyGet))
-	regSame("PUT", "/policies/{id}", a.authed(a.handlePolicyUpdate))
-	regSame("DELETE", "/policies/{id}", a.authed(a.handlePolicyDelete))
+	regSame("PUT", "/policies/{id}", a.primaryOnly(a.authed(a.handlePolicyUpdate)))
+	regSame("DELETE", "/policies/{id}", a.primaryOnly(a.authed(a.handlePolicyDelete)))
 
-	regSame("POST", "/links/general", a.authed(a.handleLinkGeneral))
-	regSame("POST", "/links/specific", a.authed(a.handleLinkSpecific))
-	regSame("DELETE", "/links/general", a.authed(a.handleUnlinkGeneral))
-	regSame("DELETE", "/links/specific", a.authed(a.handleUnlinkSpecific))
+	regSame("POST", "/links/general", a.primaryOnly(a.authed(a.handleLinkGeneral)))
+	regSame("POST", "/links/specific", a.primaryOnly(a.authed(a.handleLinkSpecific)))
+	regSame("DELETE", "/links/general", a.primaryOnly(a.authed(a.handleUnlinkGeneral)))
+	regSame("DELETE", "/links/specific", a.primaryOnly(a.authed(a.handleUnlinkSpecific)))
 
 	regSame("GET", "/groups", a.authed(a.handleGroupList))
 	regSame("GET", "/groups/{group}/members", a.authed(a.handleGroupMembers))
-	regSame("POST", "/groups/{group}/members", a.authed(a.handleGroupAdd))
-	regSame("DELETE", "/groups/{group}/members/{user}", a.authed(a.handleGroupRemove))
+	regSame("POST", "/groups/{group}/members", a.primaryOnly(a.authed(a.handleGroupAdd)))
+	regSame("DELETE", "/groups/{group}/members/{user}", a.primaryOnly(a.authed(a.handleGroupRemove)))
 
 	regSame("GET", "/custodians", a.authed(a.handleCustodianList))
-	regSame("POST", "/custodians", a.authed(a.handleCustodianAdd))
-	regSame("DELETE", "/custodians/{user}", a.authed(a.handleCustodianRemove))
+	regSame("POST", "/custodians", a.primaryOnly(a.authed(a.handleCustodianAdd)))
+	regSame("DELETE", "/custodians/{user}", a.primaryOnly(a.authed(a.handleCustodianRemove)))
 
 	regSame("GET", "/audit", a.authed(a.handleAudit))
 	regSame("GET", "/audit/summary", a.authed(a.handleAuditSummary))
 
 	regSame("GET", "/consents", a.authed(a.handleConsentList))
-	regSame("POST", "/consents/{ticket}", a.authed(a.handleConsentResolve))
+	regSame("POST", "/consents/{ticket}", a.primaryOnly(a.authed(a.handleConsentResolve)))
 
 	regSame("GET", "/pairings", a.authed(a.handlePairingList))
 	// DELETE is the canonical revocation; the pre-v1 POST …/revoke form is
 	// kept as an alias on both surfaces.
-	reg("DELETE", "/pairings/{id}", a.authed(a.handlePairingRevoke))
-	regSame("POST", "/pairings/{id}/revoke", a.authed(a.handlePairingRevoke))
+	reg("DELETE", "/pairings/{id}", a.primaryOnly(a.authed(a.handlePairingRevoke)))
+	regSame("POST", "/pairings/{id}/revoke", a.primaryOnly(a.authed(a.handlePairingRevoke)))
+
+	// --- Replication (primary → follower WAL shipping) ---
+	// New endpoints, v1-only per the frozen-alias policy. Authenticated by
+	// the shared replication secret, not by user sessions or pairings.
+	reg("GET", "/replication/snapshot", a.replAuthed(a.handleReplSnapshot))
+	reg("GET", "/replication/wal", a.replAuthed(a.handleReplWAL))
 
 	// --- Operational ---
 	// healthz predates v1 and keeps its alias; readyz and metrics are new
@@ -142,7 +161,11 @@ func (a *AM) Handler() http.Handler {
 	regSame("GET", "/healthz", http.HandlerFunc(a.handleHealthz))
 	reg("GET", "/readyz", http.HandlerFunc(a.handleReadyz))
 	reg("GET", "/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		webutil.WriteJSON(w, http.StatusOK, metricsBody{AM: a.name, MetricsSnapshot: metrics.Snapshot()})
+		webutil.WriteJSON(w, http.StatusOK, metricsBody{
+			AM:              a.name,
+			Replication:     a.ReplicationHealth(),
+			MetricsSnapshot: metrics.Snapshot(),
+		})
 	}))
 
 	a.mu.Lock()
@@ -220,6 +243,7 @@ func (a *AM) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			PipelineDepth: a.auditPipe.Depth(),
 			PipelineCap:   a.auditPipe.Capacity(),
 		},
+		Replication: a.ReplicationHealth(),
 	})
 }
 
@@ -236,7 +260,8 @@ func (a *AM) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // metricsBody is the GET /v1/metrics response.
 type metricsBody struct {
-	AM string `json:"am"`
+	AM          string                  `json:"am"`
+	Replication *core.ReplicationHealth `json:"replication,omitempty"`
 	webutil.MetricsSnapshot
 }
 

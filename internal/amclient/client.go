@@ -9,16 +9,25 @@
 // Error responses decode into *core.APIError, so callers branch on stable
 // machine-readable codes (or errors.Is against the core sentinels, which
 // APIError unwraps to) instead of string-matching response bodies.
+//
+// Against a replicated deployment, configure every node in
+// Config.Endpoints: the client fails over transparently on connection
+// errors, not_primary rejections (following the error's leader hint) and
+// unavailable (draining) answers, and remembers the working endpoint for
+// subsequent calls.
 package amclient
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"slices"
 	"strings"
+	"sync/atomic"
 
 	"umac/internal/core"
 	"umac/internal/httpsig"
@@ -30,6 +39,13 @@ type Config struct {
 	// BaseURL is the AM's base URL (scheme://host[:port]); a trailing
 	// slash is tolerated.
 	BaseURL string
+	// Endpoints lists additional AM endpoints of the same replicated
+	// deployment (followers and/or the primary). When more than one
+	// endpoint is known, the client fails over transparently: a connection
+	// error, a not_primary rejection or an unavailable (draining) answer
+	// is retried against the next endpoint — following the error's leader
+	// hint when one is present — until every endpoint has been tried once.
+	Endpoints []string
 	// HTTPClient performs the calls; nil means http.DefaultClient.
 	HTTPClient *http.Client
 	// User, when set, authenticates management calls via the session
@@ -49,8 +65,11 @@ type Config struct {
 
 // Client is a typed AM API client. Methods are safe for concurrent use.
 type Client struct {
-	cfg  Config
-	base string
+	cfg       Config
+	endpoints []string
+	// cur indexes the endpoint requests currently start at; failover
+	// advances it so later calls go straight to the working node.
+	cur atomic.Int32
 }
 
 // New constructs a Client.
@@ -61,7 +80,20 @@ func New(cfg Config) *Client {
 	if cfg.UserHeader == "" {
 		cfg.UserHeader = identity.DefaultUserHeader
 	}
-	return &Client{cfg: cfg, base: strings.TrimSuffix(cfg.BaseURL, "/")}
+	var endpoints []string
+	if cfg.BaseURL != "" {
+		endpoints = append(endpoints, strings.TrimSuffix(cfg.BaseURL, "/"))
+	}
+	for _, e := range cfg.Endpoints {
+		e = strings.TrimSuffix(e, "/")
+		if e != "" && !slices.Contains(endpoints, e) {
+			endpoints = append(endpoints, e)
+		}
+	}
+	if len(endpoints) == 0 {
+		endpoints = []string{""}
+	}
+	return &Client{cfg: cfg, endpoints: endpoints}
 }
 
 // WithCredential returns a copy of the client signing with the given
@@ -70,15 +102,18 @@ func (c *Client) WithCredential(pairingID, secret string) *Client {
 	cfg := c.cfg
 	cfg.PairingID = pairingID
 	cfg.Secret = secret
-	return &Client{cfg: cfg, base: c.base}
+	nc := &Client{cfg: cfg, endpoints: c.endpoints}
+	nc.cur.Store(c.cur.Load())
+	return nc
 }
 
-// BaseURL returns the configured AM base URL (trailing slash trimmed).
-func (c *Client) BaseURL() string { return c.base }
+// BaseURL returns the AM base URL requests currently start at (the
+// configured BaseURL until a failover moved on).
+func (c *Client) BaseURL() string { return c.endpoints[c.cur.Load()] }
 
-// url joins the base URL, version prefix and route path + query.
-func (c *Client) url(path string, q url.Values) string {
-	u := c.base
+// urlAt joins one endpoint, the version prefix and the route path + query.
+func (c *Client) urlAt(base, path string, q url.Values) string {
+	u := base
 	if !c.cfg.Legacy {
 		u += "/v1"
 	}
@@ -87,6 +122,39 @@ func (c *Client) url(path string, q url.Values) string {
 		u += "?" + q.Encode()
 	}
 	return u
+}
+
+// failoverWorthy reports whether err may succeed against another endpoint:
+// transport-level failures (the node is down) and the two structured
+// answers a healthy-but-wrong node gives — not_primary (a follower
+// refusing a write) and unavailable (a draining node).
+func failoverWorthy(err error) bool {
+	var ae *core.APIError
+	if errors.As(err, &ae) {
+		return ae.Code == core.CodeNotPrimary || ae.Code == core.CodeUnavailable
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// nextEndpoint picks the index for the following attempt: the leader hint
+// when it names a known endpoint this call has not tried yet (a stale hint
+// pointing back at a dead node must not burn the budget), otherwise the
+// nearest untried endpoint; -1 when every endpoint has been tried.
+func (c *Client) nextEndpoint(at int, tried []bool, err error) int {
+	var ae *core.APIError
+	if errors.As(err, &ae) && ae.Leader != "" {
+		if i := slices.Index(c.endpoints, strings.TrimSuffix(ae.Leader, "/")); i >= 0 && !tried[i] {
+			return i
+		}
+	}
+	for i := 1; i <= len(c.endpoints); i++ {
+		idx := (at + i) % len(c.endpoints)
+		if !tried[idx] {
+			return idx
+		}
+	}
+	return -1
 }
 
 // Page selects a window of a list endpoint. The zero value means the
@@ -136,12 +204,12 @@ func (c *Client) do(method, path string, q url.Values, in, out any) error {
 	return c.doRaw(method, path, q, body, "application/json", out)
 }
 
-// newRequest builds an API request with both auth modes applied: the
-// session identity header and (when credentials are configured) the HMAC
-// signature. Every call path goes through here so auth can never drift
-// between methods.
-func (c *Client) newRequest(method, path string, q url.Values, body io.Reader, contentType string) (*http.Request, error) {
-	req, err := http.NewRequest(method, c.url(path, q), body)
+// newRequest builds an API request against one endpoint with both auth
+// modes applied: the session identity header and (when credentials are
+// configured) the HMAC signature. Every call path goes through here so
+// auth can never drift between methods.
+func (c *Client) newRequest(base, method, path string, q url.Values, body io.Reader, contentType string) (*http.Request, error) {
+	req, err := http.NewRequest(method, c.urlAt(base, path, q), body)
 	if err != nil {
 		return nil, fmt.Errorf("amclient: build %s: %w", path, err)
 	}
@@ -159,9 +227,44 @@ func (c *Client) newRequest(method, path string, q url.Values, body io.Reader, c
 	return req, nil
 }
 
-// doRaw is do with a caller-supplied body stream and content type.
+// doRaw is do with a caller-supplied body stream and content type. The body
+// is buffered so a failover can replay it: each endpoint is tried at most
+// once per call, starting at the last known-good one.
 func (c *Client) doRaw(method, path string, q url.Values, body io.Reader, contentType string, out any) error {
-	req, err := c.newRequest(method, path, q, body, contentType)
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = io.ReadAll(body); err != nil {
+			return fmt.Errorf("amclient: read %s body: %w", path, err)
+		}
+	}
+	tried := make([]bool, len(c.endpoints))
+	at := int(c.cur.Load())
+	var lastErr error
+	for at >= 0 {
+		tried[at] = true
+		var attempt io.Reader
+		if payload != nil {
+			attempt = bytes.NewReader(payload)
+		}
+		err := c.doOnce(c.endpoints[at], method, path, q, attempt, contentType, out)
+		if err == nil {
+			// Remember the working endpoint so later calls start here.
+			c.cur.Store(int32(at))
+			return nil
+		}
+		lastErr = err
+		if len(c.endpoints) == 1 || !failoverWorthy(err) {
+			return err
+		}
+		at = c.nextEndpoint(at, tried, err)
+	}
+	return lastErr
+}
+
+// doOnce performs one API call against one endpoint.
+func (c *Client) doOnce(base, method, path string, q url.Values, body io.Reader, contentType string, out any) error {
+	req, err := c.newRequest(base, method, path, q, body, contentType)
 	if err != nil {
 		return err
 	}

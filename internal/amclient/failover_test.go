@@ -1,0 +1,168 @@
+package amclient
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"umac/internal/core"
+)
+
+// stubAM is a minimal AM endpoint for failover tests: it answers
+// GET /v1/healthz with 200 and everything else with the configured error
+// envelope (nil means 200 with an empty object).
+type stubAM struct {
+	srv   *httptest.Server
+	calls atomic.Int64
+	errFn func() *core.APIError
+}
+
+func newStubAM(t *testing.T, errFn func() *core.APIError) *stubAM {
+	t.Helper()
+	s := &stubAM{errFn: errFn}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.calls.Add(1)
+		if s.errFn != nil {
+			if e := s.errFn(); e != nil {
+				w.Header().Set("Content-Type", "application/problem+json")
+				w.WriteHeader(e.Status)
+				json.NewEncoder(w).Encode(e)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"served_by":"` + s.srv.URL + `"}`))
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func TestFailoverOnConnectionError(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listens here any more
+	live := newStubAM(t, nil)
+
+	c := New(Config{BaseURL: deadURL, Endpoints: []string{live.srv.URL}})
+	var out map[string]string
+	if err := c.do(http.MethodGet, "/anything", nil, nil, &out); err != nil {
+		t.Fatalf("failover did not rescue the call: %v", err)
+	}
+	if out["served_by"] != live.srv.URL {
+		t.Fatalf("served by %q, want the live endpoint", out["served_by"])
+	}
+	// The client remembers the working endpoint for subsequent calls.
+	if c.BaseURL() != live.srv.URL {
+		t.Fatalf("BaseURL after failover = %q, want %q", c.BaseURL(), live.srv.URL)
+	}
+}
+
+func TestFailoverOnNotPrimaryFollowsLeaderHint(t *testing.T) {
+	primary := newStubAM(t, nil)
+	follower := newStubAM(t, nil)
+	// There are three endpoints; the follower's hint names the primary
+	// directly, so the middle endpoint must be skipped.
+	bystander := newStubAM(t, nil)
+	follower.errFn = func() *core.APIError {
+		e := core.APIErrorf(core.CodeNotPrimary, "follower")
+		e.Leader = primary.srv.URL
+		return e
+	}
+
+	c := New(Config{
+		BaseURL:   follower.srv.URL,
+		Endpoints: []string{bystander.srv.URL, primary.srv.URL},
+	})
+	var out map[string]string
+	if err := c.do(http.MethodPost, "/write", nil, map[string]string{"k": "v"}, &out); err != nil {
+		t.Fatalf("not_primary failover failed: %v", err)
+	}
+	if out["served_by"] != primary.srv.URL {
+		t.Fatalf("served by %q, want the leader-hinted primary", out["served_by"])
+	}
+	if bystander.calls.Load() != 0 {
+		t.Fatalf("bystander got %d calls; leader hint not honoured", bystander.calls.Load())
+	}
+}
+
+func TestFailoverSkipsStaleLeaderHint(t *testing.T) {
+	// A is the dead old primary; B is a follower still advertising A as
+	// leader; C is the newly promoted primary. The stale hint must not
+	// burn the attempt budget bouncing back to A — C must be reached.
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	aURL := a.URL
+	a.Close()
+	b := newStubAM(t, nil)
+	b.errFn = func() *core.APIError {
+		e := core.APIErrorf(core.CodeNotPrimary, "follower")
+		e.Leader = aURL // stale: points at the dead node
+		return e
+	}
+	cNode := newStubAM(t, nil)
+
+	cl := New(Config{BaseURL: aURL, Endpoints: []string{b.srv.URL, cNode.srv.URL}})
+	var out map[string]string
+	if err := cl.do(http.MethodPost, "/write", nil, map[string]string{"k": "v"}, &out); err != nil {
+		t.Fatalf("stale leader hint defeated failover: %v", err)
+	}
+	if out["served_by"] != cNode.srv.URL {
+		t.Fatalf("served by %q, want the promoted primary", out["served_by"])
+	}
+}
+
+func TestFailoverOnUnavailable(t *testing.T) {
+	draining := newStubAM(t, func() *core.APIError {
+		return core.APIErrorf(core.CodeUnavailable, "draining")
+	})
+	live := newStubAM(t, nil)
+	c := New(Config{BaseURL: draining.srv.URL, Endpoints: []string{live.srv.URL}})
+	if err := c.do(http.MethodGet, "/x", nil, nil, nil); err != nil {
+		t.Fatalf("unavailable failover failed: %v", err)
+	}
+	if live.calls.Load() != 1 {
+		t.Fatalf("live endpoint calls = %d, want 1", live.calls.Load())
+	}
+}
+
+func TestNoFailoverOnTerminalErrors(t *testing.T) {
+	denied := newStubAM(t, func() *core.APIError {
+		return core.APIErrorf(core.CodeAccessDenied, "no")
+	})
+	second := newStubAM(t, nil)
+	c := New(Config{BaseURL: denied.srv.URL, Endpoints: []string{second.srv.URL}})
+	err := c.do(http.MethodGet, "/x", nil, nil, nil)
+	if !errors.Is(err, core.ErrAccessDenied) {
+		t.Fatalf("err = %v, want access denied", err)
+	}
+	if second.calls.Load() != 0 {
+		t.Fatalf("terminal error was retried (%d calls)", second.calls.Load())
+	}
+}
+
+func TestAllEndpointsDownReturnsLastError(t *testing.T) {
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	aURL, bURL := a.URL, b.URL
+	a.Close()
+	b.Close()
+	c := New(Config{BaseURL: aURL, Endpoints: []string{bURL}})
+	if err := c.do(http.MethodGet, "/x", nil, nil, nil); err == nil {
+		t.Fatal("no error with every endpoint down")
+	}
+}
+
+func TestSingleEndpointBehaviourUnchanged(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	downURL := down.URL
+	down.Close()
+	c := New(Config{BaseURL: downURL})
+	if err := c.do(http.MethodGet, "/x", nil, nil, nil); err == nil {
+		t.Fatal("single dead endpoint must error")
+	}
+	if c.BaseURL() != downURL {
+		t.Fatalf("single-endpoint BaseURL changed to %q", c.BaseURL())
+	}
+}

@@ -56,7 +56,7 @@ func (c *Client) DeletePolicy(id core.PolicyID) error {
 func (c *Client) ExportPolicies(w io.Writer, owner core.UserID, format string) error {
 	q := ownerQuery(owner)
 	q.Set("format", format)
-	req, err := c.newRequest(http.MethodGet, "/policies/export", q, nil, "")
+	req, err := c.newRequest(c.BaseURL(), http.MethodGet, "/policies/export", q, nil, "")
 	if err != nil {
 		return err
 	}

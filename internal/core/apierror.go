@@ -52,6 +52,14 @@ const (
 	// CodeUnavailable: the AM is draining (readiness probe); retry against
 	// another instance.
 	CodeUnavailable = "unavailable"
+	// CodeNotPrimary: a write was sent to a read-only follower; retry
+	// against the primary (the Leader field carries its base URL when the
+	// follower knows it).
+	CodeNotPrimary = "not_primary"
+	// CodeWALTruncated: the requested replication offset predates the
+	// primary's retained WAL window (compaction or buffer overflow); the
+	// follower must re-bootstrap from GET /v1/replication/snapshot.
+	CodeWALTruncated = "wal_truncated"
 	// CodeUnknown is used client-side for error responses that carry no
 	// machine-readable code (pre-v1 servers, proxies).
 	CodeUnknown = "unknown"
@@ -78,6 +86,8 @@ var codeInfo = map[string]struct {
 	CodePairingCodeInvalid: {403, false, nil},
 	CodeInternal:           {500, true, nil},
 	CodeUnavailable:        {503, true, nil},
+	CodeNotPrimary:         {421, true, nil},
+	CodeWALTruncated:       {410, false, nil},
 	CodeUnknown:            {500, false, nil},
 }
 
@@ -94,6 +104,10 @@ type APIError struct {
 	Retryable bool `json:"retryable"`
 	// RequestID correlates the response with the AM's logs and metrics.
 	RequestID string `json:"request_id,omitempty"`
+	// Leader is the primary's base URL on not_primary errors: the endpoint
+	// a client should retry the write against. Best-effort — a follower
+	// that has lost its primary may leave it empty.
+	Leader string `json:"leader,omitempty"`
 }
 
 // Error implements error. Responses without a machine-readable code

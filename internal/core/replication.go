@@ -1,0 +1,90 @@
+package core
+
+import "encoding/json"
+
+// This file defines the wire vocabulary of the AM replication surface
+// (GET /v1/replication/snapshot, GET /v1/replication/wal): the primary
+// streams its checksummed write-ahead log to followers as ReplRecord
+// values, each stamped with a monotonically increasing sequence number, and
+// serves ReplSnapshot bootstrap images to followers that fall behind the
+// retained log window. See docs/PROTOCOL.md ("Replication") and
+// docs/OPERATIONS.md for the deployment topology.
+
+// Replicated operations. They mirror the store's WAL record operations and
+// are part of the wire contract: values are only ever added.
+const (
+	// ReplOpPut stores (or overwrites) an entity.
+	ReplOpPut = "put"
+	// ReplOpDelete removes an entity.
+	ReplOpDelete = "del"
+)
+
+// ReplRecord is one replicated datastore mutation: a write-ahead-log record
+// with its global sequence number. Seq values are assigned contiguously by
+// the primary; a follower applies record N+1 only after record N, so a gap
+// is detectable and a resume after restart is exact.
+type ReplRecord struct {
+	Seq     int64           `json:"seq"`
+	Op      string          `json:"op"`
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	Version int64           `json:"version,omitempty"`
+	Data    json.RawMessage `json:"data,omitempty"`
+}
+
+// ReplSnapshot is the bootstrap image served by
+// GET /v1/replication/snapshot: the full datastore contents as put records
+// (without meaningful Seq values) plus the sequence number the snapshot is
+// consistent at. A follower installs the records wholesale and then tails
+// the WAL from Seq.
+type ReplSnapshot struct {
+	// Seq is the last mutation included in the snapshot; tailing from it
+	// loses nothing and duplicates nothing.
+	Seq     int64        `json:"seq"`
+	Records []ReplRecord `json:"records"`
+}
+
+// ReplWALPage answers GET /v1/replication/wal: the records after the
+// requested offset, capped at the requested batch size.
+type ReplWALPage struct {
+	// Records are the mutations with Seq greater than the ?from= offset, in
+	// sequence order. Empty when the follower is caught up.
+	Records []ReplRecord `json:"records"`
+	// LastSeq is the primary's newest sequence number at response time;
+	// LastSeq minus the follower's applied offset is the replication lag in
+	// records.
+	LastSeq int64 `json:"last_seq"`
+}
+
+// Replication roles, as reported in ReplicationHealth.Role.
+const (
+	// ReplRolePrimary serves writes and streams its WAL to followers.
+	ReplRolePrimary = "primary"
+	// ReplRoleFollower applies the primary's WAL and serves reads only.
+	ReplRoleFollower = "follower"
+)
+
+// ReplicationHealth reports a node's replication state on GET /v1/healthz
+// and GET /v1/metrics. On a primary only Role and LastSeq are meaningful;
+// a follower additionally reports its sync progress against the primary.
+type ReplicationHealth struct {
+	// Role is ReplRolePrimary or ReplRoleFollower.
+	Role string `json:"role"`
+	// LastSeq is the node's applied (follower) or assigned (primary)
+	// write-ahead-log sequence number.
+	LastSeq int64 `json:"last_seq"`
+	// Primary is the primary's base URL (followers only).
+	Primary string `json:"primary,omitempty"`
+	// PrimarySeq is the primary's newest sequence number as of the last
+	// successful sync (followers only).
+	PrimarySeq int64 `json:"primary_seq,omitempty"`
+	// LagRecords is max(PrimarySeq-LastSeq, 0): how many acknowledged
+	// primary writes this follower has not applied yet (followers only).
+	LagRecords int64 `json:"lag_records"`
+	// Connected reports whether the last sync attempt against the primary
+	// succeeded (followers only).
+	Connected bool `json:"connected"`
+	// AppliedRecords counts records applied since this process started
+	// (followers only); sampled twice, it yields the apply rate.
+	AppliedRecords int64 `json:"applied_records,omitempty"`
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"time"
+
+	"umac/internal/am"
+	"umac/internal/amclient"
+	"umac/internal/core"
+	"umac/internal/policy"
+	"umac/internal/store"
+)
+
+// This file is the high-availability workload: a durable primary AM and an
+// in-memory follower replicating from it over HTTP, a failover-aware typed
+// client spreading decision queries across both, and a hard kill of the
+// primary mid-run. It demonstrates (and the tests assert) the two HA
+// properties the replication design promises: the follower keeps answering
+// decisions with the primary gone, and no write the primary acknowledged
+// is missing once the primary's store is recovered from its WAL — with the
+// follower converging on the recovered state afterwards.
+
+// failoverSecret and failoverTokenKey are the deployment-wide shared
+// secrets of the workload (see docs/OPERATIONS.md: followers need the
+// token-service key to validate primary-minted tokens).
+const failoverSecret = "sim-repl-secret"
+
+var failoverTokenKey = []byte("sim-shared-token-key-0123456789a")
+
+// FailoverReport summarizes one RunFailoverWorkload execution.
+type FailoverReport struct {
+	// WritesAcked is how many policy-create writes the primary
+	// acknowledged before it was killed.
+	WritesAcked int
+	// DecisionsBeforeKill / DecisionsAfterKill count decision queries the
+	// failover client had answered while the primary lived and after it
+	// was killed (the latter necessarily by the follower).
+	DecisionsBeforeKill int
+	DecisionsAfterKill  int
+	// DecisionFailures counts decision queries that failed outright (no
+	// endpoint answered). Zero in a healthy run.
+	DecisionFailures int
+	// LostAfterRecovery lists acknowledged policy IDs missing from the
+	// primary's store once reopened from its WAL. Non-empty means the
+	// durability contract broke.
+	LostAfterRecovery []core.PolicyID
+	// LostOnFollower lists acknowledged policy IDs missing from the
+	// follower after it re-synced against the recovered primary.
+	LostOnFollower []core.PolicyID
+	// FollowerCaughtUp reports whether the follower converged on the
+	// recovered primary's applied offset.
+	FollowerCaughtUp bool
+}
+
+// RunFailoverWorkload drives the kill-the-primary scenario in dir (scratch
+// space for the primary's durable state): set up a paired host and permit
+// policy, stream writes interleaved with decision queries through a
+// failover client, hard-kill the primary mid-run, keep querying decisions
+// against the surviving follower, then recover the primary from its WAL
+// and let the follower re-sync. writes is the total number of policy
+// writes attempted; the kill lands after roughly half.
+func RunFailoverWorkload(dir string, writes int) (FailoverReport, error) {
+	var rep FailoverReport
+	statePath := filepath.Join(dir, "primary.json")
+	pst, err := store.Open(statePath)
+	if err != nil {
+		return rep, err
+	}
+	primary := am.New(am.Config{
+		Name: "am-primary", Store: pst, TokenKey: failoverTokenKey,
+		Replication: am.ReplicationConfig{Role: am.RolePrimary, Secret: failoverSecret},
+	})
+	primarySrv := httptest.NewServer(primary.Handler())
+	primary.SetBaseURL(primarySrv.URL)
+
+	// Protocol fixture: pairing, realm, permit policy, token — all written
+	// through the primary, all replicated state.
+	code, err := primary.ApprovePairing(core.PairingRequest{Host: "webpics", User: "bob"})
+	if err != nil {
+		return rep, err
+	}
+	pairing, err := primary.ExchangeCode(code, "webpics")
+	if err != nil {
+		return rep, err
+	}
+	if _, err := primary.RegisterRealm(pairing.PairingID, core.ProtectRequest{Realm: "travel"}); err != nil {
+		return rep, err
+	}
+	base, err := primary.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+			Actions:  []core.Action{core.ActionRead},
+		}},
+	})
+	if err != nil {
+		return rep, err
+	}
+	if err := primary.LinkGeneral("bob", "travel", base.ID); err != nil {
+		return rep, err
+	}
+	tok, err := primary.IssueToken(core.TokenRequest{
+		Requester: "alice-browser", Subject: "alice", Host: "webpics",
+		Realm: "travel", Resource: "photo", Action: core.ActionRead,
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	follower := am.New(am.Config{
+		Name: "am-follower", TokenKey: failoverTokenKey,
+		Replication: am.ReplicationConfig{
+			Role: am.RoleFollower, Secret: failoverSecret,
+			PrimaryURL: primarySrv.URL, PollWait: 100 * time.Millisecond,
+		},
+	})
+	followerSrv := httptest.NewServer(follower.Handler())
+	follower.SetBaseURL(followerSrv.URL)
+	defer func() {
+		followerSrv.Close()
+		follower.Close()
+	}()
+	// The follower must hold the protocol fixture before the kill can
+	// demonstrate read continuity; writes racing the kill are recovered
+	// from the primary's WAL, not from the follower.
+	if !follower.WaitReplicated(pst.LastSeq(), 10*time.Second) {
+		return rep, fmt.Errorf("sim: follower never synced the fixture")
+	}
+
+	// The failover-aware clients: decisions signed with the pairing
+	// credentials, management writes as bob — both listing primary first.
+	decider := amclient.New(amclient.Config{
+		BaseURL:   primarySrv.URL,
+		Endpoints: []string{followerSrv.URL},
+		PairingID: pairing.PairingID,
+		Secret:    pairing.Secret,
+	})
+	manager := amclient.New(amclient.Config{
+		BaseURL:   primarySrv.URL,
+		Endpoints: []string{followerSrv.URL},
+		User:      "bob",
+	})
+
+	decide := func() error {
+		dec, err := decider.Decide(core.DecisionQuery{
+			Host: "webpics", Realm: "travel", Resource: "photo",
+			Action: core.ActionRead, Token: tok.Token,
+		})
+		if err != nil {
+			return err
+		}
+		if !dec.Permit() {
+			return fmt.Errorf("sim: unexpected deny: %+v", dec)
+		}
+		return nil
+	}
+
+	var acked []core.PolicyID
+	writePolicy := func(i int) error {
+		p, err := manager.CreatePolicy(policy.Policy{
+			Owner: "bob", Kind: policy.KindGeneral,
+			Rules: []policy.Rule{{
+				Effect:   policy.EffectPermit,
+				Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: fmt.Sprintf("friend-%d", i)}},
+				Actions:  []core.Action{core.ActionRead},
+			}},
+		})
+		if err != nil {
+			return err
+		}
+		acked = append(acked, p.ID)
+		return nil
+	}
+
+	// Phase 1: writes interleaved with decisions, primary alive.
+	half := writes / 2
+	for i := 0; i < half; i++ {
+		if err := writePolicy(i); err != nil {
+			return rep, fmt.Errorf("sim: pre-kill write %d: %w", i, err)
+		}
+		if err := decide(); err != nil {
+			rep.DecisionFailures++
+		} else {
+			rep.DecisionsBeforeKill++
+		}
+	}
+
+	// Hard kill: the listener dies and the store is dropped without a
+	// snapshot — only the WAL (written before each ack) survives in
+	// primary.json.wal.
+	primarySrv.Close()
+	primary.Close()
+	pst.Close()
+
+	// Phase 2: the primary is gone. Decisions keep flowing — the client
+	// fails over to the follower. Writes now fail (no primary); that is
+	// the documented degradation, not a correctness loss.
+	for i := 0; i < half; i++ {
+		if err := decide(); err != nil {
+			rep.DecisionFailures++
+		} else {
+			rep.DecisionsAfterKill++
+		}
+		if err := writePolicy(half + i); err == nil {
+			// A follower acked a write: the gate is broken.
+			return rep, fmt.Errorf("sim: write %d acknowledged with no primary alive", half+i)
+		}
+	}
+
+	// Phase 3: recovery. Reopen the primary's store from disk (snapshot +
+	// WAL replay) and verify every acknowledged write survived.
+	pst2, err := store.Open(statePath)
+	if err != nil {
+		return rep, err
+	}
+	recovered := am.New(am.Config{
+		Name: "am-primary", Store: pst2, TokenKey: failoverTokenKey,
+		Replication: am.ReplicationConfig{Role: am.RolePrimary, Secret: failoverSecret},
+	})
+	recoveredSrv := httptest.NewServer(recovered.Handler())
+	recovered.SetBaseURL(recoveredSrv.URL)
+	defer func() {
+		recoveredSrv.Close()
+		recovered.Close()
+		pst2.Close()
+	}()
+	for _, id := range acked {
+		if _, err := recovered.GetPolicy(id); err != nil {
+			rep.LostAfterRecovery = append(rep.LostAfterRecovery, id)
+		}
+	}
+
+	// Phase 4: the follower re-points at the recovered primary (a restart
+	// in production; here a fresh follower AM over the same store) and
+	// converges. Its retained offset makes the re-sync incremental or a
+	// snapshot re-bootstrap — both must end at the same state.
+	fst := follower.Store()
+	followerSrv.Close()
+	follower.Close()
+	follower = am.New(am.Config{
+		Name: "am-follower", Store: fst, TokenKey: failoverTokenKey,
+		Replication: am.ReplicationConfig{
+			Role: am.RoleFollower, Secret: failoverSecret,
+			PrimaryURL: recoveredSrv.URL, PollWait: 100 * time.Millisecond,
+		},
+	})
+	followerSrv = httptest.NewServer(follower.Handler())
+	follower.SetBaseURL(followerSrv.URL)
+	rep.FollowerCaughtUp = follower.WaitReplicated(pst2.LastSeq(), 10*time.Second)
+	for _, id := range acked {
+		if _, err := follower.GetPolicy(id); err != nil {
+			rep.LostOnFollower = append(rep.LostOnFollower, id)
+		}
+	}
+	rep.WritesAcked = len(acked)
+	return rep, nil
+}

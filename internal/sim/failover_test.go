@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+// TestFailoverWorkload is the HA acceptance test: kill the primary under
+// load, the follower keeps answering decisions, and no write acknowledged
+// by the primary before the kill is missing after recovery — neither from
+// the recovered primary (WAL durability) nor from the re-synced follower
+// (replication convergence).
+func TestFailoverWorkload(t *testing.T) {
+	rep, err := RunFailoverWorkload(t.TempDir(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WritesAcked < 20 {
+		t.Fatalf("only %d writes acked; workload too small to mean anything", rep.WritesAcked)
+	}
+	if rep.DecisionsBeforeKill == 0 {
+		t.Fatal("no decisions served before the kill")
+	}
+	if rep.DecisionsAfterKill == 0 {
+		t.Fatal("follower served no decisions after the primary died")
+	}
+	if rep.DecisionFailures != 0 {
+		t.Fatalf("%d decision queries failed outright; failover is leaky", rep.DecisionFailures)
+	}
+	if len(rep.LostAfterRecovery) != 0 {
+		t.Fatalf("acknowledged writes missing after WAL recovery: %v", rep.LostAfterRecovery)
+	}
+	if !rep.FollowerCaughtUp {
+		t.Fatal("follower never converged on the recovered primary")
+	}
+	if len(rep.LostOnFollower) != 0 {
+		t.Fatalf("acknowledged writes missing on the re-synced follower: %v", rep.LostOnFollower)
+	}
+}

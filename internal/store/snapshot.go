@@ -9,9 +9,13 @@ import (
 )
 
 // snapshot is the on-disk representation: a flat, key-sorted entity list so
-// snapshots diff cleanly under version control.
+// snapshots diff cleanly under version control. LastSeq records the
+// replication sequence number the snapshot is consistent at, so a restarted
+// follower resumes tailing from its applied offset (absent in pre-sequence
+// snapshots, which decode as 0).
 type snapshot struct {
 	FormatVersion int      `json:"format_version"`
+	LastSeq       int64    `json:"last_seq,omitempty"`
 	Entities      []Entity `json:"entities"`
 }
 
@@ -33,6 +37,9 @@ func (s *Store) Snapshot(path string) error {
 		defer s.unlockAll(false)
 	}
 	snap := snapshot{FormatVersion: snapshotFormatVersion}
+	s.walMu.Lock()
+	snap.LastSeq = s.lastSeq
+	s.walMu.Unlock()
 	for i := range s.shards {
 		for _, m := range s.shards[i].kinds {
 			for _, e := range m {
@@ -124,5 +131,8 @@ func (s *Store) Load(path string) error {
 			s.shards[i].kindLocked(e.Kind)[e.Key] = e
 		}
 	}
+	s.walMu.Lock()
+	s.lastSeq = snap.LastSeq
+	s.walMu.Unlock()
 	return nil
 }

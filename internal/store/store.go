@@ -12,6 +12,12 @@
 // snapshot + WAL, so a process killed between snapshots loses no
 // acknowledged write. A store built with New (or the zero value) is
 // memory-only and skips the WAL entirely.
+//
+// The WAL doubles as a replication log (replication.go): every mutation
+// carries a contiguous sequence number, a primary retains the recent tail
+// for followers to read in order (TailSince/ReplWatch), and followers
+// apply it exactly once (ApplyReplicated), preserving the numbering in
+// their own WAL so a restart resumes at the applied offset.
 package store
 
 import (
@@ -23,6 +29,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"umac/internal/core"
 )
 
 // Common errors.
@@ -91,6 +99,15 @@ type Store struct {
 
 	walMu sync.Mutex
 	wal   *wal // nil = memory-only
+	// lastSeq is the applied WAL offset: the sequence number of the newest
+	// mutation logged locally or applied from a replication stream.
+	lastSeq int64
+	// repl retains the recent WAL tail for followers (nil until
+	// EnableReplication).
+	repl *replState
+	// watch is the ReplWatch broadcast channel (closed and replaced on
+	// every logged mutation; nil until someone watches).
+	watch chan struct{}
 
 	// snapshotPath is the path Open loaded from; Snapshot to this path is
 	// the WAL compaction point.
@@ -137,26 +154,42 @@ func (s *Store) unlockAll(write bool) {
 	}
 }
 
-// logPut appends a put record to the WAL (no-op for memory-only stores).
-// Called with the owning shard lock held, so WAL order matches apply order
-// for any single key.
+// logPut appends a put record to the WAL and replication tail (no-op for
+// memory-only, non-replicating stores). Called with the owning shard lock
+// held, so WAL order matches apply order for any single key.
 func (s *Store) logPut(e Entity) error {
-	if s.wal == nil {
-		return nil
-	}
-	s.walMu.Lock()
-	defer s.walMu.Unlock()
-	return s.wal.append(walRecord{Op: opPut, Kind: e.Kind, Key: e.Key, Version: e.Version, Data: e.Data})
+	return s.logMutation(opPut, e.Kind, e.Key, e.Version, e.Data)
 }
 
-// logDelete appends a delete record to the WAL.
+// logDelete appends a delete record to the WAL and replication tail.
 func (s *Store) logDelete(kind, key string) error {
-	if s.wal == nil {
+	return s.logMutation(opDelete, kind, key, 0, nil)
+}
+
+// logMutation stamps one mutation with the next sequence number, appends it
+// to the WAL (when durable) and the replication tail (when replicating),
+// and wakes long-poll waiters. The sequence number only advances once the
+// WAL append succeeded, so an acknowledged offset always names bytes on
+// disk.
+func (s *Store) logMutation(op, kind, key string, version int64, data json.RawMessage) error {
+	if s.wal == nil && s.repl == nil {
 		return nil
 	}
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
-	return s.wal.append(walRecord{Op: opDelete, Kind: kind, Key: key})
+	seq := s.lastSeq + 1
+	if s.wal != nil {
+		err := s.wal.append(walRecord{Seq: seq, Op: op, Kind: kind, Key: key, Version: version, Data: data})
+		if err != nil {
+			return err
+		}
+	}
+	s.lastSeq = seq
+	if s.repl != nil {
+		s.repl.push(core.ReplRecord{Seq: seq, Op: op, Kind: kind, Key: key, Version: version, Data: data})
+	}
+	s.notifyLocked()
+	return nil
 }
 
 // Put stores v under (kind, key), overwriting any existing entity and
@@ -444,7 +477,17 @@ func Open(path string, opts ...Option) (*Store, error) {
 		return nil, err
 	}
 	for _, rec := range records {
+		// Pre-sequence-number logs carry Seq 0: number them as they replay.
+		if rec.Seq == 0 {
+			rec.Seq = s.lastSeq + 1
+		}
+		// A crash between snapshot rename and WAL truncation leaves records
+		// the snapshot already contains; skip them instead of re-applying.
+		if rec.Seq <= s.lastSeq {
+			continue
+		}
 		s.applyReplayed(rec)
+		s.lastSeq = rec.Seq
 	}
 	s.wal = w
 	return s, nil

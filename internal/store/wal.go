@@ -26,8 +26,11 @@ const (
 	opDelete = "del"
 )
 
-// walRecord is one logged mutation.
+// walRecord is one logged mutation. Seq is the global replication sequence
+// number (see replication.go); logs written before sequence numbering carry
+// Seq 0 and are renumbered on replay.
 type walRecord struct {
+	Seq     int64           `json:"seq,omitempty"`
 	Op      string          `json:"op"`
 	Kind    string          `json:"kind"`
 	Key     string          `json:"key"`

@@ -85,6 +85,20 @@ type (
 	AMConfig = am.Config
 	// Outbox is the simulated e-mail/SMS consent channel.
 	Outbox = am.Outbox
+	// ReplicationConfig selects an AM's role in a replicated deployment:
+	// a primary streams its write-ahead log on /v1/replication/*, a
+	// follower applies it and serves the read-only decision path.
+	ReplicationConfig = am.ReplicationConfig
+	// ReplicationRole is the primary/follower selector.
+	ReplicationRole = am.ReplicationRole
+)
+
+// Replication roles for ReplicationConfig.Role.
+const (
+	// RolePrimary serves writes and streams its WAL to followers.
+	RolePrimary = am.RolePrimary
+	// RoleFollower syncs from a primary and serves reads only.
+	RoleFollower = am.RoleFollower
 )
 
 // NewAM constructs an Authorization Manager.
