@@ -26,6 +26,7 @@ import (
 	"umac/internal/baseline/localacl"
 	"umac/internal/baseline/pullmodel"
 	"umac/internal/baseline/umastate"
+	"umac/internal/cluster"
 	"umac/internal/core"
 	"umac/internal/httpsig"
 	"umac/internal/pep"
@@ -777,6 +778,7 @@ func decisionBenchFixture(b *testing.B, n int) (*sim.World, *sim.SimpleHost, []p
 func BenchmarkDecisionBatchVsSingle(b *testing.B) {
 	const n = 16
 	b.Run(fmt.Sprintf("single-%d", n), func(b *testing.B) {
+		recordBench(b)
 		w, h, pairs, req := decisionBenchFixture(b, n)
 		w.ResetAMRequests()
 		b.ResetTimer()
@@ -792,6 +794,7 @@ func BenchmarkDecisionBatchVsSingle(b *testing.B) {
 		b.ReportMetric(float64(w.AMRequests())/float64(b.N), "am-rt/op")
 	})
 	b.Run(fmt.Sprintf("batch-%d", n), func(b *testing.B) {
+		recordBench(b)
 		w, h, pairs, req := decisionBenchFixture(b, n)
 		w.ResetAMRequests()
 		b.ResetTimer()
@@ -853,13 +856,14 @@ func BenchmarkDecisionScopedInvalidation(b *testing.B) {
 		}
 		b.ReportMetric(float64(w.AMRequests())/float64(b.N), "am-rt/op")
 	}
-	b.Run("drop-all", func(b *testing.B) { run(b, false) })
-	b.Run("scoped", func(b *testing.B) { run(b, true) })
+	b.Run("drop-all", func(b *testing.B) { recordBench(b); run(b, false) })
+	b.Run("scoped", func(b *testing.B) { recordBench(b); run(b, true) })
 }
 
 // BenchmarkDecisionCacheLRU exercises the shard-striped LRU under capacity
 // pressure: every put on a full cache evicts.
 func BenchmarkDecisionCacheLRU(b *testing.B) {
+	recordBench(b)
 	c := pep.NewDecisionCacheCap(1024)
 	keys := make([]string, 4096) // 4x capacity
 	for i := range keys {
@@ -882,6 +886,7 @@ func BenchmarkDecisionCacheLRU(b *testing.B) {
 }
 
 func BenchmarkDecisionCache(b *testing.B) {
+	recordBench(b)
 	c := pep.NewDecisionCache()
 	keys := make([]string, 1024)
 	for i := range keys {
@@ -1058,4 +1063,169 @@ func BenchmarkReplicaDecisionReadScaling(b *testing.B) {
 			})
 		})
 	}
+}
+
+// --- E16: sharded cluster — aggregate decision+mutation throughput on
+// disjoint owners, one primary versus a two-shard cluster ---
+
+// clusterBenchOwner is one owner's shared sim fixture plus a private
+// write counter.
+type clusterBenchOwner struct {
+	*sim.ClusterOwnerRig
+	seq atomic.Int64
+}
+
+// clusterBenchSecret is the benchmark deployment's shared secret.
+const clusterBenchSecret = "bench-cluster-secret"
+
+// clusterBenchWorld starts one durable primary AM per named shard, all on
+// one consistent-hash ring, and returns owners (two per shard, plus
+// enough extras to reach four total in the single-shard case) with their
+// protocol fixtures and shard-aware clients.
+func clusterBenchWorld(b *testing.B, shardNames []string) []*clusterBenchOwner {
+	b.Helper()
+	srvs := make(map[string]*httptest.Server, len(shardNames))
+	var shards []core.ShardInfo
+	for _, name := range shardNames {
+		srv := httptest.NewUnstartedServer(nil)
+		srv.Start()
+		b.Cleanup(srv.Close)
+		srvs[name] = srv
+		shards = append(shards, core.ShardInfo{
+			Name: name, Primary: srv.URL, Endpoints: []string{srv.URL},
+		})
+	}
+	ring, err := cluster.New(shards, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ams := make(map[string]*am.AM, len(shardNames))
+	for _, s := range shards {
+		// Fsynced WAL: the acknowledged-durable write path of a production
+		// primary. Durability serializes every mutation behind one log per
+		// shard — exactly the per-primary ceiling sharding is meant to
+		// multiply.
+		st, err := store.Open(filepath.Join(b.TempDir(), "state.json"), store.WithFsync())
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := am.New(am.Config{
+			Name: "am-" + s.Name, BaseURL: s.Primary, Store: st, TokenKey: replBenchKey,
+			Replication: am.ReplicationConfig{Role: am.RolePrimary, Secret: clusterBenchSecret},
+			Cluster:     am.ClusterConfig{Shard: s.Name, Ring: ring},
+		})
+		b.Cleanup(func() { a.Close(); st.Close() })
+		ams[s.Name] = a
+		srvs[s.Name].Config.Handler = a.Handler()
+	}
+
+	// Four owners, spread evenly across the shards (all on the one shard
+	// in the single-primary case — same owner count, same fixture, only
+	// the partitioning differs).
+	perShard := 4 / len(shardNames)
+	var owners []*clusterBenchOwner
+	counts := make(map[string]int, len(shardNames))
+	for i := 0; len(owners) < 4; i++ {
+		owner := core.UserID(fmt.Sprintf("user-%d", i))
+		home := ring.Owner(owner).Name
+		if counts[home] >= perShard {
+			continue
+		}
+		counts[home]++
+		rig, err := sim.SetupClusterOwner(ams[home], shards[0].Primary, owner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := &clusterBenchOwner{ClusterOwnerRig: rig}
+		owners = append(owners, o)
+	}
+	return owners
+}
+
+// BenchmarkClusterShardedThroughput is the E16 tentpole measurement: a
+// mixed decision+mutation workload over four disjoint owners, against one
+// primary versus a two-shard cluster. Every op is one shard-routed HTTP
+// call, three durable policy writes to every signed decision (the write
+// path is what sharding multiplies); ns/op is the aggregate per-op
+// latency of the whole fleet under parallel load. The acceptance bar is two-shards sustaining >= 1.8x the
+// single-primary throughput.
+func BenchmarkClusterShardedThroughput(b *testing.B) {
+	run := func(b *testing.B, shardNames []string) {
+		owners := clusterBenchWorld(b, shardNames)
+		var next atomic.Int64
+		// Far more in-flight requests than cores: the write path's fsync is
+		// disk wait, not CPU, so a saturated primary has its mutation
+		// throughput pinned by its single serialized WAL stream — the
+		// ceiling a second shard doubles.
+		b.SetParallelism(16)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			slot := int(next.Add(1))
+			i := 0
+			for pb.Next() {
+				o := owners[(slot+i)%len(owners)]
+				if i%4 != 0 {
+					if _, err := o.WritePolicy(int(o.seq.Add(1))); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if err := o.Decide(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				i++
+			}
+		})
+	}
+	b.Run("single-primary", func(b *testing.B) {
+		recordBench(b)
+		run(b, []string{"bench-a"})
+	})
+	b.Run("two-shards", func(b *testing.B) {
+		recordBench(b)
+		run(b, []string{"bench-a", "bench-b"})
+	})
+}
+
+// BenchmarkClusterMigrateOwner measures the live-migration drill itself:
+// one owner with a populated closure (64 policies + links) moved between
+// the two shards of a running cluster, per iteration (alternating
+// directions so each run starts clean).
+func BenchmarkClusterMigrateOwner(b *testing.B) {
+	recordBench(b)
+	owners := clusterBenchWorld(b, []string{"bench-a", "bench-b"})
+	o := owners[0]
+	for i := 0; i < 64; i++ {
+		if _, err := o.WritePolicy(100000 + i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	info := o.Decider.Info()
+	urls := make(map[string]string, len(info.Shards))
+	for _, s := range info.Shards {
+		urls[s.Name] = s.Primary
+	}
+	from := clusterRingOwner(info, o.Owner)
+	to := "bench-a"
+	if from == "bench-a" {
+		to = "bench-b"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := amclient.New(amclient.Config{BaseURL: urls[from], ReplSecret: clusterBenchSecret})
+		dst := amclient.New(amclient.Config{BaseURL: urls[to], ReplSecret: clusterBenchSecret})
+		if _, err := amclient.MigrateOwner(src, dst, o.Owner, to, nil); err != nil {
+			b.Fatal(err)
+		}
+		from, to = to, from
+	}
+}
+
+// clusterRingOwner recomputes an owner's home shard from a ClusterInfo.
+func clusterRingOwner(info core.ClusterInfo, owner core.UserID) string {
+	ring, err := cluster.New(info.Shards, info.Vnodes)
+	if err != nil {
+		return ""
+	}
+	return ring.Owner(owner).Name
 }

@@ -1,0 +1,79 @@
+package umac_test
+
+// Machine-readable benchmark output: passing -benchjson=PATH (after
+// -args) makes the harness write ns/op per recorded benchmark as JSON when
+// the run ends, so CI can archive the perf trajectory as an artifact
+// instead of scraping log text:
+//
+//	go test -run '^$' -bench 'Decision|Cluster' -benchtime 1x . \
+//	    -args -benchjson=BENCH_E16.json
+//
+// Benchmarks opt in by calling recordBench(b) first thing (in the leaf
+// sub-benchmark, so every recorded name maps to one measurement).
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+)
+
+var benchJSONPath = flag.String("benchjson", "", "write ns/op per recorded benchmark as JSON to this path")
+
+// benchResult is one benchmark measurement in the JSON artifact.
+type benchResult struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchResults = make(map[string]benchResult)
+)
+
+// recordBench registers the benchmark for the JSON artifact: at the end of
+// each measured run its elapsed/N is recorded, the final (largest-N) run
+// overwriting the calibration runs.
+func recordBench(b *testing.B) {
+	b.Cleanup(func() {
+		if b.N == 0 {
+			return
+		}
+		benchMu.Lock()
+		defer benchMu.Unlock()
+		benchResults[b.Name()] = benchResult{
+			Name:    b.Name(),
+			N:       b.N,
+			NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		}
+	})
+}
+
+// TestMain flushes the recorded measurements after the run.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	code := m.Run()
+	if *benchJSONPath != "" {
+		benchMu.Lock()
+		out := make([]benchResult, 0, len(benchResults))
+		for _, r := range benchResults {
+			out = append(out, r)
+		}
+		benchMu.Unlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSONPath, data, 0o644)
+		}
+		if err != nil {
+			println("benchjson:", err.Error())
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}

@@ -28,6 +28,26 @@
 // (so a follower validates tokens the primary minted). Followers answer
 // writes with the structured not_primary error carrying the primary's URL;
 // the typed client (umac.AMClient with Endpoints) fails over on it.
+//
+// Sharding (see docs/OPERATIONS.md, "Sharded cluster"): -ring and -shard
+// place the node in a multi-primary cluster whose consistent-hash ring
+// maps each resource owner to one shard. Every node of every shard is
+// started with the identical -ring value:
+//
+//	# shard-a primary
+//	amserver -addr :8080 -state a.json -role primary \
+//	    -ring "shard-a=http://localhost:8080,shard-b=http://localhost:9090" \
+//	    -shard shard-a -repl-secret-file repl.secret -token-key-file token.key
+//
+//	# shard-b primary
+//	amserver -addr :9090 -state b.json -role primary \
+//	    -ring "shard-a=http://localhost:8080,shard-b=http://localhost:9090" \
+//	    -shard shard-b -repl-secret-file repl.secret -token-key-file token.key
+//
+// Owner-scoped requests that hash to another shard answer the structured
+// wrong_shard error with the owning shard's primary URL as the hint; the
+// shard-aware client (umac.NewAMClusterClient) routes by owner and chases
+// the hint once. umacctl migrate-owner moves an owner between shards live.
 package main
 
 import (
@@ -42,6 +62,7 @@ import (
 	"time"
 
 	"umac"
+	"umac/internal/cluster"
 )
 
 func main() {
@@ -62,6 +83,9 @@ func main() {
 		replSecF  = flag.String("repl-secret-file", "", "file holding the shared replication secret")
 		tokenKey  = flag.String("token-key", "", "token-service master key, shared across the deployment (prefer -token-key-file)")
 		tokenKeyF = flag.String("token-key-file", "", "file holding the token-service master key")
+
+		ringSpec = flag.String("ring", "", "cluster ring: name=primaryURL[|followerURL...] entries, comma-separated (sharded deployments)")
+		shard    = flag.String("shard", "", "name of the shard this node belongs to (must appear in -ring)")
 	)
 	flag.Parse()
 	if *statef == "" {
@@ -96,6 +120,27 @@ func main() {
 		log.Fatalf("amserver: unknown -role %q", *role)
 	}
 
+	var clusterCfg umac.ClusterConfig
+	switch {
+	case *ringSpec == "" && *shard == "":
+		// Unsharded.
+	case *ringSpec == "" || *shard == "":
+		log.Fatal("amserver: -ring and -shard must be set together")
+	default:
+		shards, err := cluster.ParseSpec(*ringSpec)
+		if err != nil {
+			log.Fatalf("amserver: %v", err)
+		}
+		ring, err := cluster.New(shards, 0)
+		if err != nil {
+			log.Fatalf("amserver: %v", err)
+		}
+		if _, ok := ring.Shard(*shard); !ok {
+			log.Fatalf("amserver: -shard %q does not appear in -ring", *shard)
+		}
+		clusterCfg = umac.ClusterConfig{Shard: *shard, Ring: ring}
+	}
+
 	st := umac.NewStore()
 	if *statef != "" {
 		var opts []umac.StoreOption
@@ -126,9 +171,13 @@ func main() {
 		TokenTTL:    *tokenTTL,
 		Notifier:    &umac.Outbox{},
 		Replication: repl,
+		Cluster:     clusterCfg,
 	})
 	if repl.Role != "" {
 		log.Printf("amserver: replication role %s (applied seq %d)", repl.Role, st.LastSeq())
+	}
+	if clusterCfg.Shard != "" {
+		log.Printf("amserver: cluster shard %s (ring %s)", clusterCfg.Shard, *ringSpec)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: authMgr.Handler()}

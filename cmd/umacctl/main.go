@@ -10,6 +10,14 @@
 //	umacctl export -am URL -user bob [-format xml]   pull policies from an AM
 //	umacctl import -am URL -user bob < policies.json push policies to an AM
 //	umacctl audit  -am URL -user bob                 consolidated audit summary
+//	umacctl migrate-owner -owner bob -from URL -to URL -to-shard NAME \
+//	    -repl-secret-file F                          live-move an owner between shards
+//
+// migrate-owner drives the 7-step live migration drill (see
+// docs/OPERATIONS.md, "Sharded cluster"): scoped snapshot, import,
+// WAL-tail catch-up, ownership flip on both shards, final drain — with
+// zero acknowledged-write loss and no decision served from the losing
+// shard after cutover.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"umac"
 	"umac/internal/amclient"
@@ -41,13 +50,15 @@ func main() {
 		cmdImport(os.Args[2:])
 	case "audit":
 		cmdAudit(os.Args[2:])
+	case "migrate-owner":
+		cmdMigrateOwner(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: umacctl <parse|format|export|import|audit> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: umacctl <parse|format|export|import|audit|migrate-owner> [flags]")
 	os.Exit(2)
 }
 
@@ -119,6 +130,40 @@ func cmdImport(args []string) {
 		log.Fatalf("umacctl import: %v", err)
 	}
 	fmt.Printf("{\"imported\": %d}\n", n)
+}
+
+func cmdMigrateOwner(args []string) {
+	fs := flag.NewFlagSet("migrate-owner", flag.ExitOnError)
+	owner := fs.String("owner", "", "resource owner to migrate")
+	from := fs.String("from", "", "losing shard's primary base URL")
+	to := fs.String("to", "", "gaining shard's primary base URL")
+	toShard := fs.String("to-shard", "", "gaining shard's name (as in the cluster ring)")
+	secret := fs.String("repl-secret", "", "shared replication secret (prefer -repl-secret-file)")
+	secretF := fs.String("repl-secret-file", "", "file holding the shared replication secret")
+	fs.Parse(args)
+	if *owner == "" || *from == "" || *to == "" || *toShard == "" {
+		log.Fatal("umacctl migrate-owner: -owner, -from, -to and -to-shard required")
+	}
+	sec := *secret
+	if *secretF != "" {
+		data, err := os.ReadFile(*secretF)
+		if err != nil {
+			log.Fatalf("umacctl migrate-owner: read -repl-secret-file: %v", err)
+		}
+		sec = strings.TrimSpace(string(data))
+	}
+	if sec == "" {
+		log.Fatal("umacctl migrate-owner: a replication secret is required (-repl-secret-file)")
+	}
+	src := amclient.New(amclient.Config{BaseURL: *from, ReplSecret: sec})
+	dst := amclient.New(amclient.Config{BaseURL: *to, ReplSecret: sec})
+	rep, err := amclient.MigrateOwner(src, dst, core.UserID(*owner), *toShard,
+		func(step int, msg string) { fmt.Fprintf(os.Stderr, "[%d/7] %s\n", step, msg) })
+	if err != nil {
+		log.Fatalf("umacctl migrate-owner: %v", err)
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
 }
 
 func cmdAudit(args []string) {

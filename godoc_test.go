@@ -64,51 +64,66 @@ func TestGodocPackageComments(t *testing.T) {
 	}
 }
 
-// TestGodocCoreExportedComments fails for any exported top-level
-// identifier (type, func, method, const, var) in internal/core that
-// carries no doc comment. A comment on a const/var group documents every
-// spec inside it unless a spec carries its own.
-func TestGodocCoreExportedComments(t *testing.T) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, filepath.Join("internal", "core"), func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
+// TestGodocExportedComments fails for any exported top-level identifier
+// (type, func, method, const, var) in ANY internal package that carries
+// no doc comment. A comment on a const/var group documents every spec
+// inside it unless a spec carries its own. internal/core started the
+// policy (it is the shared protocol vocabulary); the rest of internal/
+// joined when the sharded-cluster work made the surface large enough that
+// undocumented exports cost real navigation time.
+func TestGodocExportedComments(t *testing.T) {
+	var dirs []string
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err == nil && d.IsDir() {
+			dirs = append(dirs, path)
+		}
+		return err
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	report := func(pos token.Pos, kind, name string) {
-		t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), kind, name)
-	}
-	for _, pkg := range pkgs {
-		for _, f := range f2sorted(pkg.Files) {
-			for _, decl := range f.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					if !d.Name.IsExported() || !exportedReceiver(d) {
-						continue
-					}
-					if d.Doc == nil {
-						kind := "function"
-						if d.Recv != nil {
-							kind = "method"
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report := func(pos token.Pos, kind, name string) {
+			t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), kind, name)
+		}
+		for _, pkg := range pkgs {
+			for _, f := range f2sorted(pkg.Files) {
+				for _, decl := range f.Decls {
+					switch d := decl.(type) {
+					case *ast.FuncDecl:
+						if !d.Name.IsExported() || !exportedReceiver(d) {
+							continue
 						}
-						report(d.Pos(), kind, d.Name.Name)
-					}
-				case *ast.GenDecl:
-					groupDoc := d.Doc != nil
-					for _, spec := range d.Specs {
-						switch s := spec.(type) {
-						case *ast.TypeSpec:
-							if s.Name.IsExported() && !groupDoc && s.Doc == nil {
-								report(s.Pos(), "type", s.Name.Name)
+						if d.Doc == nil {
+							kind := "function"
+							if d.Recv != nil {
+								kind = "method"
 							}
-						case *ast.ValueSpec:
-							if groupDoc || s.Doc != nil || s.Comment != nil {
-								continue
-							}
-							for _, n := range s.Names {
-								if n.IsExported() {
-									report(s.Pos(), "const/var", n.Name)
+							report(d.Pos(), kind, d.Name.Name)
+						}
+					case *ast.GenDecl:
+						groupDoc := d.Doc != nil
+						for _, spec := range d.Specs {
+							switch s := spec.(type) {
+							case *ast.TypeSpec:
+								if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+									report(s.Pos(), "type", s.Name.Name)
+								}
+							case *ast.ValueSpec:
+								if groupDoc || s.Doc != nil || s.Comment != nil {
+									continue
+								}
+								for _, n := range s.Names {
+									if n.IsExported() {
+										report(s.Pos(), "const/var", n.Name)
+									}
 								}
 							}
 						}

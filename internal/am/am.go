@@ -75,8 +75,12 @@ type linkRecord struct {
 
 // grantRecord remembers the context under which a token was issued, so
 // decision queries re-evaluate with the same satisfied obligations (the
-// consent the user gave, the claims the requester presented).
+// consent the user gave, the claims the requester presented). Owner is the
+// realm owner the grant was issued against: the key the sharded cluster's
+// owner-closure stream filters grants by (absent in pre-cluster records,
+// which decode with an empty owner and simply never migrate).
 type grantRecord struct {
+	Owner          core.UserID       `json:"owner,omitempty"`
 	Requester      core.RequesterID  `json:"requester"`
 	Subject        core.UserID       `json:"subject,omitempty"`
 	Claims         map[string]string `json:"claims,omitempty"`
@@ -111,6 +115,11 @@ type Config struct {
 	// (primary streaming its WAL, or follower applying it and serving
 	// reads only). The zero value is a standalone AM.
 	Replication ReplicationConfig
+	// Cluster places the node in a sharded multi-primary cluster: a
+	// consistent-hash ring maps each resource owner to one shard (a
+	// replication group), and owner-scoped routes answer wrong_shard when
+	// the owner hashes elsewhere. The zero value is an unsharded AM.
+	Cluster ClusterConfig
 }
 
 // DefaultDecisionCacheTTL is the fallback Host decision-cache TTL.
@@ -137,6 +146,13 @@ type AM struct {
 	// routes is the table the last Handler call registered (guarded by
 	// mu; the metrics registry itself lives in the handler closure).
 	routes []RouteInfo
+
+	// clusterCfg is the node's shard membership (see cluster.go); the
+	// zero value disables ownership gating. migMu is the migration
+	// barrier: gated mutations hold it read-side for their whole
+	// duration, SetOwnerShard write-locks it to flip ownership.
+	clusterCfg ClusterConfig
+	migMu      sync.RWMutex
 
 	// Replication state (see replication.go). roleFollower gates writes;
 	// the remaining fields are the follower sync loop's telemetry.
@@ -185,18 +201,19 @@ func New(cfg Config) *AM {
 		name = "am"
 	}
 	a := &AM{
-		name:     name,
-		baseURL:  cfg.BaseURL,
-		store:    st,
-		tokens:   token.NewService(cfg.TokenKey, cfg.TokenTTL),
-		audit:    &audit.Log{},
-		auth:     auth,
-		notifier: cfg.Notifier,
-		tracer:   cfg.Tracer,
-		cacheTTL: cacheTTL,
-		replCfg:  cfg.Replication,
-		pending:  make(map[string]pendingPairing),
-		consents: make(map[string]*consentTicket),
+		name:       name,
+		baseURL:    cfg.BaseURL,
+		store:      st,
+		tokens:     token.NewService(cfg.TokenKey, cfg.TokenTTL),
+		audit:      &audit.Log{},
+		auth:       auth,
+		notifier:   cfg.Notifier,
+		tracer:     cfg.Tracer,
+		cacheTTL:   cacheTTL,
+		replCfg:    cfg.Replication,
+		clusterCfg: cfg.Cluster,
+		pending:    make(map[string]pendingPairing),
+		consents:   make(map[string]*consentTicket),
 	}
 	a.auditPipe = audit.NewPipeline(a.audit, 0)
 	a.groups = newGroupStore(st)
@@ -261,6 +278,11 @@ func (a *AM) ApprovePairing(req core.PairingRequest) (string, error) {
 	if req.Scope == 0 {
 		req.Scope = core.PairingScopeUser
 	}
+	release, err := a.gateOwner(req.User)
+	if err != nil {
+		return "", err
+	}
+	defer release()
 	code := core.NewID("code")
 	a.mu.Lock()
 	a.pending[code] = pendingPairing{req: req, expiresAt: time.Now().Add(pairingCodeTTL)}
@@ -276,9 +298,29 @@ func (a *AM) ApprovePairing(req core.PairingRequest) (string, error) {
 func (a *AM) ExchangeCode(code string, host core.HostID) (core.PairingResponse, error) {
 	a.mu.Lock()
 	p, ok := a.pending[code]
-	delete(a.pending, code)
 	a.mu.Unlock()
 	if !ok || time.Now().After(p.expiresAt) {
+		a.mu.Lock()
+		delete(a.pending, code)
+		a.mu.Unlock()
+		return core.PairingResponse{}, fmt.Errorf("am: unknown or expired pairing code")
+	}
+	// The approve leg was gated, but the owner may have been flipped to
+	// another shard between approve and exchange; the pairing record must
+	// not be written to a shard that no longer owns it. Gate BEFORE
+	// consuming the one-time code: wrong_shard is retryable, and a
+	// retryable answer must not destroy the state the retry needs.
+	release, err := a.gateOwner(p.req.User)
+	if err != nil {
+		return core.PairingResponse{}, err
+	}
+	defer release()
+	a.mu.Lock()
+	_, ok = a.pending[code]
+	delete(a.pending, code)
+	a.mu.Unlock()
+	if !ok {
+		// A concurrent exchange consumed it between the read and here.
 		return core.PairingResponse{}, fmt.Errorf("am: unknown or expired pairing code")
 	}
 	if p.req.Host != host {
@@ -335,7 +377,19 @@ func (a *AM) GetPairing(id string) (Pairing, error) {
 // verifying and its realms stop resolving.
 func (a *AM) RevokePairing(id string) error {
 	var p Pairing
-	_, err := a.store.Update(kindPairing, id, &p, func(exists bool) (any, error) {
+	if _, err := a.store.Get(kindPairing, id, &p); err != nil {
+		return fmt.Errorf("am: %w", core.ErrNotPaired)
+	}
+	// Gate on the pairing's owner: a migrated-away owner's revoke must be
+	// re-routed to the owning shard, not acknowledged against this
+	// shard's stale copy (which would leave the authoritative pairing
+	// un-revoked).
+	release, err := a.gateOwner(p.User)
+	if err != nil {
+		return err
+	}
+	defer release()
+	_, err = a.store.Update(kindPairing, id, &p, func(exists bool) (any, error) {
 		if !exists {
 			return nil, fmt.Errorf("am: %w", core.ErrNotPaired)
 		}
@@ -387,6 +441,11 @@ func (a *AM) RegisterRealm(pairingID string, req core.ProtectRequest) (core.Prot
 	if owner == "" {
 		owner = p.User
 	}
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return core.ProtectResponse{}, err
+	}
+	defer release()
 	switch p.Scope {
 	case core.PairingScopeApplication:
 		// The whole application is delegated: any owner, any resource.
@@ -430,7 +489,9 @@ func (a *AM) RegisterRealm(pairingID string, req core.ProtectRequest) (core.Prot
 		return core.ProtectResponse{}, fmt.Errorf("am: persist realm: %w", err)
 	}
 	if req.Policy != "" {
-		if err := a.LinkGeneral(owner, req.Realm, req.Policy); err != nil {
+		// The gate is already held for this owner; the ungated core avoids
+		// a recursive barrier RLock (deadlock against a queued cutover).
+		if err := a.linkGeneralGated(owner, req.Realm, req.Policy); err != nil {
 			return core.ProtectResponse{}, err
 		}
 	}

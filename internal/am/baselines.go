@@ -39,6 +39,9 @@ func (a *AM) PullDecide(pairingID string, q core.DecisionQuery, subject core.Use
 	if err != nil {
 		return core.DecisionResponse{}, err
 	}
+	if err := a.checkShard(realm.Owner); err != nil {
+		return core.DecisionResponse{}, err
+	}
 	req := core.TokenRequest{
 		Requester: requester,
 		Subject:   subject,
@@ -82,6 +85,11 @@ func (a *AM) EstablishState(req core.TokenRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	release, err := a.gateOwner(realm.Owner)
+	if err != nil {
+		return "", err
+	}
+	defer release()
 	res := a.evaluate(req, realm, false)
 	if res.Decision != core.DecisionPermit {
 		a.audit.Append(audit.Event{
@@ -121,6 +129,9 @@ func (a *AM) StateDecide(pairingID string, q core.DecisionQuery, handle string) 
 	}
 	realm, err := a.LookupRealm(q.Host, q.Realm)
 	if err != nil {
+		return core.DecisionResponse{}, err
+	}
+	if err := a.checkShard(realm.Owner); err != nil {
 		return core.DecisionResponse{}, err
 	}
 	deny := func(reason string) core.DecisionResponse {

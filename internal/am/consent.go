@@ -137,6 +137,11 @@ func (a *AM) ResolveConsent(actor core.UserID, ticket string, approve bool) erro
 	if !a.CanManage(t.owner, actor) {
 		return fmt.Errorf("am: %s may not resolve consents of %s", actor, t.owner)
 	}
+	release, err := a.gateOwner(t.owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if t.resolved {
 		return fmt.Errorf("am: consent ticket %s already resolved", ticket)
 	}

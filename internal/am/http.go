@@ -155,6 +155,13 @@ func (a *AM) Handler() http.Handler {
 	reg("GET", "/replication/snapshot", a.replAuthed(a.handleReplSnapshot))
 	reg("GET", "/replication/wal", a.replAuthed(a.handleReplWAL))
 
+	// --- Cluster (consistent-hash owner sharding) ---
+	// v1-only. The topology probe is open like healthz; the migration
+	// admin routes share the replication secret's bearer auth.
+	reg("GET", "/cluster", http.HandlerFunc(a.handleClusterInfo))
+	reg("PUT", "/cluster/owners/{owner}", a.replAuthed(a.handleOwnerOverride))
+	reg("POST", "/cluster/import", a.replAuthed(a.handleClusterImport))
+
 	// --- Operational ---
 	// healthz predates v1 and keeps its alias; readyz and metrics are new
 	// endpoints, so per the frozen-alias policy they exist under /v1 only.

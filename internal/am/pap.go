@@ -1,6 +1,7 @@
 package am
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -45,8 +46,13 @@ func (a *AM) AddCustodian(owner, custodian core.UserID) error {
 	if owner == "" || custodian == "" {
 		return fmt.Errorf("am: owner and custodian required")
 	}
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	var cur []core.UserID
-	_, err := a.store.Update(kindCustodian, string(owner), &cur, func(exists bool) (any, error) {
+	_, err = a.store.Update(kindCustodian, string(owner), &cur, func(exists bool) (any, error) {
 		for _, c := range cur {
 			if c == custodian {
 				return cur, nil
@@ -59,8 +65,13 @@ func (a *AM) AddCustodian(owner, custodian core.UserID) error {
 
 // RemoveCustodian revokes a custodian appointment.
 func (a *AM) RemoveCustodian(owner, custodian core.UserID) error {
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	var cur []core.UserID
-	_, err := a.store.Update(kindCustodian, string(owner), &cur, func(exists bool) (any, error) {
+	_, err = a.store.Update(kindCustodian, string(owner), &cur, func(exists bool) (any, error) {
 		out := cur[:0]
 		for _, c := range cur {
 			if c != custodian {
@@ -91,6 +102,11 @@ func (a *AM) CreatePolicy(actor core.UserID, p policy.Policy) (policy.Policy, er
 	if !a.CanManage(p.Owner, actor) {
 		return policy.Policy{}, fmt.Errorf("am: %s may not manage policies of %s", actor, p.Owner)
 	}
+	release, err := a.gateOwner(p.Owner)
+	if err != nil {
+		return policy.Policy{}, err
+	}
+	defer release()
 	if err := p.Validate(); err != nil {
 		return policy.Policy{}, err
 	}
@@ -114,6 +130,11 @@ func (a *AM) UpdatePolicy(actor core.UserID, p policy.Policy) error {
 	if !a.CanManage(old.Owner, actor) {
 		return fmt.Errorf("am: %s may not manage policies of %s", actor, old.Owner)
 	}
+	release, err := a.gateOwner(old.Owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	p.Owner = old.Owner
 	if err := p.Validate(); err != nil {
 		return err
@@ -143,6 +164,11 @@ func (a *AM) DeletePolicy(actor core.UserID, id core.PolicyID) error {
 	if !a.CanManage(old.Owner, actor) {
 		return fmt.Errorf("am: %s may not manage policies of %s", actor, old.Owner)
 	}
+	release, err := a.gateOwner(old.Owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	// Capture the affected scope while the links still resolve; after the
 	// delete they dangle (deny-biased) but still name the same targets.
 	realms, resources := a.linksForPolicy(old.Owner, id)
@@ -225,6 +251,11 @@ func (a *AM) ImportPolicies(actor core.UserID, owner core.UserID, r io.Reader, f
 	if !a.CanManage(owner, actor) {
 		return 0, fmt.Errorf("am: %s may not manage policies of %s", actor, owner)
 	}
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	policies, err := policy.Import(r, f)
 	if err != nil {
 		return 0, err
@@ -256,6 +287,19 @@ func (a *AM) ImportPolicies(actor core.UserID, owner core.UserID, r io.Reader, f
 // across every Host where that realm is registered. This is the R2 win:
 // one policy, one link, many Hosts.
 func (a *AM) LinkGeneral(owner core.UserID, realm core.RealmID, pid core.PolicyID) error {
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return a.linkGeneralGated(owner, realm, pid)
+}
+
+// linkGeneralGated is LinkGeneral minus the ownership gate, for callers
+// already holding the migration barrier (RegisterRealm) — gateOwner must
+// never nest: a recursive RLock behind a queued SetOwnerShard write lock
+// deadlocks.
+func (a *AM) linkGeneralGated(owner core.UserID, realm core.RealmID, pid core.PolicyID) error {
 	p, err := a.GetPolicy(pid)
 	if err != nil {
 		return err
@@ -281,6 +325,11 @@ func (a *AM) LinkGeneral(owner core.UserID, realm core.RealmID, pid core.PolicyI
 
 // LinkSpecific applies a specific policy to one resource at one Host.
 func (a *AM) LinkSpecific(owner core.UserID, host core.HostID, res core.ResourceID, pid core.PolicyID) error {
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	p, err := a.GetPolicy(pid)
 	if err != nil {
 		return err
@@ -306,6 +355,11 @@ func (a *AM) LinkSpecific(owner core.UserID, host core.HostID, res core.Resource
 
 // UnlinkGeneral removes the realm's general policy link.
 func (a *AM) UnlinkGeneral(owner core.UserID, realm core.RealmID) error {
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if err := a.store.Delete(kindLinkGen, linkGenKey(owner, realm)); err != nil {
 		return err
 	}
@@ -315,6 +369,11 @@ func (a *AM) UnlinkGeneral(owner core.UserID, realm core.RealmID) error {
 
 // UnlinkSpecific removes a resource's specific policy link.
 func (a *AM) UnlinkSpecific(owner core.UserID, host core.HostID, res core.ResourceID) error {
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if err := a.store.Delete(kindLinkSpec, linkSpecKey(owner, host, res)); err != nil {
 		return err
 	}
@@ -413,6 +472,42 @@ func (g *groupStore) persist(owner core.UserID, group string) error {
 	return err
 }
 
+// install syncs the in-memory directory with a group record that arrived
+// from outside the local write path (replication apply, migration import):
+// key is the store key ("owner/group"), members the authoritative list
+// (nil for a deleted group).
+func (g *groupStore) install(key string, members []core.UserID) {
+	owner, group, ok := splitGroupKey(key)
+	if !ok {
+		return
+	}
+	g.dir.SetMembers(owner, group, members)
+}
+
+// installRecord is install for a raw replicated/imported record: puts
+// decode the member list (an undecodable payload clears the group rather
+// than serving stale membership), deletes clear it.
+func (g *groupStore) installRecord(rec core.ReplRecord) {
+	var members []core.UserID
+	if rec.Op == core.ReplOpPut && json.Unmarshal(rec.Data, &members) != nil {
+		members = nil
+	}
+	g.install(rec.Key, members)
+}
+
+// rebuild resets the directory from the backing store — the follower
+// bootstrap path, where the whole store was just replaced by a snapshot.
+func (g *groupStore) rebuild() {
+	g.dir.Reset()
+	for _, e := range g.st.List(kindGroup) {
+		var members []core.UserID
+		if err := e.Decode(&members); err != nil {
+			continue
+		}
+		g.install(e.Key, members)
+	}
+}
+
 func splitGroupKey(key string) (core.UserID, string, bool) {
 	for i := 0; i < len(key); i++ {
 		if key[i] == '/' {
@@ -427,6 +522,11 @@ func (a *AM) AddGroupMember(actor, owner core.UserID, group string, user core.Us
 	if !a.CanManage(owner, actor) {
 		return fmt.Errorf("am: %s may not manage groups of %s", actor, owner)
 	}
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if group == "" || user == "" {
 		return fmt.Errorf("am: group and user required")
 	}
@@ -444,6 +544,11 @@ func (a *AM) RemoveGroupMember(actor, owner core.UserID, group string, user core
 	if !a.CanManage(owner, actor) {
 		return fmt.Errorf("am: %s may not manage groups of %s", actor, owner)
 	}
+	release, err := a.gateOwner(owner)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if err := a.groups.remove(owner, group, user); err != nil {
 		return err
 	}

@@ -30,6 +30,11 @@ func (a *AM) IssueToken(req core.TokenRequest) (core.TokenResponse, error) {
 	if err != nil {
 		return core.TokenResponse{}, err
 	}
+	release, err := a.gateOwner(realm.Owner)
+	if err != nil {
+		return core.TokenResponse{}, err
+	}
+	defer release()
 	res := a.evaluate(req, realm, false)
 	switch {
 	case res.Decision == core.DecisionPermit:
@@ -72,6 +77,7 @@ func (a *AM) grantToken(req core.TokenRequest, realm Realm, res policy.Result) (
 		return core.TokenResponse{}, err
 	}
 	grant := grantRecord{
+		Owner:     realm.Owner,
 		Requester: req.Requester,
 		Subject:   req.Subject,
 		Claims:    req.Claims,
@@ -100,6 +106,7 @@ func (a *AM) grantTokenWithConsent(req core.TokenRequest, realm Realm) (core.Tok
 		return core.TokenResponse{}, err
 	}
 	grant := grantRecord{
+		Owner:          realm.Owner,
 		Requester:      req.Requester,
 		Subject:        req.Subject,
 		Claims:         req.Claims,
@@ -245,6 +252,13 @@ func (a *AM) DecideBatch(pairingID string, q core.BatchDecisionQuery) (core.Batc
 			Token:     tok,
 		})
 		if err != nil {
+			// wrong_shard vetoes the whole batch: the client must re-route
+			// the page to the owning shard, and burying the routing hint in
+			// an item-level string would hide it from the chase logic.
+			var ae *core.APIError
+			if errors.As(err, &ae) && ae.Code == core.CodeWrongShard {
+				return core.BatchDecisionResponse{}, err
+			}
 			resp.Results[i] = core.BatchDecisionResult{
 				DecisionResponse: core.DecisionResponse{Decision: core.DecisionDeny.String()},
 				Error:            err.Error(),
@@ -262,6 +276,12 @@ func (a *AM) DecideBatch(pairingID string, q core.BatchDecisionQuery) (core.Batc
 func (a *AM) decideItem(ctx *decideCtx, q core.DecisionQuery) (core.DecisionResponse, error) {
 	realm, err := a.realmCached(ctx, q.Host, q.Realm)
 	if err != nil {
+		return core.DecisionResponse{}, err
+	}
+	// A decision for a migrated-away owner must not be served from this
+	// shard's (still-present, no-longer-authoritative) state: the client
+	// chases the shard hint instead.
+	if err := a.checkShard(realm.Owner); err != nil {
 		return core.DecisionResponse{}, err
 	}
 

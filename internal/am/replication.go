@@ -203,8 +203,15 @@ func (a *AM) replAuthed(h http.HandlerFunc) http.Handler {
 }
 
 // handleReplSnapshot serves the bootstrap image: the full store contents
-// plus the sequence number they are consistent at.
+// plus the sequence number they are consistent at. With ?owner= the image
+// is restricted to that owner's closure (pairings, realms, policies,
+// links, groups, custodians, grants) — the first leg of a live owner
+// migration.
 func (a *AM) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	if owner := core.UserID(r.URL.Query().Get("owner")); owner != "" {
+		webutil.WriteJSON(w, http.StatusOK, a.store.ReplicationSnapshotFilter(replOwnerKeep(owner)))
+		return
+	}
 	webutil.WriteJSON(w, http.StatusOK, a.store.ReplicationSnapshot())
 }
 
@@ -212,8 +219,16 @@ func (a *AM) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 // ?max= per response, holding up to ?wait_ms= for new records when the
 // follower is caught up (long poll). A ?from= that predates the retained
 // window answers wal_truncated: the follower must re-bootstrap.
+//
+// With ?owner= the tail is restricted to that owner's closure — the
+// catch-up and drain legs of a live owner migration. The page's last_seq
+// is then the offset the scan advanced through (which may exceed the last
+// returned record when trailing foreign records were skipped); callers
+// resume from it, and a page that is empty at an unmoved offset means the
+// migration stream is drained.
 func (a *AM) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
+	ownerFilter := core.UserID(q.Get("owner"))
 	from, err := strconv.ParseInt(q.Get("from"), 10, 64)
 	if q.Get("from") == "" {
 		from, err = 0, nil
@@ -251,7 +266,13 @@ func (a *AM) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 		// Arm the watch before reading the tail so a record logged between
 		// the two cannot be missed.
 		watch := a.store.ReplWatch()
-		recs, last, err := a.store.TailSince(from, max)
+		var recs []core.ReplRecord
+		var last int64
+		if ownerFilter != "" {
+			recs, last, err = a.store.TailSinceFilter(from, max, replOwnerKeep(ownerFilter))
+		} else {
+			recs, last, err = a.store.TailSince(from, max)
+		}
 		switch {
 		case errors.Is(err, store.ErrReplicationTruncated):
 			webutil.FailCode(w, r, core.CodeWALTruncated,
@@ -265,7 +286,10 @@ func (a *AM) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		remain := time.Until(deadline)
-		if len(recs) > 0 || remain <= 0 {
+		// An owner-filtered scan that advanced past foreign records must
+		// answer immediately even with no records, so the migration loop's
+		// offset keeps moving.
+		if len(recs) > 0 || last > from || remain <= 0 {
 			webutil.WriteJSON(w, http.StatusOK, core.ReplWALPage{Records: recs, LastSeq: last})
 			return
 		}
@@ -347,6 +371,13 @@ func (a *AM) syncOnce(client *http.Client, wait time.Duration) error {
 			}
 			return err
 		}
+		// The policy engine resolves group membership through the
+		// in-memory directory, so replicated group records must reach it
+		// too — otherwise follower decisions would evaluate against the
+		// membership as of process start.
+		if rec.Kind == kindGroup {
+			a.groups.installRecord(rec)
+		}
 		a.replApplied.Add(1)
 	}
 	a.replPrimarySeq.Store(page.LastSeq)
@@ -365,6 +396,9 @@ func (a *AM) bootstrap(client *http.Client) error {
 	if err := a.store.LoadReplicationSnapshot(snap); err != nil {
 		return err
 	}
+	// The snapshot replaced the whole store; rebuild the in-memory group
+	// directory to match it.
+	a.groups.rebuild()
 	a.replApplied.Add(int64(len(snap.Records)))
 	a.replPrimarySeq.Store(snap.Seq)
 	a.replConnected.Store(true)

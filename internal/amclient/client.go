@@ -58,6 +58,12 @@ type Config struct {
 	// pairing secret — the Host↔AM channel of Figs. 3/4/6.
 	PairingID string
 	Secret    string
+	// ReplSecret, when set, is sent as a bearer token on every request —
+	// the shared replication secret that authenticates the
+	// /v1/replication/* surface and the cluster migration admin routes.
+	// Only operator tooling (umacctl migrate-owner, the sim harness)
+	// should set it.
+	ReplSecret string
 	// Legacy pins the client to the pre-v1 alias paths. Used by the
 	// compatibility tests; new code should leave it false.
 	Legacy bool
@@ -218,6 +224,9 @@ func (c *Client) newRequest(base, method, path string, q url.Values, body io.Rea
 	}
 	if c.cfg.User != "" {
 		req.Header.Set(c.cfg.UserHeader, string(c.cfg.User))
+	}
+	if c.cfg.ReplSecret != "" {
+		req.Header.Set("Authorization", "Bearer "+c.cfg.ReplSecret)
 	}
 	if c.cfg.PairingID != "" {
 		if err := httpsig.Sign(req, c.cfg.PairingID, c.cfg.Secret); err != nil {

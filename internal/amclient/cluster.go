@@ -1,0 +1,343 @@
+package amclient
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"umac/internal/cluster"
+	"umac/internal/core"
+	"umac/internal/policy"
+)
+
+// This file is the shard-aware side of the client: ClusterClient learns
+// the owner ring from GET /v1/cluster and routes every call to the shard
+// owning the call's resource owner, chasing a wrong_shard hint exactly
+// once (with a ring refresh in between) when the local ring turns out to
+// be stale — e.g. mid live-migration. Each shard is served by an ordinary
+// Client configured with the shard's full endpoint list, so the existing
+// multi-endpoint failover (connection errors, not_primary leader hints,
+// draining nodes) composes underneath the shard routing rather than being
+// replaced by it.
+
+// --- Plain-client cluster and migration calls ---
+
+// ClusterInfo fetches the node's view of the cluster ring
+// (GET /v1/cluster). Unsharded nodes answer not_found.
+func (c *Client) ClusterInfo() (core.ClusterInfo, error) {
+	var info core.ClusterInfo
+	err := c.get("/cluster", nil, &info)
+	return info, err
+}
+
+// SetOwnerShard pins owner to the named shard on the receiving shard
+// group (PUT /v1/cluster/owners/{owner}) — the migration cutover flip.
+// Requires Config.ReplSecret.
+func (c *Client) SetOwnerShard(owner core.UserID, shard string) error {
+	return c.do("PUT", "/cluster/owners/"+url.PathEscape(string(owner)), nil,
+		core.OwnerOverrideRequest{Shard: shard}, nil)
+}
+
+// ClusterImport installs records captured from another shard as local
+// writes (POST /v1/cluster/import). Requires Config.ReplSecret.
+func (c *Client) ClusterImport(records []core.ReplRecord) (int, error) {
+	var resp core.ClusterImportResponse
+	err := c.do("POST", "/cluster/import", nil, core.ClusterImportRequest{Records: records}, &resp)
+	return resp.Applied, err
+}
+
+// ReplicationSnapshotScoped fetches the owner-scoped bootstrap image
+// (GET /v1/replication/snapshot?owner=): the first leg of a live owner
+// migration. Requires Config.ReplSecret.
+func (c *Client) ReplicationSnapshotScoped(owner core.UserID) (core.ReplSnapshot, error) {
+	var snap core.ReplSnapshot
+	err := c.get("/replication/snapshot", url.Values{"owner": {string(owner)}}, &snap)
+	return snap, err
+}
+
+// ReplicationTailScoped fetches one page of the owner-scoped WAL tail
+// after from (GET /v1/replication/wal?owner=&from=). The page's LastSeq is
+// the offset the scan advanced through; resume from it. Requires
+// Config.ReplSecret.
+func (c *Client) ReplicationTailScoped(owner core.UserID, from int64, max int) (core.ReplWALPage, error) {
+	q := url.Values{
+		"owner": {string(owner)},
+		"from":  {strconv.FormatInt(from, 10)},
+	}
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	var page core.ReplWALPage
+	err := c.get("/replication/wal", q, &page)
+	return page, err
+}
+
+// --- ClusterClient ---
+
+// ClusterClient is a shard-aware AM client: it holds one Client per shard
+// and routes each call by the resource owner it concerns.
+type ClusterClient struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	ring      *cluster.Ring
+	overrides map[string]string // owner → shard name
+	clients   map[string]*Client
+}
+
+// NewCluster builds a shard-aware client: cfg's BaseURL/Endpoints seed the
+// initial GET /v1/cluster fetch, and the remaining fields (credentials,
+// user identity, HTTP client) template every per-shard client.
+func NewCluster(cfg Config) (*ClusterClient, error) {
+	info, err := New(cfg).ClusterInfo()
+	if err != nil {
+		return nil, fmt.Errorf("amclient: learn cluster ring: %w", err)
+	}
+	cc := &ClusterClient{cfg: cfg}
+	if err := cc.install(info); err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// install replaces the routing state with a freshly fetched ClusterInfo.
+func (cc *ClusterClient) install(info core.ClusterInfo) error {
+	ring, err := cluster.New(info.Shards, info.Vnodes)
+	if err != nil {
+		return fmt.Errorf("amclient: bad cluster ring: %w", err)
+	}
+	clients := make(map[string]*Client, len(info.Shards))
+	for _, s := range info.Shards {
+		endpoints := s.Endpoints
+		if len(endpoints) == 0 && s.Primary != "" {
+			endpoints = []string{s.Primary}
+		}
+		if len(endpoints) == 0 {
+			// A shard with no usable endpoints stays unroutable; For
+			// reports it per owner instead of failing the whole install.
+			continue
+		}
+		scfg := cc.cfg
+		scfg.BaseURL = endpoints[0]
+		scfg.Endpoints = endpoints[1:]
+		clients[s.Name] = New(scfg)
+	}
+	cc.mu.Lock()
+	cc.ring = ring
+	cc.overrides = info.Overrides
+	cc.clients = clients
+	cc.mu.Unlock()
+	return nil
+}
+
+// Refresh refetches the ring from any currently known shard endpoint.
+func (cc *ClusterClient) Refresh() error {
+	cc.mu.RLock()
+	clients := make([]*Client, 0, len(cc.clients))
+	for _, c := range cc.clients {
+		clients = append(clients, c)
+	}
+	cc.mu.RUnlock()
+	var lastErr error = errors.New("amclient: no cluster endpoints known")
+	for _, c := range clients {
+		info, err := c.ClusterInfo()
+		if err == nil {
+			return cc.install(info)
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// refreshFrom refetches the ring from an explicit endpoint (the shard a
+// wrong_shard hint named — it just answered, so it is alive), falling
+// back to Refresh when the fetch fails.
+func (cc *ClusterClient) refreshFrom(endpoint string) error {
+	if endpoint == "" {
+		return cc.Refresh()
+	}
+	scfg := cc.cfg
+	scfg.BaseURL = endpoint
+	scfg.Endpoints = nil
+	info, err := New(scfg).ClusterInfo()
+	if err != nil {
+		return cc.Refresh()
+	}
+	return cc.install(info)
+}
+
+// shardNameFor resolves the shard name owning owner under the current
+// ring + overrides.
+func (cc *ClusterClient) shardNameFor(owner core.UserID) string {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	if name, ok := cc.overrides[string(owner)]; ok {
+		if _, known := cc.ring.Shard(name); known {
+			return name
+		}
+	}
+	return cc.ring.Owner(owner).Name
+}
+
+// For returns the Client of the shard owning owner.
+func (cc *ClusterClient) For(owner core.UserID) (*Client, error) {
+	name := cc.shardNameFor(owner)
+	cc.mu.RLock()
+	c := cc.clients[name]
+	cc.mu.RUnlock()
+	if c == nil {
+		return nil, fmt.Errorf("amclient: owner %s maps to shard %q which has no usable endpoints", owner, name)
+	}
+	return c, nil
+}
+
+// wrongShard extracts a wrong_shard APIError, nil for anything else.
+func wrongShard(err error) *core.APIError {
+	var ae *core.APIError
+	if errors.As(err, &ae) && ae.Code == core.CodeWrongShard {
+		return ae
+	}
+	return nil
+}
+
+// Do runs fn against the owner's shard. A wrong_shard answer — the local
+// ring is stale, typically mid-migration — triggers one ring refresh
+// (from the hinted shard) and exactly one retry against the owner's
+// re-resolved shard; a second wrong_shard is returned as-is, so two
+// shards disclaiming the same owner cannot bounce a call forever.
+func (cc *ClusterClient) Do(owner core.UserID, fn func(*Client) error) error {
+	c, err := cc.For(owner)
+	if err != nil {
+		return err
+	}
+	err = fn(c)
+	ae := wrongShard(err)
+	if ae == nil {
+		return err
+	}
+	if rerr := cc.refreshFrom(ae.Shard); rerr != nil {
+		return err
+	}
+	c2, err2 := cc.For(owner)
+	if err2 != nil {
+		return err2
+	}
+	return fn(c2)
+}
+
+// Info returns the cluster view the client currently routes by. Both the
+// shard list and the override map are copies: mutating them (tests stage
+// topologies that way) must not corrupt the live routing state.
+func (cc *ClusterClient) Info() core.ClusterInfo {
+	cc.mu.RLock()
+	defer cc.mu.RUnlock()
+	info := core.ClusterInfo{Vnodes: cc.ring.Vnodes(), Shards: cc.ring.Shards()}
+	if len(cc.overrides) > 0 {
+		info.Overrides = make(map[string]string, len(cc.overrides))
+		for k, v := range cc.overrides {
+			info.Overrides[k] = v
+		}
+	}
+	return info
+}
+
+// --- Owner-routed call wrappers ---
+// Each wrapper names the owner whose shard must serve the call; the
+// owner-less protocol identities (requester, host) ride along unchanged.
+
+// Decide routes one signed decision query by the resource owner.
+func (cc *ClusterClient) Decide(owner core.UserID, q core.DecisionQuery) (core.DecisionResponse, error) {
+	var resp core.DecisionResponse
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		resp, e = c.Decide(q)
+		return e
+	})
+	return resp, err
+}
+
+// DecideBatch routes one signed batched decision query by the resource
+// owner.
+func (cc *ClusterClient) DecideBatch(owner core.UserID, q core.BatchDecisionQuery) (core.BatchDecisionResponse, error) {
+	var resp core.BatchDecisionResponse
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		resp, e = c.DecideBatch(q)
+		return e
+	})
+	return resp, err
+}
+
+// RequestToken routes a token request by the realm owner.
+func (cc *ClusterClient) RequestToken(owner core.UserID, req core.TokenRequest) (core.TokenResponse, error) {
+	var resp core.TokenResponse
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		resp, e = c.RequestToken(req)
+		return e
+	})
+	return resp, err
+}
+
+// ExchangePairingCode routes the Fig. 3 code exchange by the pairing
+// owner.
+func (cc *ClusterClient) ExchangePairingCode(owner core.UserID, code string, host core.HostID) (core.PairingResponse, error) {
+	var resp core.PairingResponse
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		resp, e = c.ExchangePairingCode(code, host)
+		return e
+	})
+	return resp, err
+}
+
+// Protect routes a signed realm registration by the resource owner.
+func (cc *ClusterClient) Protect(owner core.UserID, req core.ProtectRequest) (core.ProtectResponse, error) {
+	var resp core.ProtectResponse
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		resp, e = c.Protect(req)
+		return e
+	})
+	return resp, err
+}
+
+// CreatePolicy routes a policy create by the policy's owner.
+func (cc *ClusterClient) CreatePolicy(p policy.Policy) (policy.Policy, error) {
+	var created policy.Policy
+	err := cc.Do(p.Owner, func(c *Client) error {
+		var e error
+		created, e = c.CreatePolicy(p)
+		return e
+	})
+	return created, err
+}
+
+// GetPolicy routes a policy fetch by its owner.
+func (cc *ClusterClient) GetPolicy(owner core.UserID, id core.PolicyID) (policy.Policy, error) {
+	var p policy.Policy
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		p, e = c.GetPolicy(id)
+		return e
+	})
+	return p, err
+}
+
+// LinkGeneral routes a realm-policy link by its owner.
+func (cc *ClusterClient) LinkGeneral(owner core.UserID, realm core.RealmID, pid core.PolicyID) error {
+	return cc.Do(owner, func(c *Client) error { return c.LinkGeneral(owner, realm, pid) })
+}
+
+// AddGroupMember routes a group mutation by its owner.
+func (cc *ClusterClient) AddGroupMember(owner core.UserID, group string, user core.UserID) ([]core.UserID, error) {
+	var members []core.UserID
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		members, e = c.AddGroupMember(owner, group, user)
+		return e
+	})
+	return members, err
+}

@@ -1,0 +1,159 @@
+package amclient
+
+import (
+	"fmt"
+
+	"umac/internal/core"
+)
+
+// This file orchestrates a live owner migration between two shards of a
+// sharded AM cluster: the owner's closure (pairings, realms, policies,
+// links, groups, custodians, grants) is streamed from the losing shard to
+// the gaining shard over the owner-scoped replication surface, writes
+// landing on the losing shard during the copy are shipped continuously
+// (the WAL-tail catch-up — the double-write window of the cutover), ring
+// ownership is flipped via per-owner overrides, and a final drain picks up
+// every write the losing shard acknowledged before the flip took effect.
+// Zero acknowledged-write loss: a write either lands before the flip (and
+// the drain ships it) or after (and the losing shard answers wrong_shard,
+// so the client's chase re-routes it to the gaining shard).
+//
+// umacctl migrate-owner and the sim's cluster workload both drive this
+// function; docs/OPERATIONS.md documents it as the 7-step migration drill.
+
+// migrateTailBatch is the per-round record cap of the catch-up and drain
+// tails.
+const migrateTailBatch = 1024
+
+// migrateMaxCatchup bounds the pre-cutover catch-up rounds: under a
+// relentless write load the tail may never go empty, and correctness does
+// not require it to — the post-cutover drain ships the remainder.
+const migrateMaxCatchup = 64
+
+// MigrateReport summarizes one live owner migration.
+type MigrateReport struct {
+	// Owner is the migrated owner.
+	Owner core.UserID `json:"owner"`
+	// FromShard and ToShard name the losing and gaining shards.
+	FromShard string `json:"from_shard"`
+	ToShard   string `json:"to_shard"`
+	// SnapshotRecords counts the owner-closure records in the initial
+	// scoped snapshot.
+	SnapshotRecords int `json:"snapshot_records"`
+	// CatchupRecords counts records shipped by the pre-cutover tail.
+	CatchupRecords int `json:"catchup_records"`
+	// DrainRecords counts records shipped by the post-cutover drain —
+	// writes acknowledged by the losing shard while the flip propagated.
+	DrainRecords int `json:"drain_records"`
+}
+
+// MigrateOwner moves owner from the shard behind src to the shard named
+// toShard behind dst. Both clients need Config.ReplSecret (the migration
+// surface's bearer auth). progress, when non-nil, receives one line per
+// drill step. See the package comment above for the loss-freedom
+// argument.
+func MigrateOwner(src, dst *Client, owner core.UserID, toShard string, progress func(step int, msg string)) (MigrateReport, error) {
+	rep := MigrateReport{Owner: owner, ToShard: toShard}
+	say := func(step int, format string, args ...any) {
+		if progress != nil {
+			progress(step, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Step 1: confirm the topology — the target shard must exist on both
+	// sides' rings, and dst must actually front it.
+	srcInfo, err := src.ClusterInfo()
+	if err != nil {
+		return rep, fmt.Errorf("amclient: migrate: source cluster info: %w", err)
+	}
+	dstInfo, err := dst.ClusterInfo()
+	if err != nil {
+		return rep, fmt.Errorf("amclient: migrate: target cluster info: %w", err)
+	}
+	rep.FromShard = srcInfo.Shard
+	if dstInfo.Shard != toShard {
+		return rep, fmt.Errorf("amclient: migrate: target node belongs to shard %q, not %q", dstInfo.Shard, toShard)
+	}
+	if srcInfo.Shard == toShard {
+		return rep, fmt.Errorf("amclient: migrate: owner already targeted at shard %q", toShard)
+	}
+	say(1, "topology confirmed: %s → %s", srcInfo.Shard, toShard)
+
+	// Step 2: owner-scoped snapshot from the losing shard.
+	snap, err := src.ReplicationSnapshotScoped(owner)
+	if err != nil {
+		return rep, fmt.Errorf("amclient: migrate: scoped snapshot: %w", err)
+	}
+	rep.SnapshotRecords = len(snap.Records)
+	say(2, "snapshot captured: %d records at seq %d", len(snap.Records), snap.Seq)
+
+	// Step 3: install the snapshot on the gaining shard.
+	if _, err := dst.ClusterImport(snap.Records); err != nil {
+		return rep, fmt.Errorf("amclient: migrate: import snapshot: %w", err)
+	}
+	say(3, "snapshot imported")
+
+	// Step 4: catch-up — ship owner writes that landed during the copy,
+	// until a round comes back empty (or the bound trips; the drain covers
+	// the rest either way).
+	from := snap.Seq
+	for round := 0; round < migrateMaxCatchup; round++ {
+		page, err := src.ReplicationTailScoped(owner, from, migrateTailBatch)
+		if err != nil {
+			return rep, fmt.Errorf("amclient: migrate: catch-up tail: %w", err)
+		}
+		if len(page.Records) > 0 {
+			if _, err := dst.ClusterImport(page.Records); err != nil {
+				return rep, fmt.Errorf("amclient: migrate: import catch-up: %w", err)
+			}
+			rep.CatchupRecords += len(page.Records)
+		}
+		caughtUp := len(page.Records) == 0 && page.LastSeq == from
+		from = page.LastSeq
+		if caughtUp {
+			break
+		}
+	}
+	say(4, "caught up: %d records shipped, offset %d", rep.CatchupRecords, from)
+
+	// Step 5: the gaining shard starts accepting the owner (its hash ring
+	// would otherwise still disclaim it). From here until step 6 both
+	// shards accept the owner — the double-write window; writes still
+	// landing at the source are shipped by the drain.
+	if err := dst.SetOwnerShard(owner, toShard); err != nil {
+		return rep, fmt.Errorf("amclient: migrate: pin owner on target: %w", err)
+	}
+	say(5, "target accepts %s", owner)
+
+	// Step 6: cutover — the losing shard stops serving the owner; every
+	// subsequent decision or write there answers wrong_shard with the
+	// gaining shard as the hint.
+	if err := src.SetOwnerShard(owner, toShard); err != nil {
+		return rep, fmt.Errorf("amclient: migrate: flip owner on source: %w", err)
+	}
+	say(6, "cutover: source now answers wrong_shard for %s", owner)
+
+	// Step 7: final drain — ship everything the source acknowledged
+	// before the flip became visible. Two consecutive empty rounds mean
+	// no owner record appeared between two scans of the source WAL, at
+	// which point nothing more can arrive (the gate is closed).
+	empty := 0
+	for empty < 2 {
+		page, err := src.ReplicationTailScoped(owner, from, migrateTailBatch)
+		if err != nil {
+			return rep, fmt.Errorf("amclient: migrate: drain tail: %w", err)
+		}
+		if len(page.Records) > 0 {
+			if _, err := dst.ClusterImport(page.Records); err != nil {
+				return rep, fmt.Errorf("amclient: migrate: import drain: %w", err)
+			}
+			rep.DrainRecords += len(page.Records)
+			empty = 0
+		} else {
+			empty++
+		}
+		from = page.LastSeq
+	}
+	say(7, "drained: %d records; migration complete", rep.DrainRecords)
+	return rep, nil
+}

@@ -35,6 +35,7 @@ const (
 	EventDecision        EventType = "decision"
 	EventConsentRequest  EventType = "consent-requested"
 	EventConsentResolved EventType = "consent-resolved"
+	EventOwnerMigrated   EventType = "owner-migrated"
 )
 
 // Event is one audit record. Owner is the resource owner whose security

@@ -1,0 +1,185 @@
+// Package cluster implements the consistent-hash owner ring of a sharded
+// AM deployment. The paper's AM centralizes every user's authorization
+// state in one service; scaling the write path past one primary means
+// partitioning that state — and the UMA model partitions cleanly by
+// resource owner, because each owner's realms, policies, groups, grants
+// and consents form an independent closure no cross-owner decision ever
+// reads. The ring maps each owner to exactly one shard (a replication
+// group: primary plus followers) via consistent hashing with virtual
+// nodes, so adding or removing a shard remaps only ~1/N of the owners.
+//
+// The ring itself is static configuration (every node and client is built
+// with the same shard list); per-owner overrides — the live-migration
+// cutover state — live in each AM's replicated store, not here.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"umac/internal/core"
+)
+
+// DefaultVnodes is the virtual-node count per shard when a ring is built
+// with vnodes <= 0. 64 points per shard keeps the expected owner imbalance
+// across shards under a few percent.
+const DefaultVnodes = 64
+
+// point is one virtual node on the ring: a hash position owned by a shard.
+type point struct {
+	hash  uint64
+	shard int // index into Ring.shards
+}
+
+// Ring maps resource owners onto shards by consistent hashing. A Ring is
+// immutable after New and safe for concurrent use.
+type Ring struct {
+	shards []core.ShardInfo
+	byName map[string]int
+	points []point
+	vnodes int
+}
+
+// New builds a ring over the given shards with vnodes virtual nodes per
+// shard (DefaultVnodes when vnodes <= 0). Shard names must be non-empty
+// and unique; order does not affect the mapping (only names seed the
+// ring).
+func New(shards []core.ShardInfo, vnodes int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		shards: append([]core.ShardInfo(nil), shards...),
+		byName: make(map[string]int, len(shards)),
+		points: make([]point, 0, len(shards)*vnodes),
+		vnodes: vnodes,
+	}
+	for i, s := range r.shards {
+		if s.Name == "" {
+			return nil, fmt.Errorf("cluster: shard %d has no name", i)
+		}
+		if _, dup := r.byName[s.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.Name)
+		}
+		r.byName[s.Name] = i
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:  hash64(fmt.Sprintf("%s#%d", s.Name, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical hash points (vanishingly rare) tie-break by shard so
+		// the mapping stays deterministic across nodes.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// hash64 is the ring hash: FNV-64a finished with a splitmix64 mix, stable
+// across processes and releases. The finalizer decorrelates the nearly
+// sequential inputs ("shard-a#0", "shard-a#1", …) so vnode points spread
+// uniformly instead of clustering.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Owner maps an owner to its shard: the first ring point clockwise from
+// the owner's hash.
+func (r *Ring) Owner(owner core.UserID) core.ShardInfo {
+	h := hash64(string(owner))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.shards[r.points[i].shard]
+}
+
+// Shard returns the shard with the given name.
+func (r *Ring) Shard(name string) (core.ShardInfo, bool) {
+	i, ok := r.byName[name]
+	if !ok {
+		return core.ShardInfo{}, false
+	}
+	return r.shards[i], true
+}
+
+// Shards returns the ring membership in configuration order.
+func (r *Ring) Shards() []core.ShardInfo {
+	return append([]core.ShardInfo(nil), r.shards...)
+}
+
+// Vnodes returns the virtual-node count per shard the ring was built with.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// ParseSpec parses the -ring flag syntax into shard infos:
+//
+//	name=primaryURL[|followerURL...][,name=...]
+//
+// Shards are comma-separated; a shard's endpoints are pipe-separated with
+// the primary first. Example:
+//
+//	shard-a=http://a0:8080|http://a1:8081,shard-b=http://b0:8080
+func ParseSpec(spec string) ([]core.ShardInfo, error) {
+	var shards []core.ShardInfo
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, urls, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("cluster: bad ring entry %q (want name=url[|url...])", part)
+		}
+		var endpoints []string
+		for _, u := range strings.Split(urls, "|") {
+			u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+			if u != "" {
+				endpoints = append(endpoints, u)
+			}
+		}
+		if len(endpoints) == 0 {
+			return nil, fmt.Errorf("cluster: ring entry %q names no endpoints", part)
+		}
+		shards = append(shards, core.ShardInfo{
+			Name:      strings.TrimSpace(name),
+			Primary:   endpoints[0],
+			Endpoints: endpoints,
+		})
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: empty ring spec")
+	}
+	return shards, nil
+}
+
+// FormatSpec renders shard infos back into the -ring flag syntax (the
+// inverse of ParseSpec), for logs and generated quickstarts.
+func FormatSpec(shards []core.ShardInfo) string {
+	parts := make([]string, 0, len(shards))
+	for _, s := range shards {
+		endpoints := s.Endpoints
+		if len(endpoints) == 0 {
+			endpoints = []string{s.Primary}
+		}
+		parts = append(parts, s.Name+"="+strings.Join(endpoints, "|"))
+	}
+	return strings.Join(parts, ",")
+}

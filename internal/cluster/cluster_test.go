@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"umac/internal/core"
+)
+
+func testShards(n int) []core.ShardInfo {
+	out := make([]core.ShardInfo, n)
+	for i := range out {
+		out[i] = core.ShardInfo{
+			Name:      fmt.Sprintf("shard-%d", i),
+			Primary:   fmt.Sprintf("http://shard-%d:8080", i),
+			Endpoints: []string{fmt.Sprintf("http://shard-%d:8080", i)},
+		}
+	}
+	return out
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := New(testShards(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shards in a different order must produce the same mapping: only
+	// shard names seed ring points.
+	shuffled := testShards(3)
+	shuffled[0], shuffled[2] = shuffled[2], shuffled[0]
+	b, err := New(shuffled, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		owner := core.UserID(fmt.Sprintf("owner-%d", i))
+		if got, want := b.Owner(owner).Name, a.Owner(owner).Name; got != want {
+			t.Fatalf("owner %s: order-dependent mapping (%s vs %s)", owner, got, want)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := New(testShards(4), 0) // 0 → DefaultVnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const owners = 20000
+	for i := 0; i < owners; i++ {
+		counts[r.Owner(core.UserID(fmt.Sprintf("owner-%d", i))).Name]++
+	}
+	for name, n := range counts {
+		frac := float64(n) / owners
+		// 4 shards → expect 25% each; 64 vnodes keeps skew well inside
+		// a 2x band.
+		if frac < 0.125 || frac > 0.50 {
+			t.Errorf("shard %s holds %.1f%% of owners (counts %v)", name, frac*100, counts)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 shards received owners: %v", len(counts), counts)
+	}
+}
+
+func TestRingMinimalRemapOnShardAdd(t *testing.T) {
+	before, err := New(testShards(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New(testShards(4), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const owners = 10000
+	moved := 0
+	for i := 0; i < owners; i++ {
+		owner := core.UserID(fmt.Sprintf("owner-%d", i))
+		was, is := before.Owner(owner).Name, after.Owner(owner).Name
+		if was != is {
+			moved++
+			// Movement is only ever toward the new shard.
+			if is != "shard-3" {
+				t.Fatalf("owner %s moved %s → %s, not to the new shard", owner, was, is)
+			}
+		}
+	}
+	// Expect ~1/4 of owners to move; anything past half means the hash is
+	// not consistent.
+	if frac := float64(moved) / owners; frac > 0.5 {
+		t.Fatalf("adding one shard remapped %.1f%% of owners", frac*100)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := New(nil, 64); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := New([]core.ShardInfo{{Name: ""}}, 64); err == nil {
+		t.Error("unnamed shard accepted")
+	}
+	dup := []core.ShardInfo{{Name: "a"}, {Name: "a"}}
+	if _, err := New(dup, 64); err == nil {
+		t.Error("duplicate shard name accepted")
+	}
+}
+
+func TestRingShardLookup(t *testing.T) {
+	r, err := New(testShards(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := r.Shard("shard-1")
+	if !ok || s.Primary != "http://shard-1:8080" {
+		t.Fatalf("Shard lookup: ok=%v s=%+v", ok, s)
+	}
+	if _, ok := r.Shard("nope"); ok {
+		t.Error("unknown shard name resolved")
+	}
+	if got := len(r.Shards()); got != 2 {
+		t.Fatalf("Shards() returned %d entries", got)
+	}
+	if r.Vnodes() != 8 {
+		t.Fatalf("Vnodes() = %d, want 8", r.Vnodes())
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	shards, err := ParseSpec("a=http://a0:1|http://a1:2, b=http://b0:3/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("parsed %d shards, want 2", len(shards))
+	}
+	if shards[0].Name != "a" || shards[0].Primary != "http://a0:1" ||
+		len(shards[0].Endpoints) != 2 || shards[0].Endpoints[1] != "http://a1:2" {
+		t.Fatalf("shard a parsed wrong: %+v", shards[0])
+	}
+	if shards[1].Name != "b" || shards[1].Primary != "http://b0:3" {
+		t.Fatalf("shard b parsed wrong (trailing slash kept?): %+v", shards[1])
+	}
+	if got := FormatSpec(shards); got != "a=http://a0:1|http://a1:2,b=http://b0:3" {
+		t.Fatalf("FormatSpec round-trip: %q", got)
+	}
+
+	for _, bad := range []string{"", "noequals", "=http://x", "a="} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

@@ -60,6 +60,11 @@ const (
 	// primary's retained WAL window (compaction or buffer overflow); the
 	// follower must re-bootstrap from GET /v1/replication/snapshot.
 	CodeWALTruncated = "wal_truncated"
+	// CodeWrongShard: the request targets a resource owner that a
+	// different shard of the cluster owns; retry against the shard named
+	// in the Shard hint (its primary base URL) after refreshing the ring
+	// from GET /v1/cluster.
+	CodeWrongShard = "wrong_shard"
 	// CodeUnknown is used client-side for error responses that carry no
 	// machine-readable code (pre-v1 servers, proxies).
 	CodeUnknown = "unknown"
@@ -88,6 +93,7 @@ var codeInfo = map[string]struct {
 	CodeUnavailable:        {503, true, nil},
 	CodeNotPrimary:         {421, true, nil},
 	CodeWALTruncated:       {410, false, nil},
+	CodeWrongShard:         {421, true, nil},
 	CodeUnknown:            {500, false, nil},
 }
 
@@ -108,6 +114,11 @@ type APIError struct {
 	// a client should retry the write against. Best-effort — a follower
 	// that has lost its primary may leave it empty.
 	Leader string `json:"leader,omitempty"`
+	// Shard is the owning shard's primary base URL on wrong_shard errors:
+	// the endpoint a client should chase (exactly once) after refreshing
+	// its ring. Best-effort — empty when the answering node cannot name
+	// the owner's shard.
+	Shard string `json:"shard,omitempty"`
 }
 
 // Error implements error. Responses without a machine-readable code

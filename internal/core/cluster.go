@@ -1,0 +1,65 @@
+package core
+
+// This file defines the wire vocabulary of the sharded AM cluster surface
+// (GET /v1/cluster and the owner-migration admin routes). A cluster
+// partitions the decision space by resource owner: a consistent-hash ring
+// (internal/cluster) maps every owner to exactly one shard, where a shard
+// is one replication group (a primary plus its followers). Owner ownership
+// can be overridden per owner — the mechanism live migration uses to flip
+// an owner between shards without rehashing anyone else. See
+// docs/PROTOCOL.md ("Cluster") and docs/OPERATIONS.md ("Sharded cluster").
+
+// ShardInfo names one shard of a sharded AM cluster: a replication group
+// addressed by its primary's base URL plus every serving endpoint
+// (primary first, then followers) a client may fail over across.
+type ShardInfo struct {
+	// Name is the shard's stable identifier; it seeds the shard's points
+	// on the consistent-hash ring, so renaming a shard remaps owners.
+	Name string `json:"name"`
+	// Primary is the base URL of the shard's primary (write) endpoint.
+	Primary string `json:"primary"`
+	// Endpoints lists every serving endpoint of the shard, primary
+	// included. Clients spread reads and fail over across them.
+	Endpoints []string `json:"endpoints,omitempty"`
+}
+
+// ClusterInfo answers GET /v1/cluster: the ring every node of a sharded
+// deployment is configured with, this node's own place in it, and the
+// per-owner overrides currently in force. Clients rebuild their routing
+// ring from it and refresh it when a wrong_shard answer proves it stale.
+type ClusterInfo struct {
+	// Shard is the name of the shard the answering node belongs to.
+	Shard string `json:"shard"`
+	// Vnodes is the virtual-node count per shard the ring was built with.
+	Vnodes int `json:"vnodes"`
+	// Shards is the full ring membership.
+	Shards []ShardInfo `json:"shards"`
+	// Overrides pins owners to shards irrespective of the hash ring —
+	// the live-migration cutover state, keyed by owner, valued by shard
+	// name. Replicated within each shard like any other store state.
+	Overrides map[string]string `json:"overrides,omitempty"`
+}
+
+// OwnerOverrideRequest is the body of PUT /v1/cluster/owners/{owner}: pin
+// the owner to the named shard on the receiving node's shard group.
+type OwnerOverrideRequest struct {
+	// Shard is the name of the shard that owns the owner from now on.
+	Shard string `json:"shard"`
+}
+
+// ClusterImportRequest is the body of POST /v1/cluster/import: replicated
+// records captured from another shard (an owner-scoped snapshot or WAL
+// tail) to install locally as ordinary writes. The receiving primary
+// re-sequences them into its own WAL, so they replicate onward to its
+// followers like any native mutation.
+type ClusterImportRequest struct {
+	// Records are applied in order; puts overwrite, deletes remove.
+	Records []ReplRecord `json:"records"`
+}
+
+// ClusterImportResponse acknowledges an import with the number of records
+// applied.
+type ClusterImportResponse struct {
+	// Applied counts the records installed.
+	Applied int `json:"applied"`
+}

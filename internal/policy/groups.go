@@ -52,6 +52,40 @@ func (d *Directory) Remove(owner core.UserID, group string, user core.UserID) {
 	}
 }
 
+// SetMembers replaces the owner's named group with exactly the given
+// members, removing the group when members is empty. This is the
+// replication/migration install path: the authoritative member list
+// arrives whole, not as a delta.
+func (d *Directory) SetMembers(owner core.UserID, group string, members []core.UserID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(members) == 0 {
+		delete(d.owners[owner], group)
+		return
+	}
+	if d.owners == nil {
+		d.owners = make(map[core.UserID]map[string]map[core.UserID]bool)
+	}
+	groups, ok := d.owners[owner]
+	if !ok {
+		groups = make(map[string]map[core.UserID]bool)
+		d.owners[owner] = groups
+	}
+	set := make(map[core.UserID]bool, len(members))
+	for _, u := range members {
+		set[u] = true
+	}
+	groups[group] = set
+}
+
+// Reset empties the directory (a follower re-bootstrapping from a
+// snapshot rebuilds it from scratch).
+func (d *Directory) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.owners = nil
+}
+
 // Member implements GroupResolver.
 func (d *Directory) Member(owner core.UserID, group string, user core.UserID) bool {
 	d.mu.RLock()

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// TestClusterWorkload asserts the sharded cluster's promises under the
+// combined migration + primary-kill scenario: zero acknowledged-write loss
+// on both shards, no decision served by the losing shard after cutover,
+// and decision continuity through the migration chase and the in-shard
+// failover.
+func TestClusterWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster workload is a multi-node scenario")
+	}
+	rep, err := RunClusterWorkload(t.TempDir(), 20)
+	if err != nil {
+		t.Fatalf("cluster workload: %v (report %+v)", err, rep)
+	}
+	t.Logf("report: %+v", rep)
+
+	if rep.DecisionFailures != 0 {
+		t.Errorf("%d decision queries failed outright (served %d)", rep.DecisionFailures, rep.DecisionsServed)
+	}
+	if rep.DecisionsServed == 0 || rep.DecisionsAfterKill == 0 {
+		t.Errorf("workload served no decisions (served %d, after kill %d)",
+			rep.DecisionsServed, rep.DecisionsAfterKill)
+	}
+	if !rep.WrongShardAfterCutover {
+		t.Error("losing shard did not answer wrong_shard after cutover")
+	}
+	if len(rep.LostOnGainingShard) > 0 {
+		t.Errorf("acknowledged writes missing on the gaining shard: %v", rep.LostOnGainingShard)
+	}
+	if len(rep.LostAfterRecovery) > 0 {
+		t.Errorf("acknowledged writes missing after WAL recovery: %v", rep.LostAfterRecovery)
+	}
+	for role, n := range rep.WritesAcked {
+		if n == 0 {
+			t.Errorf("owner role %q acknowledged no writes", role)
+		}
+	}
+	if rep.Migration.SnapshotRecords == 0 {
+		t.Errorf("migration shipped an empty closure: %+v", rep.Migration)
+	}
+}

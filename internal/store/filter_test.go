@@ -1,0 +1,116 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"umac/internal/core"
+)
+
+// These tests cover the owner-scoped replication filters live migration
+// uses: a snapshot restricted to one owner's records and a WAL tail that
+// skips foreign records while still advancing the caller's offset.
+
+func keepPrefix(prefix string) func(core.ReplRecord) bool {
+	return func(rec core.ReplRecord) bool { return strings.HasPrefix(rec.Key, prefix) }
+}
+
+func TestReplicationSnapshotFilter(t *testing.T) {
+	s := New()
+	s.EnableReplication(0)
+	for i := 0; i < 10; i++ {
+		owner := "bob"
+		if i%2 == 1 {
+			owner = "carol"
+		}
+		if _, err := s.Put("link", fmt.Sprintf("%s/realm-%d", owner, i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.ReplicationSnapshotFilter(keepPrefix("bob/"))
+	if len(snap.Records) != 5 {
+		t.Fatalf("filtered snapshot carries %d records, want 5", len(snap.Records))
+	}
+	for _, rec := range snap.Records {
+		if !strings.HasPrefix(rec.Key, "bob/") {
+			t.Fatalf("foreign record leaked into filtered snapshot: %+v", rec)
+		}
+	}
+	if snap.Seq != s.LastSeq() {
+		t.Fatalf("filtered snapshot seq %d, store at %d", snap.Seq, s.LastSeq())
+	}
+	// The nil filter must equal the unfiltered snapshot.
+	if all := s.ReplicationSnapshotFilter(nil); len(all.Records) != 10 {
+		t.Fatalf("nil-filter snapshot carries %d records, want 10", len(all.Records))
+	}
+}
+
+func TestTailSinceFilterAdvancesPastForeignRecords(t *testing.T) {
+	s := New()
+	s.EnableReplication(0)
+	// 6 carol writes, then 2 bob writes, then 2 carol writes.
+	for i := 0; i < 6; i++ {
+		if _, err := s.Put("link", fmt.Sprintf("carol/r-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Put("link", fmt.Sprintf("bob/r-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 6; i < 8; i++ {
+		if _, err := s.Put("link", fmt.Sprintf("carol/r-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A max-bounded scan over purely foreign records returns nothing but
+	// still advances the offset, so a caller polling in a loop terminates.
+	recs, scanned, err := s.TailSinceFilter(0, 4, keepPrefix("bob/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("scan of foreign records returned %d records", len(recs))
+	}
+	if scanned != 4 {
+		t.Fatalf("scanned through %d, want 4", scanned)
+	}
+
+	// The next window reaches the bob records.
+	recs, scanned, err = s.TailSinceFilter(scanned, 4, keepPrefix("bob/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Key != "bob/r-0" || recs[1].Key != "bob/r-1" {
+		t.Fatalf("bob window wrong: %+v", recs)
+	}
+	if scanned != 8 {
+		t.Fatalf("scanned through %d, want 8", scanned)
+	}
+
+	// Tail past everything: caught up, scanned pins to the newest seq.
+	recs, scanned, err = s.TailSinceFilter(10, 4, keepPrefix("bob/"))
+	if err != nil || len(recs) != 0 || scanned != 10 {
+		t.Fatalf("caught-up scan: recs=%v scanned=%d err=%v", recs, scanned, err)
+	}
+}
+
+func TestTailSinceFilterErrors(t *testing.T) {
+	s := New()
+	if _, _, err := s.TailSinceFilter(0, 4, nil); err != ErrReplicationDisabled {
+		t.Fatalf("disabled store: err=%v", err)
+	}
+	s2 := New()
+	s2.EnableReplication(2) // tiny window
+	for i := 0; i < 5; i++ {
+		if _, err := s2.Put("k", fmt.Sprintf("x-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s2.TailSinceFilter(0, 4, nil); err != ErrReplicationTruncated {
+		t.Fatalf("truncated window: err=%v", err)
+	}
+}

@@ -139,6 +139,46 @@ func (s *Store) TailSince(fromSeq int64, max int) ([]core.ReplRecord, int64, err
 	return recs, s.lastSeq, err
 }
 
+// TailSinceFilter is TailSince restricted to the records keep accepts (nil
+// keeps everything). The scanned return value is the sequence number the
+// scan advanced through — the offset the caller resumes from — which can
+// run ahead of the last returned record when trailing records were
+// filtered out (or when the caller is caught up: scanned is then the
+// store's newest sequence number). keep runs under the WAL mutex and must
+// not call back into the store.
+func (s *Store) TailSinceFilter(fromSeq int64, max int, keep func(core.ReplRecord) bool) (recs []core.ReplRecord, scanned int64, err error) {
+	if max <= 0 {
+		max = DefaultReplicationWindow
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.repl == nil {
+		return nil, s.lastSeq, ErrReplicationDisabled
+	}
+	if fromSeq >= s.lastSeq {
+		return nil, s.lastSeq, nil
+	}
+	raw, err := s.repl.since(fromSeq, max)
+	if err != nil {
+		return nil, s.lastSeq, err
+	}
+	scanned = fromSeq
+	if n := len(raw); n > 0 {
+		scanned = raw[n-1].Seq
+	} else {
+		scanned = s.lastSeq
+	}
+	if keep == nil {
+		return raw, scanned, nil
+	}
+	for _, rec := range raw {
+		if keep(rec) {
+			recs = append(recs, rec)
+		}
+	}
+	return recs, scanned, nil
+}
+
 // ReplWatch returns a channel that is closed on the next logged mutation.
 // Callers re-arm by calling ReplWatch again; grab the channel before
 // checking TailSince so a write between the two cannot be missed.
@@ -213,6 +253,14 @@ func (s *Store) ApplyReplicated(rec core.ReplRecord) error {
 // Writers are paused for the duration (reads proceed), so tailing from the
 // returned Seq loses nothing and duplicates nothing.
 func (s *Store) ReplicationSnapshot() core.ReplSnapshot {
+	return s.ReplicationSnapshotFilter(nil)
+}
+
+// ReplicationSnapshotFilter is ReplicationSnapshot restricted to the
+// records keep accepts (nil keeps everything): the scoped bootstrap image
+// live owner migration streams between shards. keep runs under every shard
+// lock and must not call back into the store.
+func (s *Store) ReplicationSnapshotFilter(keep func(core.ReplRecord) bool) core.ReplSnapshot {
 	s.lockAll(false)
 	defer s.unlockAll(false)
 	s.walMu.Lock()
@@ -222,10 +270,13 @@ func (s *Store) ReplicationSnapshot() core.ReplSnapshot {
 	for i := range s.shards {
 		for kind, m := range s.shards[i].kinds {
 			for key, e := range m {
-				recs = append(recs, core.ReplRecord{
+				rec := core.ReplRecord{
 					Op: core.ReplOpPut, Kind: kind, Key: key,
 					Version: e.Version, Data: e.Data,
-				})
+				}
+				if keep == nil || keep(rec) {
+					recs = append(recs, rec)
+				}
 			}
 		}
 	}

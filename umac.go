@@ -38,6 +38,7 @@ package umac
 import (
 	"umac/internal/am"
 	"umac/internal/amclient"
+	"umac/internal/cluster"
 	"umac/internal/core"
 	"umac/internal/pep"
 	"umac/internal/policy"
@@ -100,6 +101,37 @@ const (
 	// RoleFollower syncs from a primary and serves reads only.
 	RoleFollower = am.RoleFollower
 )
+
+// Sharded cluster (consistent-hash owner sharding across replication
+// groups).
+type (
+	// ClusterConfig places an AM in a sharded multi-primary cluster.
+	ClusterConfig = am.ClusterConfig
+	// ClusterRing is the consistent-hash owner ring of a sharded cluster.
+	ClusterRing = cluster.Ring
+	// ShardInfo names one shard: its name, primary URL and endpoints.
+	ShardInfo = core.ShardInfo
+	// AMClusterClient routes AM calls by resource owner across shards,
+	// chasing wrong_shard hints once and failing over within each shard.
+	AMClusterClient = amclient.ClusterClient
+)
+
+// NewClusterRing builds the owner ring every node and client of a sharded
+// deployment shares; vnodes <= 0 selects the default (64 per shard).
+func NewClusterRing(shards []ShardInfo, vnodes int) (*ClusterRing, error) {
+	return cluster.New(shards, vnodes)
+}
+
+// ParseRingSpec parses the amserver -ring flag syntax
+// ("name=primaryURL[|followerURL...]", comma-separated).
+func ParseRingSpec(spec string) ([]ShardInfo, error) { return cluster.ParseSpec(spec) }
+
+// NewAMClusterClient builds a shard-aware AM client: the configuration's
+// BaseURL seeds the GET /v1/cluster ring fetch, and the remaining fields
+// template the per-shard clients.
+func NewAMClusterClient(cfg AMClientConfig) (*AMClusterClient, error) {
+	return amclient.NewCluster(cfg)
+}
 
 // NewAM constructs an Authorization Manager.
 func NewAM(cfg AMConfig) *AM { return am.New(cfg) }
