@@ -29,6 +29,7 @@ import (
 	"umac/internal/cluster"
 	"umac/internal/core"
 	"umac/internal/httpsig"
+	"umac/internal/loadgen"
 	"umac/internal/pep"
 	"umac/internal/policy"
 	"umac/internal/requester"
@@ -622,6 +623,7 @@ func BenchmarkStoreShardedMixedRW(b *testing.B) {
 		{"write-heavy-50-50", 2},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
+			recordBench(b)
 			s := store.New()
 			const keys = 16384
 			for i := 0; i < keys; i++ {
@@ -668,8 +670,9 @@ func BenchmarkStoreWALAppend(b *testing.B) {
 			}
 		}
 	}
-	b.Run("buffered", func(b *testing.B) { run(b) })
+	b.Run("buffered", func(b *testing.B) { recordBench(b); run(b) })
 	b.Run("parallel", func(b *testing.B) {
+		recordBench(b)
 		s, err := store.Open(filepath.Join(b.TempDir(), "state.json"))
 		if err != nil {
 			b.Fatal(err)
@@ -686,7 +689,7 @@ func BenchmarkStoreWALAppend(b *testing.B) {
 			}
 		})
 	})
-	b.Run("fsync", func(b *testing.B) { run(b, store.WithFsync()) })
+	b.Run("fsync", func(b *testing.B) { recordBench(b); run(b, store.WithFsync()) })
 }
 
 // BenchmarkStoreRecovery measures Open (snapshot load + WAL replay) against
@@ -695,6 +698,7 @@ func BenchmarkStoreWALAppend(b *testing.B) {
 func BenchmarkStoreRecovery(b *testing.B) {
 	for _, records := range []int{1000, 10000, 100000} {
 		b.Run(fmt.Sprintf("wal-records-%d", records), func(b *testing.B) {
+			recordBench(b)
 			path := filepath.Join(b.TempDir(), "state.json")
 			s, err := store.Open(path)
 			if err != nil {
@@ -728,6 +732,7 @@ func BenchmarkStoreRecovery(b *testing.B) {
 // BenchmarkStoreSnapshotCompaction measures the compaction point itself:
 // snapshotting a populated store and truncating its WAL.
 func BenchmarkStoreSnapshotCompaction(b *testing.B) {
+	recordBench(b)
 	path := filepath.Join(b.TempDir(), "state.json")
 	s, err := store.Open(path)
 	if err != nil {
@@ -1132,7 +1137,7 @@ func clusterBenchWorld(b *testing.B, shardNames []string) []*clusterBenchOwner {
 			continue
 		}
 		counts[home]++
-		rig, err := sim.SetupClusterOwner(ams[home], shards[0].Primary, owner)
+		rig, err := sim.SetupClusterOwner(amclient.Config{BaseURL: shards[0].Primary}, owner)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -1228,4 +1233,38 @@ func clusterRingOwner(info core.ClusterInfo, owner core.UserID) string {
 		return ""
 	}
 	return ring.Owner(owner).Name
+}
+
+// --- E17: the spawned-binary load harness (internal/loadgen) ---
+
+// BenchmarkLoadgenSpawnedDecision measures the shard-routed decision path
+// against REAL spawned amserver processes — the process-boundary
+// counterpart of BenchmarkClusterShardedThroughput's in-process number.
+// The gap between the two is pure transport + scheduling overhead; the
+// scenario-level trajectory (throughput, p50/p99, fault phases) lives in
+// BENCH_E17.json, regenerated by `go run ./cmd/loadgen` (schema in
+// docs/BENCHMARKS.md).
+func BenchmarkLoadgenSpawnedDecision(b *testing.B) {
+	recordBench(b)
+	ctx := b.Context()
+	binary, err := loadgen.BuildServer(ctx, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rig, err := loadgen.StartCluster(ctx, binary, b.TempDir(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Stop()
+	owner := rig.OwnersFor("bench", "shard-a", 1)[0]
+	o, err := sim.SetupClusterOwner(rig.ClientConfig(), owner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := o.Decide(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

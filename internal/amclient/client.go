@@ -240,6 +240,13 @@ func (c *Client) newRequest(base, method, path string, q url.Values, body io.Rea
 // is buffered so a failover can replay it: each endpoint is tried at most
 // once per call, starting at the last known-good one.
 func (c *Client) doRaw(method, path string, q url.Values, body io.Reader, contentType string, out any) error {
+	return c.doRawHdr(method, path, q, body, contentType, out, nil)
+}
+
+// doRawHdr is doRaw with optional response-header capture: when hdr is
+// non-nil it receives the headers of the successful attempt (list routes
+// carry their pagination frame there).
+func (c *Client) doRawHdr(method, path string, q url.Values, body io.Reader, contentType string, out any, hdr *http.Header) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -256,7 +263,7 @@ func (c *Client) doRaw(method, path string, q url.Values, body io.Reader, conten
 		if payload != nil {
 			attempt = bytes.NewReader(payload)
 		}
-		err := c.doOnce(c.endpoints[at], method, path, q, attempt, contentType, out)
+		err := c.doOnce(c.endpoints[at], method, path, q, attempt, contentType, out, hdr)
 		if err == nil {
 			// Remember the working endpoint so later calls start here.
 			c.cur.Store(int32(at))
@@ -272,7 +279,7 @@ func (c *Client) doRaw(method, path string, q url.Values, body io.Reader, conten
 }
 
 // doOnce performs one API call against one endpoint.
-func (c *Client) doOnce(base, method, path string, q url.Values, body io.Reader, contentType string, out any) error {
+func (c *Client) doOnce(base, method, path string, q url.Values, body io.Reader, contentType string, out any, hdr *http.Header) error {
 	req, err := c.newRequest(base, method, path, q, body, contentType)
 	if err != nil {
 		return err
@@ -284,6 +291,9 @@ func (c *Client) doOnce(base, method, path string, q url.Values, body io.Reader,
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return decodeError(resp)
+	}
+	if hdr != nil {
+		*hdr = resp.Header.Clone()
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 
+	"umac/internal/audit"
 	"umac/internal/cluster"
 	"umac/internal/core"
 	"umac/internal/policy"
@@ -340,4 +341,59 @@ func (cc *ClusterClient) AddGroupMember(owner core.UserID, group string, user co
 		return e
 	})
 	return members, err
+}
+
+// ConfirmPairing routes the Fig. 3 user-consent leg by the approving
+// owner (the acting user), returning the one-time code.
+func (cc *ClusterClient) ConfirmPairing(owner core.UserID, host core.HostID) (string, error) {
+	var code string
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		code, e = c.ConfirmPairing(host)
+		return e
+	})
+	return code, err
+}
+
+// RevokePairing routes a pairing revocation by the pairing's owner.
+func (cc *ClusterClient) RevokePairing(owner core.UserID, id string) error {
+	return cc.Do(owner, func(c *Client) error { return c.RevokePairing(id) })
+}
+
+// Pairings routes a pairing listing by its owner.
+func (cc *ClusterClient) Pairings(owner core.UserID, page Page) ([]core.PairingInfo, error) {
+	var out []core.PairingInfo
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		out, e = c.Pairings(owner, page)
+		return e
+	})
+	return out, err
+}
+
+// AddCustodian routes a custodian appointment by the appointing owner
+// (only the owner themselves may appoint, so the acting user must be
+// owner).
+func (cc *ClusterClient) AddCustodian(owner, custodian core.UserID) ([]core.UserID, error) {
+	var out []core.UserID
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		out, e = c.AddCustodian(custodian)
+		return e
+	})
+	return out, err
+}
+
+// AuditPage routes one page of owner's consolidated audit view (with its
+// pagination frame) to the owner's home shard — audit locality follows
+// decision locality in a sharded cluster.
+func (cc *ClusterClient) AuditPage(owner core.UserID, f AuditFilter, page Page) ([]audit.Event, PageFrame, error) {
+	var out []audit.Event
+	frame := PageFrame{NextOffset: -1}
+	err := cc.Do(owner, func(c *Client) error {
+		var e error
+		out, frame, e = c.AuditPage(f, page)
+		return e
+	})
+	return out, frame, err
 }

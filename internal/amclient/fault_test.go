@@ -1,0 +1,283 @@
+package amclient_test
+
+// These tests put the typed client's two routing behaviours — the
+// multi-endpoint failover and the wrong_shard chase — under *slow*
+// endpoints, not just dead ones: a loadgen.FaultProxy in front of each
+// in-process AM injects latency far beyond the client's HTTP timeout, so
+// the client sees timeouts (url.Error) rather than refused connections.
+// Dead-endpoint behaviour is covered in failover_test.go; slow is the
+// harder case because every misrouted attempt burns the full timeout.
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"net/http"
+
+	"umac/internal/am"
+	"umac/internal/amclient"
+	"umac/internal/cluster"
+	"umac/internal/core"
+	"umac/internal/loadgen"
+	"umac/internal/policy"
+	"umac/internal/store"
+)
+
+const (
+	faultSecret = "fault-test-secret"
+	faultHost   = core.HostID("webpics")
+)
+
+var faultTokenKey = []byte("fault-test-token-key-0123456789a")
+
+// protocolFixture builds pairing, realm, permit policy and token for
+// owner directly on a (in-process), returning what a decision needs.
+func protocolFixture(t *testing.T, a *am.AM, owner core.UserID) (core.PairingResponse, core.RealmID, string) {
+	t.Helper()
+	code, err := a.ApprovePairing(core.PairingRequest{Host: faultHost, User: owner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairing, err := a.ExchangeCode(code, faultHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realm := core.RealmID("travel-" + string(owner))
+	if _, err := a.RegisterRealm(pairing.PairingID, core.ProtectRequest{Realm: realm}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.CreatePolicy(owner, policy.Policy{
+		Owner: owner, Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+			Actions:  []core.Action{core.ActionRead},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.LinkGeneral(owner, realm, p.ID); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := a.IssueToken(core.TokenRequest{
+		Requester: "alice-browser", Subject: "alice", Host: faultHost,
+		Realm: realm, Resource: "photo", Action: core.ActionRead,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairing, realm, tok.Token
+}
+
+// TestFailoverSlowEndpoint drives a decision through a replicated pair
+// whose primary is slow — 2s of injected latency against a 300ms client
+// timeout. The attempt against the primary must burn its timeout and the
+// failover must land the decision on the follower, transparently.
+func TestFailoverSlowEndpoint(t *testing.T) {
+	primary := am.New(am.Config{
+		Name: "p", TokenKey: faultTokenKey,
+		Replication: am.ReplicationConfig{Role: am.RolePrimary, Secret: faultSecret},
+	})
+	defer primary.Close()
+	primarySrv := httptest.NewServer(primary.Handler())
+	defer primarySrv.Close()
+	primary.SetBaseURL(primarySrv.URL)
+
+	pairing, realm, token := protocolFixture(t, primary, "bob")
+
+	follower := am.New(am.Config{
+		Name: "f", TokenKey: faultTokenKey,
+		Replication: am.ReplicationConfig{
+			Role: am.RoleFollower, Secret: faultSecret,
+			PrimaryURL: primarySrv.URL, PollWait: 50 * time.Millisecond,
+		},
+	})
+	defer follower.Close()
+	followerSrv := httptest.NewServer(follower.Handler())
+	defer followerSrv.Close()
+	follower.SetBaseURL(followerSrv.URL)
+	if !follower.WaitReplicated(primary.Store().LastSeq(), 10*time.Second) {
+		t.Fatal("follower never caught up")
+	}
+
+	slowPrimary, err := loadgen.NewFaultProxy(primarySrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slowPrimary.Close()
+	okFollower, err := loadgen.NewFaultProxy(followerSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer okFollower.Close()
+
+	const clientTimeout = 300 * time.Millisecond
+	decider := amclient.New(amclient.Config{
+		BaseURL:    slowPrimary.URL(),
+		Endpoints:  []string{okFollower.URL()},
+		HTTPClient: &http.Client{Timeout: clientTimeout},
+		PairingID:  pairing.PairingID,
+		Secret:     pairing.Secret,
+	})
+	q := core.DecisionQuery{
+		Host: faultHost, Realm: realm, Resource: "photo",
+		Action: core.ActionRead, Token: token,
+	}
+
+	// Sanity: the clean path works.
+	if dec, err := decider.Decide(q); err != nil || !dec.Permit() {
+		t.Fatalf("clean decision: dec=%+v err=%v", dec, err)
+	}
+
+	// Slow primary: the client must wait out its timeout there, then fail
+	// over to the follower and still answer.
+	slowPrimary.SetLatency(2 * time.Second)
+	t0 := time.Now()
+	dec, err := decider.Decide(q)
+	elapsed := time.Since(t0)
+	if err != nil || !dec.Permit() {
+		t.Fatalf("decision under slow primary: dec=%+v err=%v", dec, err)
+	}
+	if elapsed >= 2*time.Second {
+		t.Fatalf("decision took %s — the client sat through the full injected latency instead of timing out at %s", elapsed, clientTimeout)
+	}
+
+	// The client remembers the working endpoint: the next decision must
+	// not burn the timeout again.
+	t0 = time.Now()
+	if dec, err := decider.Decide(q); err != nil || !dec.Permit() {
+		t.Fatalf("follow-up decision: dec=%+v err=%v", dec, err)
+	}
+	if elapsed := time.Since(t0); elapsed >= clientTimeout {
+		t.Fatalf("follow-up decision took %s — endpoint stickiness after failover is gone", elapsed)
+	}
+
+	// Healed primary: still answering (through whichever endpoint).
+	slowPrimary.SetLatency(0)
+	if dec, err := decider.Decide(q); err != nil || !dec.Permit() {
+		t.Fatalf("decision after heal: dec=%+v err=%v", dec, err)
+	}
+}
+
+// TestClusterChaseSlowWrongShard migrates an owner between two in-process
+// shards after a ClusterClient has already learned the ring, then makes
+// the losing shard slow. The client's stale route hits the slow losing
+// shard, waits out its latency for the wrong_shard answer, chases the
+// hint to the gaining shard — and must refresh its routing so subsequent
+// calls skip the losing shard entirely (asserted by partitioning it).
+func TestClusterChaseSlowWrongShard(t *testing.T) {
+	dir := t.TempDir()
+	aStore, err := store.Open(filepath.Join(dir, "a.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aStore.Close()
+	bStore, err := store.Open(filepath.Join(dir, "b.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bStore.Close()
+
+	aSrv := httptest.NewUnstartedServer(nil)
+	bSrv := httptest.NewUnstartedServer(nil)
+	aSrv.Start()
+	bSrv.Start()
+	defer aSrv.Close()
+	defer bSrv.Close()
+
+	aProxy, err := loadgen.NewFaultProxy(aSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aProxy.Close()
+	bProxy, err := loadgen.NewFaultProxy(bSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bProxy.Close()
+
+	// The ring names the proxies: the chase traverses the shims.
+	shards := []core.ShardInfo{
+		{Name: "shard-a", Primary: aProxy.URL(), Endpoints: []string{aProxy.URL()}},
+		{Name: "shard-b", Primary: bProxy.URL(), Endpoints: []string{bProxy.URL()}},
+	}
+	ring, err := cluster.New(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAM := am.New(am.Config{
+		Name: "a", Store: aStore, TokenKey: faultTokenKey, BaseURL: aProxy.URL(),
+		Replication: am.ReplicationConfig{Role: am.RolePrimary, Secret: faultSecret},
+		Cluster:     am.ClusterConfig{Shard: "shard-a", Ring: ring},
+	})
+	defer aAM.Close()
+	bAM := am.New(am.Config{
+		Name: "b", Store: bStore, TokenKey: faultTokenKey, BaseURL: bProxy.URL(),
+		Replication: am.ReplicationConfig{Role: am.RolePrimary, Secret: faultSecret},
+		Cluster:     am.ClusterConfig{Shard: "shard-b", Ring: ring},
+	})
+	defer bAM.Close()
+	aSrv.Config.Handler = aAM.Handler()
+	bSrv.Config.Handler = bAM.Handler()
+
+	// An owner whose hash home is shard-a.
+	var owner core.UserID
+	for i := 0; ; i++ {
+		owner = core.UserID(string(rune('a'+i%26)) + "-owner")
+		if ring.Owner(owner).Name == "shard-a" {
+			break
+		}
+	}
+	pairing, realm, token := protocolFixture(t, aAM, owner)
+
+	// The decider learns the pre-migration ring — after the migration its
+	// routing for owner is stale by construction.
+	decider, err := amclient.NewCluster(amclient.Config{
+		BaseURL:    aProxy.URL(),
+		HTTPClient: &http.Client{Timeout: 5 * time.Second},
+		PairingID:  pairing.PairingID,
+		Secret:     pairing.Secret,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decide := func() (core.DecisionResponse, error) {
+		return decider.Decide(owner, core.DecisionQuery{
+			Host: faultHost, Realm: realm, Resource: "photo",
+			Action: core.ActionRead, Token: token,
+		})
+	}
+	if dec, err := decide(); err != nil || !dec.Permit() {
+		t.Fatalf("pre-migration decision: dec=%+v err=%v", dec, err)
+	}
+
+	srcAdmin := amclient.New(amclient.Config{BaseURL: aSrv.URL, ReplSecret: faultSecret})
+	dstAdmin := amclient.New(amclient.Config{BaseURL: bSrv.URL, ReplSecret: faultSecret})
+	if _, err := amclient.MigrateOwner(srcAdmin, dstAdmin, owner, "shard-b", nil); err != nil {
+		t.Fatalf("migration: %v", err)
+	}
+
+	// The losing shard turns slow. The stale route must wait out its
+	// latency for the wrong_shard answer, then chase to shard-b.
+	const lag = 150 * time.Millisecond
+	aProxy.SetLatency(lag)
+	t0 := time.Now()
+	dec, err := decide()
+	elapsed := time.Since(t0)
+	if err != nil || !dec.Permit() {
+		t.Fatalf("chased decision: dec=%+v err=%v", dec, err)
+	}
+	if elapsed < lag {
+		t.Fatalf("chased decision took %s < %s — it never traversed the slow losing shard, so the route was not stale", elapsed, lag)
+	}
+
+	// The chase refreshed the ring (overrides included): with the losing
+	// shard now fully partitioned, decisions must still flow.
+	aProxy.SetPartitioned(true)
+	if dec, err := decide(); err != nil || !dec.Permit() {
+		t.Fatalf("post-chase decision with losing shard partitioned: dec=%+v err=%v", dec, err)
+	}
+}

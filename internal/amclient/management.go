@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 
 	"umac/internal/audit"
 	"umac/internal/core"
@@ -200,6 +201,50 @@ func (c *Client) Audit(f AuditFilter, page Page) ([]audit.Event, error) {
 	var out []audit.Event
 	err := c.get("/audit", page.apply(f.query()), &out)
 	return out, err
+}
+
+// PageFrame is the pagination frame a list route reports in its
+// X-Total-Count / X-Next-Offset response headers.
+type PageFrame struct {
+	// Total is the pre-windowing size of the filtered set.
+	Total int
+	// NextOffset is the offset of the next page, -1 when this page
+	// exhausted the listing.
+	NextOffset int
+}
+
+// parsePageFrame reads the pagination headers of a list response.
+func parsePageFrame(hdr http.Header) (PageFrame, error) {
+	frame := PageFrame{NextOffset: -1}
+	if raw := hdr.Get("X-Total-Count"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return frame, fmt.Errorf("amclient: bad X-Total-Count %q", raw)
+		}
+		frame.Total = n
+	}
+	if raw := hdr.Get("X-Next-Offset"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return frame, fmt.Errorf("amclient: bad X-Next-Offset %q", raw)
+		}
+		frame.NextOffset = n
+	}
+	return frame, nil
+}
+
+// AuditPage returns one page of the consolidated audit view together with
+// its pagination frame, so callers can walk the full set by following
+// NextOffset (the offset-based framing the PR 3 pagination fix pinned
+// down).
+func (c *Client) AuditPage(f AuditFilter, page Page) ([]audit.Event, PageFrame, error) {
+	var out []audit.Event
+	var hdr http.Header
+	if err := c.doRawHdr(http.MethodGet, "/audit", page.apply(f.query()), nil, "", &out, &hdr); err != nil {
+		return nil, PageFrame{NextOffset: -1}, err
+	}
+	frame, err := parsePageFrame(hdr)
+	return out, frame, err
 }
 
 // AuditSummary returns the one-pass consolidated summary for owner.

@@ -11,6 +11,19 @@ import (
 // (pair/exchange, protect, decision family) and the open Requester-facing
 // token service. Management routes live in management.go.
 
+// ConfirmPairing drives the Fig. 3 user-consent leg programmatically:
+// acting as Config.User it approves a pairing with host and returns the
+// one-time code the Host exchanges for the channel secret. Browsers follow
+// the redirect form of the same route (PairConfirmURL); headless tooling —
+// the sim, the load harness, operator scripts — uses this JSON form.
+func (c *Client) ConfirmPairing(host core.HostID) (string, error) {
+	var resp struct {
+		Code string `json:"code"`
+	}
+	err := c.get("/pair/confirm", url.Values{core.ParamHost: {string(host)}}, &resp)
+	return resp.Code, err
+}
+
 // ExchangePairingCode completes Fig. 3: the Host presents the one-time
 // code minted by the user's confirmation and receives the pairing ID plus
 // channel secret. The only Host-facing call that is not signed (it runs

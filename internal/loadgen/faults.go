@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// FaultProxy is the netem shim of the harness: a reverse proxy that sits
+// between the clients and one amserver process and injects the two
+// network faults the scenarios need — added latency and a full partition.
+// The rig registers every node in the cluster ring by its proxy URL, so
+// shard routing, wrong_shard hints and in-shard failover all flow through
+// the shim exactly as client traffic would flow through a degraded
+// network path in production. Replication and admin traffic bypass the
+// proxy (node-to-node links are not what these scenarios degrade).
+type FaultProxy struct {
+	proxy *httputil.ReverseProxy
+	srv   *http.Server
+	url   string
+
+	// latencyNs is added before forwarding each request; partitioned
+	// aborts the connection without a response — from the client's side
+	// indistinguishable from a dropped network path.
+	latencyNs   atomic.Int64
+	partitioned atomic.Bool
+}
+
+// NewFaultProxy starts a shim on a fresh loopback port forwarding to
+// target (an amserver base URL). The backend does not need to be up yet —
+// the rig creates shims first so the ring spec can name their URLs.
+func NewFaultProxy(target string) (*FaultProxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	fp := &FaultProxy{
+		proxy: httputil.NewSingleHostReverseProxy(u),
+		url:   "http://" + ln.Addr().String(),
+	}
+	// A dead or unreachable backend must surface as a transport error,
+	// not a 502 page, so the client's failover logic sees what a real
+	// network fault would produce.
+	fp.proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		panic(http.ErrAbortHandler)
+	}
+	fp.srv = &http.Server{Handler: http.HandlerFunc(fp.serve)}
+	go fp.srv.Serve(ln)
+	return fp, nil
+}
+
+func (fp *FaultProxy) serve(w http.ResponseWriter, r *http.Request) {
+	if fp.partitioned.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if d := fp.latencyNs.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	fp.proxy.ServeHTTP(w, r)
+}
+
+// URL is the shim's client-facing base URL — what the ring spec names.
+func (fp *FaultProxy) URL() string { return fp.url }
+
+// SetLatency injects d of one-way delay on every subsequent request
+// (0 restores the clean path).
+func (fp *FaultProxy) SetLatency(d time.Duration) { fp.latencyNs.Store(int64(d)) }
+
+// SetPartitioned cuts (true) or heals (false) the path: while cut, every
+// request dies with an aborted connection.
+func (fp *FaultProxy) SetPartitioned(cut bool) { fp.partitioned.Store(cut) }
+
+// Close stops the shim's listener.
+func (fp *FaultProxy) Close() error { return fp.srv.Close() }

@@ -1,0 +1,103 @@
+// Package loadgen is the scenario-diverse load harness: it spawns real
+// amserver binaries (not in-process handlers), fronts every node with a
+// fault-injection proxy, and drives UMA protocol traffic through the
+// shard-aware typed client — the same SDK production callers use. Each
+// scenario stresses a different axis of the paper's AM design:
+//
+//   - zipf_hot_owner: Zipf-distributed owner popularity — a handful of
+//     hot owners absorb most of the decision traffic while writes trickle
+//     in, with a latency shim phase on the hot shard.
+//   - pairing_churn: IoT-style Host↔AM pairing lifecycle churn —
+//     confirm/exchange/protect/decide/revoke loops, half of them under
+//     injected latency.
+//   - delegation_chain: custodian delegation chains — each owner appoints
+//     the next as custodian, custodians write policies for their wards
+//     cross-shard, and the chain is walked with decision queries.
+//   - kill_migration: a hard SIGKILL of a shard primary in the middle of
+//     a live owner migration, recovery from the WAL, a migration retry,
+//     and a zero-acknowledged-write-loss audit afterwards.
+//
+// Every scenario reports per-phase throughput, p50/p99 latency, error and
+// loss counters in a superset of the repo's -benchjson schema (see
+// docs/BENCHMARKS.md), and asserts that no write acknowledged to the
+// client is ever lost — the durability contract the WAL + replication +
+// migration stack promises.
+//
+// The harness runs from `go test ./internal/loadgen` (small smoke
+// instances, CI's loadgen-smoke job) and from `cmd/loadgen` (full-size
+// runs that regenerate BENCH_E17.json).
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Options sizes a scenario run. The zero value is invalid; use
+// SmokeOptions or FullOptions as a base.
+type Options struct {
+	// Owners is how many resource owners the scenario provisions.
+	Owners int
+	// Ops is the per-phase operation budget (decisions, writes, churn
+	// cycles — each scenario documents its own unit).
+	Ops int
+	// Seed feeds every random source in the scenario (Zipf picks, owner
+	// spread), making runs reproducible bit-for-bit.
+	Seed int64
+}
+
+// SmokeOptions is the CI-sized run: seconds per scenario, enough load to
+// exercise every code path but not to produce stable latency numbers.
+func SmokeOptions() Options { return Options{Owners: 4, Ops: 40, Seed: 1} }
+
+// FullOptions is the BENCH_E17 run: minutes per scenario, enough samples
+// for the p99 to mean something on the 1-CPU container.
+func FullOptions() Options { return Options{Owners: 8, Ops: 400, Seed: 1} }
+
+// Scenario drives one workload against a running rig and reports its
+// per-phase measurements. Scenarios own their fault schedule (latency
+// shims, partitions, kills) but must leave the rig's processes running —
+// except kill_migration, which restarts what it kills.
+type Scenario func(ctx context.Context, rig *Rig, opts Options) (*Recorder, error)
+
+// Scenarios is the registry, keyed by the scenario name that prefixes its
+// benchjson records. cmd/loadgen and the CI smoke job iterate it.
+var Scenarios = map[string]Scenario{
+	"zipf_hot_owner":   ZipfHotOwner,
+	"pairing_churn":    PairingChurn,
+	"delegation_chain": DelegationChain,
+	"kill_migration":   KillMigration,
+}
+
+// ScenarioNames returns the registry keys sorted, for deterministic
+// iteration order in CLIs and tests.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(Scenarios))
+	for name := range Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// phaseErr wraps an error with the scenario phase it interrupted, so a
+// hung drain or a context deadline names the exact spot.
+func phaseErr(phase string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("loadgen: phase %s: %w", phase, err)
+}
+
+// checkCtx is the per-iteration guard of every load loop: it converts a
+// cancelled or expired context into a phase-named error instead of letting
+// the loop spin against dead servers.
+func checkCtx(ctx context.Context, phase string) error {
+	select {
+	case <-ctx.Done():
+		return phaseErr(phase, ctx.Err())
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,213 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"umac/internal/amclient"
+	"umac/internal/sim"
+)
+
+// The TestLoadgen* tests are the scenario smokes: each spawns a real
+// 3-process amserver cluster (built once in TestMain), runs one scenario
+// at CI size, asserts zero acknowledged-write loss, and — when
+// LOADGEN_OUT_DIR is set (the CI loadgen-smoke job) — writes the
+// scenario's benchjson records there for the artifact upload and the
+// schema diff against the committed BENCH_E17.json.
+
+// testBinary is the amserver binary shared by every test in the package.
+var testBinary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "loadgen-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	testBinary, err = BuildServer(context.Background(), dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// startRig spawns a fresh cluster for one test and tears it down after.
+func startRig(t *testing.T) *Rig {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(t.Context(), 30*time.Second)
+	defer cancel()
+	rig, err := StartCluster(ctx, testBinary, t.TempDir(), t.Logf)
+	if err != nil {
+		t.Fatalf("start cluster: %v", err)
+	}
+	t.Cleanup(rig.Stop)
+	return rig
+}
+
+// runScenarioSmoke is the shared body of the four scenario smokes.
+func runScenarioSmoke(t *testing.T, name string) {
+	if testing.Short() {
+		t.Skip("loadgen scenarios spawn real server processes")
+	}
+	sc, ok := Scenarios[name]
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	ctx, cancel := context.WithTimeout(t.Context(), 4*time.Minute)
+	defer cancel()
+	rig := startRig(t)
+
+	rec, err := sc(ctx, rig, SmokeOptions())
+	if err != nil {
+		t.Fatalf("scenario %s: %v", name, err)
+	}
+	if lost := rec.TotalLost(); lost != 0 {
+		t.Fatalf("scenario %s lost %d acknowledged writes", name, lost)
+	}
+	recs := rec.Records()
+	if len(recs) < 3 {
+		t.Fatalf("scenario %s emitted only %d records; expected per-phase coverage", name, len(recs))
+	}
+	for _, r := range recs {
+		if r.N <= 0 {
+			t.Errorf("record %s ran zero ops", r.Name)
+		}
+		if r.P50Ns > r.P99Ns {
+			t.Errorf("record %s: p50 %d > p99 %d", r.Name, r.P50Ns, r.P99Ns)
+		}
+		if r.OpsPerSec <= 0 {
+			t.Errorf("record %s reports no throughput", r.Name)
+		}
+		t.Logf("%s: n=%d p50=%s p99=%s %.1f ops/s errs=%d",
+			r.Name, r.N, time.Duration(r.P50Ns), time.Duration(r.P99Ns), r.OpsPerSec, r.Errors)
+	}
+	if dir := os.Getenv("LOADGEN_OUT_DIR"); dir != "" {
+		path := filepath.Join(dir, name+".json")
+		if err := WriteRecords(path, recs); err != nil {
+			t.Fatalf("write records: %v", err)
+		}
+		t.Logf("records written to %s", path)
+	}
+}
+
+func TestLoadgenZipfHotOwner(t *testing.T)    { runScenarioSmoke(t, "zipf_hot_owner") }
+func TestLoadgenPairingChurn(t *testing.T)    { runScenarioSmoke(t, "pairing_churn") }
+func TestLoadgenDelegationChain(t *testing.T) { runScenarioSmoke(t, "delegation_chain") }
+func TestLoadgenKillMigration(t *testing.T)   { runScenarioSmoke(t, "kill_migration") }
+
+// TestLoadgenAuditPagination drives >1000 audited operations for one
+// owner against the spawned cluster, then walks the audit log with the
+// X-Next-Offset pagination frame and asserts the walk covers the full
+// set exactly once — no duplicates, no gaps, and a final offset of -1.
+// Regression guard for the PR 3 off-by-page offset bug, now under real
+// HTTP and real load.
+func TestLoadgenAuditPagination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadgen scenarios spawn real server processes")
+	}
+	ctx, cancel := context.WithTimeout(t.Context(), 4*time.Minute)
+	defer cancel()
+	rig := startRig(t)
+
+	owner := rig.OwnersFor("pager", "shard-a", 1)[0]
+	or, err := sim.SetupClusterOwner(rig.ClientConfig(), owner)
+	if err != nil {
+		t.Fatalf("setup owner: %v", err)
+	}
+	const decisions = 1050
+	for i := 0; i < decisions; i++ {
+		if err := ctx.Err(); err != nil {
+			t.Fatalf("audit load: %v", err)
+		}
+		if err := or.Decide(); err != nil {
+			t.Fatalf("decision %d: %v", i, err)
+		}
+	}
+
+	filter := amclient.AuditFilter{Owner: owner}
+	// An oversized request must be clamped to the server's MaxPageLimit
+	// — and the frame must say so: the full total, a mid-set next offset.
+	clamped, frame, err := or.Manager.AuditPage(owner, filter, amclient.Page{Limit: decisions * 2})
+	if err != nil {
+		t.Fatalf("clamped fetch: %v", err)
+	}
+	total := frame.Total
+	if total <= 1000 {
+		t.Fatalf("only %d audit events; load was supposed to produce >1000", total)
+	}
+	if len(clamped) >= total {
+		t.Fatalf("oversized fetch returned %d of %d events; MaxPageLimit clamp is gone", len(clamped), total)
+	}
+	if frame.NextOffset != len(clamped) {
+		t.Fatalf("clamped fetch: X-Next-Offset %d, want %d", frame.NextOffset, len(clamped))
+	}
+
+	// Walk the full set at a given page size, asserting the frame headers
+	// advance coherently and the walk terminates.
+	walk := func(pageSize int) []int64 {
+		var seqs []int64
+		offset := 0
+		for pages := 0; ; pages++ {
+			if pages > 2*total/pageSize+2 {
+				t.Fatalf("pagination (limit %d) never terminated after %d pages", pageSize, pages)
+			}
+			events, frame, err := or.Manager.AuditPage(owner, filter, amclient.Page{Offset: offset, Limit: pageSize})
+			if err != nil {
+				t.Fatalf("page at offset %d: %v", offset, err)
+			}
+			if frame.Total != total {
+				t.Fatalf("page at offset %d: X-Total-Count drifted to %d (want %d)", offset, frame.Total, total)
+			}
+			for _, e := range events {
+				seqs = append(seqs, e.Seq)
+			}
+			if frame.NextOffset == -1 {
+				break
+			}
+			if frame.NextOffset <= offset {
+				t.Fatalf("X-Next-Offset %d did not advance past %d", frame.NextOffset, offset)
+			}
+			offset = frame.NextOffset
+		}
+		return seqs
+	}
+
+	walked := walk(64)
+	if len(walked) != total {
+		t.Fatalf("page walk yielded %d events, X-Total-Count says %d", len(walked), total)
+	}
+	seen := make(map[int64]bool, len(walked))
+	for i, seq := range walked {
+		if seen[seq] {
+			t.Fatalf("duplicate event seq %d in page walk", seq)
+		}
+		seen[seq] = true
+		if i > 0 && walked[i-1] >= seq {
+			t.Fatalf("page walk out of order at index %d: %d >= %d", i, walked[i-1], seq)
+		}
+	}
+
+	// A walk at a different page size must reproduce the identical
+	// sequence — dup/gap freedom cannot depend on page-boundary luck.
+	other := walk(striding)
+	if len(other) != len(walked) {
+		t.Fatalf("walks disagree on size: %d (limit %d) vs %d (limit 64)", len(other), striding, len(walked))
+	}
+	for i := range other {
+		if other[i] != walked[i] {
+			t.Fatalf("walks diverge at index %d: %d != %d", i, other[i], walked[i])
+		}
+	}
+}
+
+// striding is the second page size of the audit walk cross-check — prime,
+// so its page boundaries never align with the 64-sized walk's.
+const striding = 97

@@ -1,0 +1,200 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Record is one phase's measurement in the committed perf trajectory. It
+// is a strict superset of the repo's -benchjson schema (name/n/ns_per_op,
+// see benchjson_test.go), so the same tooling can diff BENCH_E13..E17
+// files uniformly; the extra fields carry what a load harness knows that
+// a microbenchmark does not: tail latency, wall-clock throughput, and the
+// error/loss counters that make a perf number trustworthy.
+type Record struct {
+	// Name is "Loadgen/<scenario>/<phase>".
+	Name string `json:"name"`
+	// N is the number of operations the phase completed (errors included).
+	N int `json:"n"`
+	// NsPerOp is the mean operation latency in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// P50Ns and P99Ns are the median and 99th-percentile op latencies.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// OpsPerSec is N divided by the phase's wall-clock duration — unlike
+	// 1/NsPerOp it includes inter-op scenario overhead.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Errors counts operations that failed. Some phases expect errors
+	// (writes against a killed primary); the scenario decides what is
+	// tolerable, the record just reports.
+	Errors int `json:"errors"`
+	// Lost counts acknowledged writes that later turned out to be missing.
+	// Any non-zero value is a durability-contract violation and fails the
+	// scenario outright; it is recorded anyway so a bench artifact can
+	// never silently paper over a loss.
+	Lost int `json:"lost"`
+}
+
+// Recorder accumulates one scenario's phases in order.
+type Recorder struct {
+	// Scenario names the run; it prefixes every record name.
+	Scenario string
+	phases   []*PhaseRec
+}
+
+// PhaseRec measures one named phase: individual op latencies, the phase's
+// wall-clock span, and error/loss tallies.
+type PhaseRec struct {
+	Name   string
+	Errors int
+	Lost   int
+
+	start   time.Time
+	elapsed time.Duration
+	durs    []time.Duration
+}
+
+// Phase starts (and registers) a new phase. Call End when its load loop
+// finishes; phases must not overlap.
+func (r *Recorder) Phase(name string) *PhaseRec {
+	ph := &PhaseRec{Name: name, start: time.Now()}
+	r.phases = append(r.phases, ph)
+	return ph
+}
+
+// Op runs and times one operation, tallying a failure instead of
+// propagating it — load loops decide separately whether an error is fatal.
+// It returns the operation's error for loops that do care.
+func (ph *PhaseRec) Op(f func() error) error {
+	t0 := time.Now()
+	err := f()
+	ph.durs = append(ph.durs, time.Since(t0))
+	if err != nil {
+		ph.Errors++
+	}
+	return err
+}
+
+// End freezes the phase's wall-clock duration.
+func (ph *PhaseRec) End() {
+	ph.elapsed = time.Since(ph.start)
+}
+
+// record flattens the phase into its Record under scenario.
+func (ph *PhaseRec) record(scenario string) Record {
+	rec := Record{
+		Name:   fmt.Sprintf("Loadgen/%s/%s", scenario, ph.Name),
+		N:      len(ph.durs),
+		Errors: ph.Errors,
+		Lost:   ph.Lost,
+	}
+	if len(ph.durs) == 0 {
+		return rec
+	}
+	sorted := make([]time.Duration, len(ph.durs))
+	copy(sorted, ph.durs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	rec.NsPerOp = float64(total.Nanoseconds()) / float64(len(sorted))
+	rec.P50Ns = quantile(sorted, 0.50).Nanoseconds()
+	rec.P99Ns = quantile(sorted, 0.99).Nanoseconds()
+	elapsed := ph.elapsed
+	if elapsed <= 0 {
+		elapsed = total
+	}
+	if elapsed > 0 {
+		rec.OpsPerSec = float64(len(sorted)) / elapsed.Seconds()
+	}
+	return rec
+}
+
+// quantile picks the q-th quantile of an ascending-sorted sample by the
+// nearest-rank method — crude but stable for the smoke-sized samples CI
+// produces.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Records flattens every phase, in execution order.
+func (r *Recorder) Records() []Record {
+	recs := make([]Record, 0, len(r.phases))
+	for _, ph := range r.phases {
+		recs = append(recs, ph.record(r.Scenario))
+	}
+	return recs
+}
+
+// TotalLost sums loss counters across phases — the scenario-level
+// zero-loss assertion reads this.
+func (r *Recorder) TotalLost() int {
+	n := 0
+	for _, ph := range r.phases {
+		n += ph.Lost
+	}
+	return n
+}
+
+// WriteRecords writes records as an indented JSON array — the exact
+// framing benchjson_test.go uses, so BENCH_E17.json diffs like its
+// siblings.
+func WriteRecords(path string, recs []Record) error {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadRecords loads a records artifact written by WriteRecords (or any
+// benchjson file — missing extended fields decode to zero).
+func ReadRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// VerifyRecords checks a freshly emitted record set against a committed
+// baseline: every baseline scenario/phase name must be present, every
+// record must be internally sane (ops ran, latencies ordered, no loss).
+// It deliberately does NOT compare magnitudes — container perf varies —
+// only shape, so CI catches a scenario silently vanishing or a loss
+// sneaking into the trajectory without flaking on speed.
+func VerifyRecords(fresh, baseline []Record) error {
+	have := make(map[string]Record, len(fresh))
+	for _, r := range fresh {
+		have[r.Name] = r
+	}
+	for _, want := range baseline {
+		got, ok := have[want.Name]
+		if !ok {
+			return fmt.Errorf("loadgen: verify: record %q in baseline but missing from fresh run", want.Name)
+		}
+		if got.N <= 0 {
+			return fmt.Errorf("loadgen: verify: record %q ran zero ops", want.Name)
+		}
+		if got.P50Ns > got.P99Ns {
+			return fmt.Errorf("loadgen: verify: record %q has p50 %d > p99 %d", want.Name, got.P50Ns, got.P99Ns)
+		}
+		if got.Lost != 0 {
+			return fmt.Errorf("loadgen: verify: record %q reports %d lost acknowledged writes", want.Name, got.Lost)
+		}
+	}
+	return nil
+}

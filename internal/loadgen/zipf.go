@@ -1,0 +1,52 @@
+package loadgen
+
+import (
+	"math/rand"
+	"sync"
+
+	"umac/internal/core"
+)
+
+// OwnerPicker draws owners from a seeded Zipf distribution: rank-0 owners
+// soak up most of the traffic, the tail barely any — the hot-owner shape
+// real multi-tenant AM deployments see (a few popular resource owners, a
+// long tail of quiet ones). The same seed always yields the same pick
+// sequence, so scenario runs are reproducible.
+type OwnerPicker struct {
+	mu     sync.Mutex
+	zipf   *rand.Zipf
+	owners []core.UserID
+}
+
+// NewOwnerPicker builds a picker over owners with Zipf exponent s (must
+// be >1; larger = hotter head). The owners slice order defines the
+// popularity ranking: owners[0] is the hottest.
+func NewOwnerPicker(owners []core.UserID, seed int64, s float64) *OwnerPicker {
+	if len(owners) == 0 {
+		panic("loadgen: OwnerPicker needs at least one owner")
+	}
+	r := rand.New(rand.NewSource(seed))
+	return &OwnerPicker{
+		zipf:   rand.NewZipf(r, s, 1, uint64(len(owners)-1)),
+		owners: owners,
+	}
+}
+
+// Pick draws the next owner. Safe for concurrent use.
+func (p *OwnerPicker) Pick() core.UserID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.owners[p.zipf.Uint64()]
+}
+
+// Counts tallies n picks without consuming the live sequence — a fresh
+// picker with the same parameters — so tests can assert the distribution
+// really is skewed before trusting the scenario's "hot owner" label.
+func Counts(owners []core.UserID, seed int64, s float64, n int) map[core.UserID]int {
+	p := NewOwnerPicker(owners, seed, s)
+	counts := make(map[core.UserID]int, len(owners))
+	for i := 0; i < n; i++ {
+		counts[p.Pick()]++
+	}
+	return counts
+}

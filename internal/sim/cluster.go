@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -97,22 +98,39 @@ type ClusterOwnerRig struct {
 }
 
 // SetupClusterOwner builds pairing, realm, permit policy and token for
-// owner on its home AM, plus the shard-aware clients routed by the ring
-// (seeded from seedURL).
-func SetupClusterOwner(home *am.AM, seedURL string, owner core.UserID) (*ClusterOwnerRig, error) {
-	code, err := home.ApprovePairing(core.PairingRequest{Host: "webpics", User: owner})
+// owner entirely over the shard-routed HTTP surface: seed templates the
+// per-shard clients (BaseURL names any cluster node; HTTPClient, timeouts
+// and the rest are inherited), so the same rig drives in-process httptest
+// clusters, the E16/E17 benchmarks, and the loadgen harness's real spawned
+// binaries.
+func SetupClusterOwner(seed amclient.Config, owner core.UserID) (*ClusterOwnerRig, error) {
+	mgrCfg := seed
+	mgrCfg.User = owner
+	mgrCfg.PairingID, mgrCfg.Secret = "", ""
+	manager, err := amclient.NewCluster(mgrCfg)
 	if err != nil {
 		return nil, err
 	}
-	pairing, err := home.ExchangeCode(code, "webpics")
+	code, err := manager.ConfirmPairing(owner, "webpics")
+	if err != nil {
+		return nil, fmt.Errorf("sim: confirm pairing for %s: %w", owner, err)
+	}
+	pairing, err := manager.ExchangePairingCode(owner, code, "webpics")
+	if err != nil {
+		return nil, fmt.Errorf("sim: exchange pairing code for %s: %w", owner, err)
+	}
+	decCfg := seed
+	decCfg.User = ""
+	decCfg.PairingID, decCfg.Secret = pairing.PairingID, pairing.Secret
+	decider, err := amclient.NewCluster(decCfg)
 	if err != nil {
 		return nil, err
 	}
 	realm := core.RealmID("travel-" + string(owner))
-	if _, err := home.RegisterRealm(pairing.PairingID, core.ProtectRequest{Realm: realm}); err != nil {
-		return nil, err
+	if _, err := decider.Protect(owner, core.ProtectRequest{Realm: realm}); err != nil {
+		return nil, fmt.Errorf("sim: protect realm for %s: %w", owner, err)
 	}
-	pol, err := home.CreatePolicy(owner, policy.Policy{
+	pol, err := manager.CreatePolicy(policy.Policy{
 		Owner: owner, Kind: policy.KindGeneral,
 		Rules: []policy.Rule{{
 			Effect:   policy.EffectPermit,
@@ -121,30 +139,22 @@ func SetupClusterOwner(home *am.AM, seedURL string, owner core.UserID) (*Cluster
 		}},
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sim: base policy for %s: %w", owner, err)
 	}
-	if err := home.LinkGeneral(owner, realm, pol.ID); err != nil {
-		return nil, err
+	if err := manager.LinkGeneral(owner, realm, pol.ID); err != nil {
+		return nil, fmt.Errorf("sim: link policy for %s: %w", owner, err)
 	}
-	tok, err := home.IssueToken(core.TokenRequest{
+	tok, err := manager.RequestToken(owner, core.TokenRequest{
 		Requester: "alice-browser", Subject: "alice", Host: "webpics",
 		Realm: realm, Resource: "photo", Action: core.ActionRead,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sim: token for %s: %w", owner, err)
 	}
-	rig := &ClusterOwnerRig{Owner: owner, Realm: realm, Pairing: pairing, Token: tok.Token}
-	rig.Decider, err = amclient.NewCluster(amclient.Config{
-		BaseURL: seedURL, PairingID: pairing.PairingID, Secret: pairing.Secret,
-	})
-	if err != nil {
-		return nil, err
-	}
-	rig.Manager, err = amclient.NewCluster(amclient.Config{BaseURL: seedURL, User: owner})
-	if err != nil {
-		return nil, err
-	}
-	return rig, nil
+	return &ClusterOwnerRig{
+		Owner: owner, Realm: realm, Pairing: pairing, Token: tok.Token,
+		Decider: decider, Manager: manager,
+	}, nil
 }
 
 // Decide runs one shard-routed decision for the rig's owner, requiring
@@ -182,8 +192,9 @@ func (r *ClusterOwnerRig) WritePolicy(i int) (core.PolicyID, error) {
 
 // RunClusterWorkload drives the sharded-cluster scenario in dir (scratch
 // space for the two primaries' durable state). writes is the per-owner
-// write budget of the steady phases.
-func RunClusterWorkload(dir string, writes int) (ClusterReport, error) {
+// write budget of the steady phases. ctx bounds every phase: cancellation
+// (or a test deadline) surfaces as a phase-named error instead of a hang.
+func RunClusterWorkload(ctx context.Context, dir string, writes int) (ClusterReport, error) {
 	rep := ClusterReport{
 		Owners:      make(map[string]core.UserID),
 		WritesAcked: make(map[string]int),
@@ -266,17 +277,12 @@ func RunClusterWorkload(dir string, writes int) (ClusterReport, error) {
 	rep.Owners["stay"], rep.Owners["move"], rep.Owners["b"] = ownerStay, ownerMove, ownerB
 
 	rigs := make(map[string]*ClusterOwnerRig, 3)
-	for role, cfg := range map[string]struct {
-		home  *am.AM
-		owner core.UserID
-	}{
-		"stay": {aPrimary, ownerStay},
-		"move": {aPrimary, ownerMove},
-		"b":    {bPrimary, ownerB},
+	for role, owner := range map[string]core.UserID{
+		"stay": ownerStay, "move": ownerMove, "b": ownerB,
 	} {
-		rig, err := SetupClusterOwner(cfg.home, cfg.home.BaseURL(), cfg.owner)
+		rig, err := SetupClusterOwner(amclient.Config{BaseURL: aPrimarySrv.URL}, owner)
 		if err != nil {
-			return rep, fmt.Errorf("sim: setup %s: %w", cfg.owner, err)
+			return rep, fmt.Errorf("sim: setup %s: %w", owner, err)
 		}
 		rigs[role] = rig
 	}
@@ -292,6 +298,9 @@ func RunClusterWorkload(dir string, writes int) (ClusterReport, error) {
 	// --- Phase 1: steady sharded load on all three owners ---
 	half := writes / 2
 	for i := 0; i < half; i++ {
+		if err := checkPhase(ctx, "steady-load"); err != nil {
+			return rep, err
+		}
 		for role, rig := range rigs {
 			id, err := rig.WritePolicy(i)
 			if err != nil {
@@ -318,6 +327,8 @@ func RunClusterWorkload(dir string, writes int) (ClusterReport, error) {
 		for i := 0; ; i++ {
 			select {
 			case <-stop:
+				return
+			case <-ctx.Done():
 				return
 			default:
 			}
@@ -374,6 +385,9 @@ func RunClusterWorkload(dir string, writes int) (ClusterReport, error) {
 
 	// Post-migration load: everything still flows (move now on shard-b).
 	for i := 0; i < half; i++ {
+		if err := checkPhase(ctx, "post-migration-load"); err != nil {
+			return rep, err
+		}
 		for role, rig := range rigs {
 			id, err := rig.WritePolicy(20000 + i)
 			if err != nil {
@@ -391,12 +405,15 @@ func RunClusterWorkload(dir string, writes int) (ClusterReport, error) {
 	// --- Phase 3: hard-kill shard-a's primary ---
 	// The follower must hold everything acknowledged so far before the
 	// kill demonstrates decision continuity from replicated state.
-	if !aFollower.WaitReplicated(aStore.LastSeq(), 10*time.Second) {
-		return rep, fmt.Errorf("sim: shard-a follower never caught up before the kill")
+	if err := awaitReplicated(ctx, "pre-kill-catchup", aFollower, aStore.LastSeq(), 10*time.Second); err != nil {
+		return rep, err
 	}
 	closeAPrimary()
 
 	for i := 0; i < half; i++ {
+		if err := checkPhase(ctx, "post-kill-load"); err != nil {
+			return rep, err
+		}
 		// ownerStay decisions fail over to shard-a's follower; the other
 		// owners are untouched (shard-b).
 		for _, role := range []string{"stay", "move", "b"} {

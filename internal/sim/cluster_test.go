@@ -1,17 +1,24 @@
 package sim
 
-import "testing"
+import (
+	"context"
+	"testing"
+	"time"
+)
 
 // TestClusterWorkload asserts the sharded cluster's promises under the
 // combined migration + primary-kill scenario: zero acknowledged-write loss
 // on both shards, no decision served by the losing shard after cutover,
 // and decision continuity through the migration chase and the in-shard
-// failover.
+// failover. The context deadline turns any hung follower or stalled drain
+// into a fast phase-named failure.
 func TestClusterWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster workload is a multi-node scenario")
 	}
-	rep, err := RunClusterWorkload(t.TempDir(), 20)
+	ctx, cancel := context.WithTimeout(t.Context(), 2*time.Minute)
+	defer cancel()
+	rep, err := RunClusterWorkload(ctx, t.TempDir(), 20)
 	if err != nil {
 		t.Fatalf("cluster workload: %v (report %+v)", err, rep)
 	}

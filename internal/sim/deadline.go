@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"umac/internal/am"
+)
+
+// This file bounds the sim workloads' long-poll and drain loops. Every
+// wait is phase-named and derives its deadline from the caller's context
+// (tests pass a testing.T.Context()-derived context), so a hung follower
+// or a stalled drain fails in seconds with the phase that stalled —
+// instead of parking the whole package on the 10-minute test timeout.
+
+// checkPhase returns a phase-named error when ctx is done — the
+// per-iteration guard of the workload loops.
+func checkPhase(ctx context.Context, phase string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sim: phase %q: %w", phase, err)
+	}
+	return nil
+}
+
+// awaitReplicated waits (in context-interruptible slices) until the
+// follower has applied seq, failing with the phase name after timeout or
+// when ctx is done first.
+func awaitReplicated(ctx context.Context, phase string, f *am.AM, seq int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.WaitReplicated(seq, 200*time.Millisecond) {
+			return nil
+		}
+		if err := checkPhase(ctx, phase); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sim: phase %q: follower still behind seq %d after %v", phase, seq, timeout)
+		}
+	}
+}

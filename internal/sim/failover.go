@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"path/filepath"
@@ -60,8 +61,9 @@ type FailoverReport struct {
 // failover client, hard-kill the primary mid-run, keep querying decisions
 // against the surviving follower, then recover the primary from its WAL
 // and let the follower re-sync. writes is the total number of policy
-// writes attempted; the kill lands after roughly half.
-func RunFailoverWorkload(dir string, writes int) (FailoverReport, error) {
+// writes attempted; the kill lands after roughly half. ctx bounds every
+// phase with a phase-named error.
+func RunFailoverWorkload(ctx context.Context, dir string, writes int) (FailoverReport, error) {
 	var rep FailoverReport
 	statePath := filepath.Join(dir, "primary.json")
 	pst, err := store.Open(statePath)
@@ -126,8 +128,8 @@ func RunFailoverWorkload(dir string, writes int) (FailoverReport, error) {
 	// The follower must hold the protocol fixture before the kill can
 	// demonstrate read continuity; writes racing the kill are recovered
 	// from the primary's WAL, not from the follower.
-	if !follower.WaitReplicated(pst.LastSeq(), 10*time.Second) {
-		return rep, fmt.Errorf("sim: follower never synced the fixture")
+	if err := awaitReplicated(ctx, "fixture-sync", follower, pst.LastSeq(), 10*time.Second); err != nil {
+		return rep, err
 	}
 
 	// The failover-aware clients: decisions signed with the pairing
@@ -178,6 +180,9 @@ func RunFailoverWorkload(dir string, writes int) (FailoverReport, error) {
 	// Phase 1: writes interleaved with decisions, primary alive.
 	half := writes / 2
 	for i := 0; i < half; i++ {
+		if err := checkPhase(ctx, "pre-kill-load"); err != nil {
+			return rep, err
+		}
 		if err := writePolicy(i); err != nil {
 			return rep, fmt.Errorf("sim: pre-kill write %d: %w", i, err)
 		}
@@ -199,6 +204,9 @@ func RunFailoverWorkload(dir string, writes int) (FailoverReport, error) {
 	// fails over to the follower. Writes now fail (no primary); that is
 	// the documented degradation, not a correctness loss.
 	for i := 0; i < half; i++ {
+		if err := checkPhase(ctx, "post-kill-load"); err != nil {
+			return rep, err
+		}
 		if err := decide(); err != nil {
 			rep.DecisionFailures++
 		} else {
@@ -249,7 +257,7 @@ func RunFailoverWorkload(dir string, writes int) (FailoverReport, error) {
 	})
 	followerSrv = httptest.NewServer(follower.Handler())
 	follower.SetBaseURL(followerSrv.URL)
-	rep.FollowerCaughtUp = follower.WaitReplicated(pst2.LastSeq(), 10*time.Second)
+	rep.FollowerCaughtUp = awaitReplicated(ctx, "follower-resync", follower, pst2.LastSeq(), 10*time.Second) == nil
 	for _, id := range acked {
 		if _, err := follower.GetPolicy(id); err != nil {
 			rep.LostOnFollower = append(rep.LostOnFollower, id)

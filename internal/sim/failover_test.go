@@ -1,14 +1,21 @@
 package sim
 
-import "testing"
+import (
+	"context"
+	"testing"
+	"time"
+)
 
 // TestFailoverWorkload is the HA acceptance test: kill the primary under
 // load, the follower keeps answering decisions, and no write acknowledged
 // by the primary before the kill is missing after recovery — neither from
 // the recovered primary (WAL durability) nor from the re-synced follower
-// (replication convergence).
+// (replication convergence). The context deadline turns a hung follower
+// into a fast phase-named failure.
 func TestFailoverWorkload(t *testing.T) {
-	rep, err := RunFailoverWorkload(t.TempDir(), 40)
+	ctx, cancel := context.WithTimeout(t.Context(), 2*time.Minute)
+	defer cancel()
+	rep, err := RunFailoverWorkload(ctx, t.TempDir(), 40)
 	if err != nil {
 		t.Fatal(err)
 	}
