@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"testing"
@@ -692,6 +693,44 @@ func BenchmarkStoreWALAppend(b *testing.B) {
 	b.Run("fsync", func(b *testing.B) { recordBench(b); run(b, store.WithFsync()) })
 }
 
+// BenchmarkStoreGroupCommit measures fsynced write throughput as writer
+// parallelism grows. Every Put is durable before it returns (WithFsync),
+// but concurrent writers are group-committed: the committer lands whatever
+// queued during the previous batch's fsync with a single write and a
+// single fsync, so ns/op at writers-16 should sit far below the serial
+// per-write-fsync baseline (BenchmarkStoreWALAppend/fsync). On a
+// multi-core box RunParallel spawns GOMAXPROCS×parallelism goroutines, so
+// writer counts are exact only where GOMAXPROCS divides them (on the 1-CPU
+// benchmark container they always are).
+func BenchmarkStoreGroupCommit(b *testing.B) {
+	gomax := runtime.GOMAXPROCS(0)
+	for _, writers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("writers-%d", writers), func(b *testing.B) {
+			recordBench(b)
+			s, err := store.Open(filepath.Join(b.TempDir(), "state.json"), store.WithFsync())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			par := writers / gomax
+			if par < 1 {
+				par = 1
+			}
+			b.SetParallelism(par)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := s.Put("link", fmt.Sprintf("w%p-%d", pb, i), benchEntity{Seq: i}); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkStoreRecovery measures Open (snapshot load + WAL replay) against
 // a log of acknowledged-but-never-snapshot writes: the crash-recovery cost
 // as a function of log size.
@@ -1266,5 +1305,114 @@ func BenchmarkLoadgenSpawnedDecision(b *testing.B) {
 		if err := o.Decide(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- E18: the compiled decision index — candidate pre-filter vs rule scan ---
+
+// decisionIndexPolicy builds a general policy whose first rules-1 rules
+// cover only write (noise for a read query) with one permit-read rule for
+// alice at the end: the compiled read candidate list holds a single rule
+// while the scan path must test coversAction on every one.
+func decisionIndexPolicy(rules int) policy.Policy {
+	p := policy.Policy{Owner: "bob", Kind: policy.KindGeneral, Name: "bench"}
+	for i := 0; i < rules-1; i++ {
+		p.Rules = append(p.Rules, policy.Rule{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: fmt.Sprintf("user-%d", i)}},
+			Actions:  []core.Action{core.ActionWrite},
+		})
+	}
+	p.Rules = append(p.Rules, policy.Rule{
+		Effect:   policy.EffectPermit,
+		Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+		Actions:  []core.Action{core.ActionRead},
+	})
+	return p
+}
+
+// BenchmarkDecisionIndex measures the compiled decision index at two
+// layers. engine-*: policy.EvaluateCompiled against policy.Evaluate on the
+// same wide policy — the pure candidate-pre-filter win. am-*: AM.Decide
+// end to end with the lazy per-link index against the same AM built with
+// DisableDecisionIndex (per-decision link resolution plus full rule scan);
+// the gap here also includes the link/policy store lookups the index
+// caches.
+func BenchmarkDecisionIndex(b *testing.B) {
+	const rules = 128
+	req := policy.Request{
+		Subject: "alice", Action: core.ActionRead, Owner: "bob", Realm: "travel",
+		Resource: core.ResourceRef{Host: "h", Resource: "r"},
+	}
+	pol := decisionIndexPolicy(rules)
+	e := policy.NewEngine(nil)
+	b.Run(fmt.Sprintf("engine-scan-rules-%d", rules), func(b *testing.B) {
+		recordBench(b)
+		for i := 0; i < b.N; i++ {
+			if res := e.Evaluate(req, &pol, nil); res.Decision != core.DecisionPermit {
+				b.Fatal("deny")
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("engine-compiled-rules-%d", rules), func(b *testing.B) {
+		recordBench(b)
+		c := policy.Compile(&pol)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := e.EvaluateCompiled(req, c, nil); res.Decision != core.DecisionPermit {
+				b.Fatal("deny")
+			}
+		}
+	})
+
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"am-compiled", false}, {"am-scan", true}} {
+		b.Run(fmt.Sprintf("%s-rules-%d", mode.name, rules), func(b *testing.B) {
+			recordBench(b)
+			a := am.New(am.Config{
+				Name:                 "bench-am",
+				TokenKey:             []byte("bench-master-key-0123456789abcde"),
+				DisableDecisionIndex: mode.disable,
+			})
+			defer a.Close()
+			code, err := a.ApprovePairing(core.PairingRequest{Host: "webpics", User: "bob"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pairing, err := a.ExchangeCode(code, "webpics")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.RegisterRealm(pairing.PairingID, core.ProtectRequest{Realm: "travel"}); err != nil {
+				b.Fatal(err)
+			}
+			created, err := a.CreatePolicy("bob", decisionIndexPolicy(rules))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.LinkGeneral("bob", "travel", created.ID); err != nil {
+				b.Fatal(err)
+			}
+			tok, err := a.IssueToken(core.TokenRequest{
+				Requester: "alice-browser", Subject: "alice", Host: "webpics",
+				Realm: "travel", Resource: "photo-1", Action: core.ActionRead,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := core.DecisionQuery{
+				Host: "webpics", Realm: "travel", Resource: "photo-1",
+				Action: core.ActionRead, Token: tok.Token,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec, err := a.Decide(pairing.PairingID, q)
+				if err != nil || !dec.Permit() {
+					b.Fatalf("dec=%+v err=%v", dec, err)
+				}
+			}
+		})
 	}
 }

@@ -76,6 +76,7 @@ func main() {
 		tokenTTL = flag.Duration("token-ttl", 30*time.Minute, "authorization token lifetime")
 		fsync    = flag.Bool("fsync", false, "fsync the WAL on every write (survive machine crashes, not just process kills)")
 		noWAL    = flag.Bool("no-wal", false, "disable the write-ahead log (persist on snapshot only)")
+		walSeg   = flag.Int64("wal-segment-size", 0, "WAL segment roll threshold in bytes (0 = default 4 MiB)")
 
 		role      = flag.String("role", "", "replication role: \"primary\" or \"follower\" (empty = standalone)")
 		replicaOf = flag.String("replica-of", "", "primary base URL to sync from (follower role)")
@@ -149,6 +150,9 @@ func main() {
 		}
 		if *fsync {
 			opts = append(opts, umac.StoreWithFsync())
+		}
+		if *walSeg > 0 {
+			opts = append(opts, umac.StoreWithWALSegmentSize(*walSeg))
 		}
 		loaded, err := umac.OpenStore(*statef, opts...)
 		if err != nil {

@@ -1,0 +1,57 @@
+// Command storehammer is the crash-consistency test's victim process: it
+// opens a durable store with fsync and a small WAL segment size, hammers it
+// with concurrent writers, and prints one "ACK <key>" line to stdout after
+// each write is acknowledged (i.e. after the group commit made it durable).
+// The test SIGKILLs it at a random moment and then checks that every key
+// whose ACK line it read survives replay. The program never exits on its
+// own under load — being killed is its purpose.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+
+	"umac/internal/store"
+)
+
+func main() {
+	var (
+		statePath = flag.String("state", "", "state file path (required); WAL segments live beside it")
+		writers   = flag.Int("writers", 8, "concurrent writer goroutines")
+		segSize   = flag.Int64("segsize", 16<<10, "WAL segment roll threshold in bytes")
+		valueSize = flag.Int("value-size", 64, "payload bytes per record")
+	)
+	flag.Parse()
+	if *statePath == "" {
+		log.Fatal("storehammer: -state is required")
+	}
+	st, err := store.Open(*statePath, store.WithFsync(), store.WithWALSegmentSize(*segSize))
+	if err != nil {
+		log.Fatalf("storehammer: open: %v", err)
+	}
+	// The parent waits for this line so kills land on a store that finished
+	// replaying, not one still opening.
+	fmt.Println("READY")
+
+	payload := strings.Repeat("x", *valueSize)
+	var wg sync.WaitGroup
+	for w := 0; w < *writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := st.Put("hammer", key, payload); err != nil {
+					return
+				}
+				// One Write syscall per line, after the Put returned: any
+				// complete line the parent reads names a durable write.
+				fmt.Printf("ACK %s\n", key)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

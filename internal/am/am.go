@@ -120,6 +120,12 @@ type Config struct {
 	// replication group), and owner-scoped routes answer wrong_shard when
 	// the owner hashes elsewhere. The zero value is an unsharded AM.
 	Cluster ClusterConfig
+	// DisableDecisionIndex turns off the compiled decision index, so
+	// every decision resolves links and scans policies directly from the
+	// store. This exists to measure the index (benchmarks) and to
+	// differential-test the two paths; production configurations leave
+	// it off.
+	DisableDecisionIndex bool
 }
 
 // DefaultDecisionCacheTTL is the fallback Host decision-cache TTL.
@@ -133,6 +139,7 @@ type AM struct {
 	tokens    *token.Service
 	groups    *groupStore
 	engine    *policy.Engine
+	index     *decisionIndex
 	audit     *audit.Log
 	auditPipe *audit.Pipeline
 	auth      identity.Authenticator
@@ -218,6 +225,9 @@ func New(cfg Config) *AM {
 	a.auditPipe = audit.NewPipeline(a.audit, 0)
 	a.groups = newGroupStore(st)
 	a.engine = policy.NewEngine(a.groups)
+	if !cfg.DisableDecisionIndex {
+		a.index = newDecisionIndex()
+	}
 	a.startReplication()
 	return a
 }

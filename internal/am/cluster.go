@@ -277,5 +277,8 @@ func (a *AM) applyImported(rec core.ReplRecord) error {
 	if rec.Kind == kindGroup {
 		a.groups.installRecord(rec)
 	}
+	if a.index != nil {
+		a.index.applyRecord(rec)
+	}
 	return nil
 }

@@ -395,36 +395,42 @@ func (a *AM) handleProtect(w http.ResponseWriter, r *http.Request, pairingID str
 }
 
 func (a *AM) handleDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
-	var q core.DecisionQuery
-	if err := webutil.ReadJSON(r, &q); err != nil {
+	q := decisionQueryPool.Get().(*core.DecisionQuery)
+	defer decisionQueryPool.Put(q)
+	*q = core.DecisionQuery{}
+	if err := webutil.ReadJSON(r, q); err != nil {
 		webutil.Fail(w, r, err)
 		return
 	}
-	resp, err := a.Decide(pairingID, q)
+	resp, err := a.Decide(pairingID, *q)
 	if err != nil {
 		webutil.Fail(w, r, err)
 		return
 	}
-	webutil.WriteJSON(w, http.StatusOK, resp)
+	writeDecisionJSON(w, resp)
 }
 
 func (a *AM) handleDecisionBatch(w http.ResponseWriter, r *http.Request, pairingID string) {
-	var q core.BatchDecisionQuery
-	if err := webutil.ReadJSON(r, &q); err != nil {
+	q := batchQueryPool.Get().(*core.BatchDecisionQuery)
+	defer batchQueryPool.Put(q)
+	*q = core.BatchDecisionQuery{Items: q.Items[:0]}
+	if err := webutil.ReadJSON(r, q); err != nil {
 		webutil.Fail(w, r, err)
 		return
 	}
-	resp, err := a.DecideBatch(pairingID, q)
+	resp, err := a.DecideBatch(pairingID, *q)
 	if err != nil {
 		webutil.Fail(w, r, err)
 		return
 	}
-	webutil.WriteJSON(w, http.StatusOK, resp)
+	writeDecisionJSON(w, resp)
 }
 
 func (a *AM) handlePullDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
-	var req core.PullDecisionQuery
-	if err := webutil.ReadJSON(r, &req); err != nil {
+	req := pullQueryPool.Get().(*core.PullDecisionQuery)
+	defer pullQueryPool.Put(req)
+	*req = core.PullDecisionQuery{}
+	if err := webutil.ReadJSON(r, req); err != nil {
 		webutil.Fail(w, r, err)
 		return
 	}
@@ -433,12 +439,14 @@ func (a *AM) handlePullDecision(w http.ResponseWriter, r *http.Request, pairingI
 		webutil.Fail(w, r, err)
 		return
 	}
-	webutil.WriteJSON(w, http.StatusOK, resp)
+	writeDecisionJSON(w, resp)
 }
 
 func (a *AM) handleStateDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
-	var req core.StateDecisionQuery
-	if err := webutil.ReadJSON(r, &req); err != nil {
+	req := stateQueryPool.Get().(*core.StateDecisionQuery)
+	defer stateQueryPool.Put(req)
+	*req = core.StateDecisionQuery{}
+	if err := webutil.ReadJSON(r, req); err != nil {
 		webutil.Fail(w, r, err)
 		return
 	}
@@ -447,7 +455,7 @@ func (a *AM) handleStateDecision(w http.ResponseWriter, r *http.Request, pairing
 		webutil.Fail(w, r, err)
 		return
 	}
-	webutil.WriteJSON(w, http.StatusOK, resp)
+	writeDecisionJSON(w, resp)
 }
 
 func (a *AM) handleEstablishState(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,49 @@
+package am
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"umac/internal/core"
+)
+
+// The decision routes are the AM's hot path: every cache-missing resource
+// access on every paired Host lands here. The handlers below recycle their
+// request envelopes and response encode buffers through sync.Pool so a
+// sustained decision load does not allocate two envelopes plus an encoder
+// buffer per request. Pooling is safe because every Decide* method takes
+// its query by value and returns its response by value — nothing retains
+// the pooled object past the handler.
+
+var (
+	decisionQueryPool = sync.Pool{New: func() any { return new(core.DecisionQuery) }}
+	batchQueryPool    = sync.Pool{New: func() any { return new(core.BatchDecisionQuery) }}
+	pullQueryPool     = sync.Pool{New: func() any { return new(core.PullDecisionQuery) }}
+	stateQueryPool    = sync.Pool{New: func() any { return new(core.StateDecisionQuery) }}
+	decisionBufPool   = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// maxPooledDecisionBuf caps the encode buffers kept for reuse; a giant
+// batch response is served and then let go rather than pinned forever.
+const maxPooledDecisionBuf = 64 << 10
+
+// writeDecisionJSON is webutil.WriteJSON through a pooled buffer: the
+// response is encoded once into reusable memory and written with a single
+// Write call.
+func writeDecisionJSON(w http.ResponseWriter, v any) {
+	buf := decisionBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		decisionBufPool.Put(buf)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledDecisionBuf {
+		decisionBufPool.Put(buf)
+	}
+}

@@ -64,6 +64,12 @@ func (a *AM) FlushInvalidations() {
 // other cached decision. Both empty means "evict everything of owner's"
 // (used for group changes, which may affect any policy).
 func (a *AM) pushInvalidation(owner core.UserID, realms []core.RealmID, resources []core.ResourceID) {
+	// The compiled decision index keys its entries by the same scope, and
+	// unlike Host caches it has no TTL backstop — drop its entries first,
+	// whether or not Host pushes are enabled.
+	if a.index != nil {
+		a.index.invalidate(owner, realms, resources)
+	}
 	a.mu.Lock()
 	inv := a.inval
 	a.mu.Unlock()

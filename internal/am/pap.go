@@ -118,6 +118,12 @@ func (a *AM) CreatePolicy(actor core.UserID, p policy.Policy) (policy.Policy, er
 	})
 	a.trace(core.PhaseComposingPolicies, "user:"+string(actor), "am:"+a.name,
 		"create-policy", string(p.ID))
+	// Links left dangling by an earlier delete resolve again once a policy
+	// re-appears under the same ID; caches holding the dangling (deny)
+	// outcome must hear about it.
+	if realms, resources := a.linksForPolicy(p.Owner, p.ID); len(realms)+len(resources) > 0 {
+		a.pushInvalidation(p.Owner, realms, resources)
+	}
 	return p, nil
 }
 
@@ -277,6 +283,12 @@ func (a *AM) ImportPolicies(actor core.UserID, owner core.UserID, r io.Reader, f
 			Type: audit.EventPolicyCreated, Owner: owner, Subject: actor,
 			Detail: string(policies[i].ID) + " (import)",
 		})
+	}
+	if len(policies) > 0 {
+		// Imports may overwrite policies that are already linked; the
+		// affected scope is not tracked per policy here, so evict
+		// owner-wide.
+		a.pushInvalidation(owner, nil, nil)
 	}
 	return len(policies), nil
 }

@@ -125,8 +125,6 @@ func (a *AM) grantTokenWithConsent(req core.TokenRequest, realm Realm) (core.Tok
 
 // evaluate builds the policy request and runs the two-stage engine.
 func (a *AM) evaluate(req core.TokenRequest, realm Realm, consent bool) policy.Result {
-	general := a.generalPolicyFor(realm.Owner, req.Realm)
-	specific := a.specificPolicyFor(realm.Owner, req.Host, req.Resource)
 	preq := policy.Request{
 		Subject:        req.Subject,
 		Requester:      req.Requester,
@@ -137,7 +135,16 @@ func (a *AM) evaluate(req core.TokenRequest, realm Realm, consent bool) policy.R
 		Claims:         req.Claims,
 		ConsentGranted: consent,
 	}
-	return a.engine.Evaluate(preq, general, specific)
+	if a.index == nil {
+		general := a.generalPolicyFor(realm.Owner, req.Realm)
+		specific := a.specificPolicyFor(realm.Owner, req.Host, req.Resource)
+		return a.engine.Evaluate(preq, general, specific)
+	}
+	// The compiled index resolves both links without touching the store on
+	// a hit and hands the engine pre-filtered candidate rules per action.
+	general := a.compiledGeneral(realm.Owner, req.Realm)
+	specific := a.compiledSpecific(realm.Owner, req.Host, req.Resource)
+	return a.engine.EvaluateCompiled(preq, general, specific)
 }
 
 // decideCtx memoizes the lookups shared by the items of one batch decision

@@ -378,6 +378,12 @@ func (a *AM) syncOnce(client *http.Client, wait time.Duration) error {
 		if rec.Kind == kindGroup {
 			a.groups.installRecord(rec)
 		}
+		// Policy and link records change what the compiled decision index
+		// resolves; the index has no TTL, so replicated changes must drop
+		// its entries just like local PAP mutations do.
+		if a.index != nil {
+			a.index.applyRecord(rec)
+		}
 		a.replApplied.Add(1)
 	}
 	a.replPrimarySeq.Store(page.LastSeq)
@@ -397,8 +403,11 @@ func (a *AM) bootstrap(client *http.Client) error {
 		return err
 	}
 	// The snapshot replaced the whole store; rebuild the in-memory group
-	// directory to match it.
+	// directory and flush the compiled decision index to match it.
 	a.groups.rebuild()
+	if a.index != nil {
+		a.index.reset()
+	}
 	a.replApplied.Add(int64(len(snap.Records)))
 	a.replPrimarySeq.Store(snap.Seq)
 	a.replConnected.Store(true)

@@ -476,3 +476,117 @@ func TestReplicationGapDetected(t *testing.T) {
 		t.Fatalf("err = %v, want ErrReplicationGap", err)
 	}
 }
+
+// TestFollowerAcrossSegmentedWAL runs the follower suite against a primary
+// whose WAL is segmented with a tiny roll threshold: the follower must tail
+// transparently across segment boundaries, and after the primary compacts
+// (deleting every sealed segment) a fresh follower whose resume point
+// predates the surviving log must re-bootstrap from the snapshot with zero
+// loss.
+func TestFollowerAcrossSegmentedWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "primary.json"), store.WithWALSegmentSize(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	primary := New(Config{
+		Name: "am-primary", TokenKey: replTestKey, Store: st,
+		Replication: ReplicationConfig{Role: RolePrimary, Secret: replTestSecret, Window: 16},
+	})
+	srv := httptest.NewServer(primary.Handler())
+	primary.SetBaseURL(srv.URL)
+	defer func() { srv.Close(); primary.Close() }()
+
+	code, err := primary.ApprovePairing(core.PairingRequest{Host: "webpics", User: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairing, err := primary.ExchangeCode(code, "webpics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.RegisterRealm(pairing.PairingID, core.ProtectRequest{Realm: "travel"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := primary.CreatePolicy("bob", policy.Policy{
+		Owner: "bob", Kind: policy.KindGeneral,
+		Rules: []policy.Rule{{
+			Effect:   policy.EffectPermit,
+			Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+			Actions:  []core.Action{core.ActionRead},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.LinkGeneral("bob", "travel", p.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live follower tailing while the primary's WAL rolls segments.
+	f1 := New(Config{
+		Name: "am-f1", TokenKey: replTestKey,
+		Replication: ReplicationConfig{
+			Role: RoleFollower, Secret: replTestSecret,
+			PrimaryURL: srv.URL, PollWait: 50 * time.Millisecond,
+		},
+	})
+	for st.WALSegments() < 3 {
+		if err := primary.AddGroupMember("bob", "bob", "friends", core.UserID("u"+itoa(st.LastSeq()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f1.WaitReplicated(st.LastSeq(), 5*time.Second) {
+		f1.Close()
+		t.Fatalf("live follower lost the stream across segment rolls: at %d, primary at %d",
+			f1.Store().LastSeq(), st.LastSeq())
+	}
+	f1.Close()
+
+	// While no follower is attached: enough churn to overflow the 16-record
+	// window, then a compaction that deletes every sealed segment.
+	for i := 0; i < 30; i++ {
+		if err := primary.AddGroupMember("bob", "bob", "friends", core.UserID("late-"+itoa(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Snapshot(st.Path()); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.WALSegments(); n != 1 {
+		t.Fatalf("segments after compaction = %d, want 1", n)
+	}
+
+	// A fresh follower's resume point (0) predates both the replication
+	// window and the deleted segments: it must bootstrap from the snapshot
+	// and then serve correct decisions.
+	f2 := New(Config{
+		Name: "am-f2", TokenKey: replTestKey,
+		Replication: ReplicationConfig{
+			Role: RoleFollower, Secret: replTestSecret,
+			PrimaryURL: srv.URL, PollWait: 50 * time.Millisecond,
+		},
+	})
+	defer f2.Close()
+	if !f2.WaitReplicated(st.LastSeq(), 5*time.Second) {
+		t.Fatal("fresh follower did not bootstrap past deleted segments")
+	}
+	if !f2.Store().Exists("group", "bob/friends") {
+		t.Fatal("group record lost across re-bootstrap")
+	}
+	tok, err := primary.IssueToken(core.TokenRequest{
+		Requester: "alice-browser", Subject: "alice", Host: "webpics",
+		Realm: "travel", Resource: "photo", Action: core.ActionRead,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := f2.Decide(pairing.PairingID, core.DecisionQuery{
+		Host: "webpics", Realm: "travel", Resource: "photo",
+		Action: core.ActionRead, Token: tok.Token,
+	})
+	if err != nil || !dec.Permit() {
+		t.Fatalf("follower decision after re-bootstrap = %+v err=%v", dec, err)
+	}
+}

@@ -77,16 +77,23 @@ type Rig struct {
 	Logf func(format string, args ...any)
 }
 
-// BuildServer compiles cmd/amserver into dir and returns the binary path.
-// Must run with a working directory inside the module (go test and
-// cmd/loadgen both qualify).
-func BuildServer(ctx context.Context, dir string) (string, error) {
-	bin := filepath.Join(dir, "amserver")
-	cmd := exec.CommandContext(ctx, "go", "build", "-o", bin, "umac/cmd/amserver")
+// Build compiles one of this module's main packages into dir and returns
+// the binary path. Must run with a working directory inside the module (go
+// test and cmd/loadgen both qualify). The crash-consistency suite uses it
+// to build its hammer helper with the same plumbing the rig uses for
+// amserver.
+func Build(ctx context.Context, dir, pkg string) (string, error) {
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", bin, pkg)
 	if out, err := cmd.CombinedOutput(); err != nil {
-		return "", fmt.Errorf("loadgen: build amserver: %v\n%s", err, out)
+		return "", fmt.Errorf("loadgen: build %s: %v\n%s", pkg, err, out)
 	}
 	return bin, nil
+}
+
+// BuildServer compiles cmd/amserver into dir and returns the binary path.
+func BuildServer(ctx context.Context, dir string) (string, error) {
+	return Build(ctx, dir, "umac/cmd/amserver")
 }
 
 // freeAddr reserves a loopback port by binding and releasing it. The tiny

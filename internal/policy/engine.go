@@ -88,7 +88,14 @@ func NewEngine(groups GroupResolver) *Engine {
 // result is then DecisionUnknown, which the (deny-biased) AM maps to deny.
 // specific may be nil when the resource carries no specific policy.
 func (e *Engine) Evaluate(req Request, general, specific *Policy) Result {
-	if general == nil {
+	return e.evaluate(req, scanRef(general), scanRef(specific))
+}
+
+// evaluate is the two-stage core shared by the scan path (Evaluate) and
+// the compiled path (EvaluateCompiled); the polRef only changes which
+// candidate rules each stage visits, never the outcome.
+func (e *Engine) evaluate(req Request, general, specific polRef) Result {
+	if general.p == nil {
 		return Result{
 			Decision: core.DecisionUnknown,
 			Reason:   "no general policy applies to realm " + string(req.Realm),
@@ -102,15 +109,15 @@ func (e *Engine) Evaluate(req Request, general, specific *Policy) Result {
 			gen.Decision = core.DecisionDeny
 			gen.Reason = "no rule in general policy matched: " + gen.Reason
 		}
-		gen.Policy = general.ID
+		gen.Policy = general.p.ID
 		return gen
 	}
-	if specific == nil {
-		gen.Policy = general.ID
+	if specific.p == nil {
+		gen.Policy = general.p.ID
 		return gen
 	}
 	spec := e.evalPolicy(req, specific)
-	spec.Policy = specific.ID
+	spec.Policy = specific.p.ID
 	if spec.Decision == core.DecisionUnknown &&
 		!spec.RequireConsent && len(spec.RequiredTerms) == 0 {
 		// The resource has a specific policy but it does not speak to this
@@ -119,8 +126,8 @@ func (e *Engine) Evaluate(req Request, general, specific *Policy) Result {
 		// working: the write-only specific policy is silent about reads.
 		// A specific permit withheld pending consent/terms is NOT silent —
 		// its obligations block the request below.
-		gen.Policy = general.ID
-		gen.Reason = fmt.Sprintf("general permit; specific policy %s silent", specific.ID)
+		gen.Policy = general.p.ID
+		gen.Reason = fmt.Sprintf("general permit; specific policy %s silent", specific.p.ID)
 		return gen
 	}
 	// Obligations gathered at the general stage must survive refinement.
@@ -136,25 +143,26 @@ func (e *Engine) Evaluate(req Request, general, specific *Policy) Result {
 // Permit rules whose consent/terms conditions are unsatisfied never permit
 // but surface obligations instead; deny rules guarded by unmet conditions
 // simply do not apply.
-func (e *Engine) evalPolicy(req Request, p *Policy) Result {
-	switch p.combining() {
+func (e *Engine) evalPolicy(req Request, ref polRef) Result {
+	switch ref.p.combining() {
 	case CombineFirstApplicable:
-		return e.evalFirstApplicable(req, p)
+		return e.evalFirstApplicable(req, ref)
 	case CombinePermitOverrides:
-		return e.evalOverrides(req, p, true)
+		return e.evalOverrides(req, ref, true)
 	default:
-		return e.evalOverrides(req, p, false)
+		return e.evalOverrides(req, ref, false)
 	}
 }
 
 // evalOverrides implements deny-overrides (permitWins=false) and
 // permit-overrides (permitWins=true) in one pass.
-func (e *Engine) evalOverrides(req Request, p *Policy, permitWins bool) Result {
+func (e *Engine) evalOverrides(req Request, ref polRef, permitWins bool) Result {
+	p := ref.p
 	res := Result{Decision: core.DecisionUnknown, CacheTTLSeconds: p.CacheTTLSeconds}
 	permitted, denied := -1, -1
-	for i := range p.Rules {
-		rule := &p.Rules[i]
-		if !rule.coversAction(req.Action) || !e.subjectsMatch(req, p.Owner, rule.Subjects) {
+	for k := 0; k < ref.ruleCount(); k++ {
+		i, rule := ref.ruleAt(k)
+		if !ref.covers(rule, req.Action) || !e.subjectsMatch(req, p.Owner, rule.Subjects) {
 			continue
 		}
 		ok, obligations := e.conditionsMet(req, rule.Conditions)
@@ -204,11 +212,12 @@ func (e *Engine) evalOverrides(req Request, p *Policy, permitWins bool) Result {
 // evalFirstApplicable decides by the first rule whose subjects, action and
 // conditions all apply; rules with unmet obligation conditions are recorded
 // (so pending consent/terms surface) but do not decide.
-func (e *Engine) evalFirstApplicable(req Request, p *Policy) Result {
+func (e *Engine) evalFirstApplicable(req Request, ref polRef) Result {
+	p := ref.p
 	res := Result{Decision: core.DecisionUnknown, CacheTTLSeconds: p.CacheTTLSeconds}
-	for i := range p.Rules {
-		rule := &p.Rules[i]
-		if !rule.coversAction(req.Action) || !e.subjectsMatch(req, p.Owner, rule.Subjects) {
+	for k := 0; k < ref.ruleCount(); k++ {
+		i, rule := ref.ruleAt(k)
+		if !ref.covers(rule, req.Action) || !e.subjectsMatch(req, p.Owner, rule.Subjects) {
 			continue
 		}
 		ok, obligations := e.conditionsMet(req, rule.Conditions)

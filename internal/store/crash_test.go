@@ -1,0 +1,221 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"umac/internal/loadgen"
+	"umac/internal/store"
+)
+
+// Crash-consistency suite: spawn cmd/storehammer (concurrent fsynced
+// writers over a small-segment WAL), SIGKILL it at an arbitrary moment,
+// and verify the three durability invariants on what is left on disk:
+//
+//  1. every write the process acknowledged before dying is present after
+//     replay (acknowledged means the group commit fsynced it);
+//  2. no torn record exists outside the final segment (sealed segments are
+//     synced before the WAL rolls, so only the active tail may tear);
+//  3. sequence numbers replay contiguously — the batch accounting never
+//     skips or reuses a number across a crash.
+//
+// The same state directory is reused across kill rounds, so each round
+// also exercises recovery-of-a-recovery: replay, append more, die again.
+//
+// On failure the WAL files are copied to $CRASH_OUT_DIR (when set) so CI
+// can upload the evidence.
+
+// ackedWrites parses complete "ACK <key>" lines from the hammer's output.
+// A final line without a newline was torn mid-write by the kill and its
+// key may be truncated, so it is discarded — losing a report only weakens
+// coverage, it can never fake one.
+func ackedWrites(out []byte) []string {
+	s := string(out)
+	if !strings.HasSuffix(s, "\n") {
+		if i := strings.LastIndexByte(s, '\n'); i >= 0 {
+			s = s[:i+1]
+		} else {
+			s = ""
+		}
+	}
+	var keys []string
+	for _, line := range strings.Split(s, "\n") {
+		if key, ok := strings.CutPrefix(line, "ACK "); ok {
+			keys = append(keys, key)
+		}
+	}
+	return keys
+}
+
+func TestCrashConsistencyUnderKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	dir := t.TempDir()
+	bin, err := loadgen.Build(ctx, dir, "umac/cmd/storehammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := filepath.Join(dir, "state.json")
+	const segSize = 16 << 10
+
+	t.Cleanup(func() {
+		if t.Failed() {
+			preserveWAL(t, state)
+		}
+	})
+
+	acked := make(map[string]bool)
+	killDelays := []time.Duration{
+		35 * time.Millisecond, 80 * time.Millisecond,
+		140 * time.Millisecond, 220 * time.Millisecond,
+	}
+	for round, delay := range killDelays {
+		out := runAndKill(t, ctx, bin, state, delay)
+		keys := ackedWrites(out)
+		t.Logf("round %d: %d acked writes before kill", round, len(keys))
+		for _, k := range keys {
+			acked[k] = true
+		}
+
+		// Audit the raw post-crash files BEFORE any repairing open: a torn
+		// tail is legal only in the final segment (VerifyWAL fails on a
+		// corrupt sealed segment) and sequence numbers must be contiguous.
+		info, err := store.VerifyWAL(state + ".wal")
+		if err != nil {
+			t.Fatalf("round %d: WAL audit after kill: %v", round, err)
+		}
+		if !info.Contiguous {
+			t.Fatalf("round %d: sequence numbers not contiguous: %+v", round, info)
+		}
+		if info.TornBytes > 0 {
+			t.Logf("round %d: torn tail of %d bytes in final segment (legal)", round, info.TornBytes)
+		}
+
+		// Replay and check every acknowledged write (from all rounds so
+		// far) survived.
+		st, err := store.Open(state, store.WithFsync(), store.WithWALSegmentSize(segSize))
+		if err != nil {
+			t.Fatalf("round %d: reopen after kill: %v", round, err)
+		}
+		missing := 0
+		for key := range acked {
+			var v string
+			if _, err := st.Get("hammer", key, &v); err != nil {
+				missing++
+				if missing <= 5 {
+					t.Errorf("round %d: acknowledged write %q lost: %v", round, key, err)
+				}
+			}
+		}
+		if missing > 0 {
+			t.Fatalf("round %d: %d acknowledged writes lost after replay", round, missing)
+		}
+		if info.Segments < 1 {
+			t.Fatalf("round %d: no WAL segments on disk", round)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+	}
+	if len(acked) == 0 {
+		t.Fatal("no writes were ever acknowledged; the hammer never got going")
+	}
+}
+
+// runAndKill spawns the hammer, waits for READY plus delay, SIGKILLs it
+// and returns everything it wrote to stdout.
+func runAndKill(t *testing.T, ctx context.Context, bin, state string, delay time.Duration) []byte {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, bin,
+		"-state", state, "-writers", "8", "-segsize", fmt.Sprint(16<<10))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	buf := &lockedBuffer{}
+	copied := make(chan struct{})
+	go func() {
+		defer close(copied)
+		io.Copy(buf, stdout)
+	}()
+
+	// Wait for the store to finish replaying (READY) before arming the
+	// kill, polling the buffer the copier goroutine fills.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if bytes.Contains(buf.snapshot(), []byte("READY\n")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("hammer never reported READY")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(delay)
+	cmd.Process.Kill()
+	cmd.Wait()
+	<-copied
+	return buf.snapshot()
+}
+
+// lockedBuffer lets the copier goroutine append while the test polls.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) snapshot() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.b.Bytes()...)
+}
+
+// preserveWAL copies the state file and every WAL segment to
+// $CRASH_OUT_DIR for CI artifact upload.
+func preserveWAL(t *testing.T, state string) {
+	outDir := os.Getenv("CRASH_OUT_DIR")
+	if outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Logf("preserve: %v", err)
+		return
+	}
+	matches, _ := filepath.Glob(state + "*")
+	for _, src := range matches {
+		data, err := os.ReadFile(src)
+		if err != nil {
+			t.Logf("preserve %s: %v", src, err)
+			continue
+		}
+		dst := filepath.Join(outDir, filepath.Base(src))
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			t.Logf("preserve %s: %v", dst, err)
+			continue
+		}
+		t.Logf("preserved %s", dst)
+	}
+}

@@ -21,6 +21,20 @@ func openDurable(t *testing.T) (*Store, string) {
 	return s, path
 }
 
+// activeSegment returns the path of the highest-numbered WAL segment for
+// the store rooted at path — the file a torn or corrupt tail lives in.
+func activeSegment(t *testing.T, path string) string {
+	t.Helper()
+	segs, err := listSegments(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatalf("no WAL segments under %s.wal", path)
+	}
+	return segs[len(segs)-1].path
+}
+
 // TestWALReplayRestoresAcknowledgedWrites is the core durability contract:
 // a store abandoned without any Snapshot (a hard kill) loses nothing that
 // Put or Delete acknowledged.
@@ -77,7 +91,7 @@ func TestWALTruncatedTailDiscarded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	walPath := path + ".wal"
+	walPath := activeSegment(t, path)
 	info, err := os.Stat(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +135,7 @@ func TestWALCorruptTailDiscarded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	walPath := path + ".wal"
+	walPath := activeSegment(t, path)
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -212,6 +226,9 @@ func TestOpenWithoutWAL(t *testing.T) {
 	}
 	if _, err := os.Stat(path + ".wal"); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("WAL file created despite WithoutWAL: %v", err)
+	}
+	if segs, err := listSegments(path + ".wal"); err != nil || len(segs) != 0 {
+		t.Fatalf("WAL segments created despite WithoutWAL: %v %v", segs, err)
 	}
 }
 
@@ -341,8 +358,8 @@ func TestWithWALPathAndFsync(t *testing.T) {
 	if _, err := s.Put("doc", "a", doc{Count: 7}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(walPath); err != nil {
-		t.Fatalf("explicit WAL path not used: %v", err)
+	if segs, err := listSegments(walPath); err != nil || len(segs) == 0 {
+		t.Fatalf("explicit WAL path not used: %v %v", segs, err)
 	}
 	s2, err := Open(path, WithWALPath(walPath))
 	if err != nil {

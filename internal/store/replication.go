@@ -204,7 +204,8 @@ func (s *Store) notifyLocked() {
 // number in the follower's own WAL so a restart resumes at the exact
 // applied offset. Records at or below the applied offset are skipped
 // (idempotent re-delivery); a record further ahead than offset+1 returns
-// ErrReplicationGap without applying anything.
+// ErrReplicationGap without applying anything. On a WAL-backed store the
+// record rides the same group-commit batch as local writes.
 func (s *Store) ApplyReplicated(rec core.ReplRecord) error {
 	if rec.Kind == "" || rec.Key == "" {
 		return ErrBadKey
@@ -216,21 +217,44 @@ func (s *Store) ApplyReplicated(rec core.ReplRecord) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	s.walMu.Lock()
-	defer s.walMu.Unlock()
-	if rec.Seq <= s.lastSeq {
+	if rec.Seq <= s.nextSeq {
+		s.walMu.Unlock()
 		return nil
 	}
-	if rec.Seq != s.lastSeq+1 {
-		return fmt.Errorf("%w: applied %d, got %d", ErrReplicationGap, s.lastSeq, rec.Seq)
+	if rec.Seq != s.nextSeq+1 {
+		applied := s.nextSeq
+		s.walMu.Unlock()
+		return fmt.Errorf("%w: applied %d, got %d", ErrReplicationGap, applied, rec.Seq)
 	}
 	if s.wal != nil {
-		err := s.wal.append(walRecord{
+		if s.walClosing || s.wal.isClosed() {
+			s.walMu.Unlock()
+			return ErrClosed
+		}
+		wrec := walRecord{
 			Seq: rec.Seq, Op: rec.Op, Kind: rec.Kind, Key: rec.Key,
 			Version: rec.Version, Data: rec.Data,
-		})
+		}
+		buf, err := encodeRecord(wrec)
 		if err != nil {
+			s.walMu.Unlock()
 			return err
 		}
+		s.nextSeq = rec.Seq
+		b := s.enqueueLocked(buf, wrec)
+		s.walMu.Unlock()
+		s.kickCommitter()
+		<-b.done
+		if b.err != nil {
+			return b.err
+		}
+	} else {
+		s.nextSeq, s.lastSeq = rec.Seq, rec.Seq
+		if s.repl != nil {
+			s.repl.push(rec)
+		}
+		s.notifyLocked()
+		s.walMu.Unlock()
 	}
 	switch rec.Op {
 	case core.ReplOpPut:
@@ -240,11 +264,6 @@ func (s *Store) ApplyReplicated(rec core.ReplRecord) error {
 	case core.ReplOpDelete:
 		delete(sh.kinds[rec.Kind], rec.Key)
 	}
-	s.lastSeq = rec.Seq
-	if s.repl != nil {
-		s.repl.push(rec)
-	}
-	s.notifyLocked()
 	return nil
 }
 
@@ -314,7 +333,7 @@ func (s *Store) LoadReplicationSnapshot(snap core.ReplSnapshot) error {
 			}
 		}
 	}
-	s.lastSeq = snap.Seq
+	s.lastSeq, s.nextSeq = snap.Seq, snap.Seq
 	if s.repl != nil {
 		s.repl.start, s.repl.n = 0, 0
 	}

@@ -132,7 +132,7 @@ func (s *Store) Load(path string) error {
 		}
 	}
 	s.walMu.Lock()
-	s.lastSeq = snap.LastSeq
+	s.lastSeq, s.nextSeq = snap.LastSeq, snap.LastSeq
 	s.walMu.Unlock()
 	return nil
 }

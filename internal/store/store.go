@@ -7,8 +7,10 @@
 // Layout: entities are hash-partitioned across a fixed set of lock-striped
 // shards, so independent keys never contend on a single mutex. Durability is
 // two-tier: every mutation is appended (with a CRC32 checksum) to a
-// write-ahead log before it is acknowledged, and Snapshot writes the full
-// contents to a compact file and truncates the log. Open replays
+// segmented write-ahead log before it is acknowledged — concurrent writers
+// are group-committed, sharing one write and one fsync per batch
+// (commit.go) — and Snapshot writes the full contents to a compact file,
+// deleting the sealed log segments it subsumes. Open replays
 // snapshot + WAL, so a process killed between snapshots loses no
 // acknowledged write. A store built with New (or the zero value) is
 // memory-only and skips the WAL entirely.
@@ -93,15 +95,32 @@ func (sh *shard) kindLocked(kind string) map[string]Entity {
 //
 // Lock ordering (deadlock freedom): shard mutexes are only ever acquired in
 // ascending index order, and the WAL mutex is only acquired while holding
-// the shard lock(s) involved — never the reverse.
+// the shard lock(s) involved — never the reverse. The committer goroutine
+// (commit.go) takes the WAL mutex with no shard locks held, which is
+// compatible; writers blocked on a commit hold their shard lock, which is
+// what lets Snapshot/Close treat "all shard locks held" as "no batch in
+// flight".
 type Store struct {
 	shards [shardCount]shard
 
 	walMu sync.Mutex
 	wal   *wal // nil = memory-only
 	// lastSeq is the applied WAL offset: the sequence number of the newest
-	// mutation logged locally or applied from a replication stream.
+	// mutation durably logged locally or applied from a replication stream.
 	lastSeq int64
+	// nextSeq runs ahead of lastSeq by the records enqueued for group
+	// commit but not yet flushed; writers stamp nextSeq+1 at enqueue and
+	// lastSeq follows once the batch is on disk.
+	nextSeq int64
+	// pending is the open group-commit batch (nil when nothing is queued);
+	// see commit.go for the committer protocol.
+	pending       *commitBatch
+	commitKick    chan struct{}
+	commitStop    chan struct{}
+	committerDone chan struct{}
+	// walClosing is set by Close before the committer drains, so writers
+	// cannot enqueue into a batch nobody will ever flush.
+	walClosing bool
 	// repl retains the recent WAL tail for followers (nil until
 	// EnableReplication).
 	repl *replState
@@ -166,30 +185,42 @@ func (s *Store) logDelete(kind, key string) error {
 	return s.logMutation(opDelete, kind, key, 0, nil)
 }
 
-// logMutation stamps one mutation with the next sequence number, appends it
-// to the WAL (when durable) and the replication tail (when replicating),
-// and wakes long-poll waiters. The sequence number only advances once the
-// WAL append succeeded, so an acknowledged offset always names bytes on
-// disk.
+// logMutation stamps one mutation with the next sequence number and makes
+// it durable and visible to replication. For a WAL-backed store the record
+// joins the open group-commit batch and the call blocks until the
+// committer lands the whole batch (one write, one fsync for everyone in
+// it); lastSeq — the offset TailSince serves from — only advances once the
+// batch is on disk, so an acknowledged offset always names durable bytes.
+// Memory-only replicating stores publish synchronously.
 func (s *Store) logMutation(op, kind, key string, version int64, data json.RawMessage) error {
 	if s.wal == nil && s.repl == nil {
 		return nil
 	}
 	s.walMu.Lock()
-	defer s.walMu.Unlock()
-	seq := s.lastSeq + 1
-	if s.wal != nil {
-		err := s.wal.append(walRecord{Seq: seq, Op: op, Kind: kind, Key: key, Version: version, Data: data})
-		if err != nil {
-			return err
-		}
-	}
-	s.lastSeq = seq
-	if s.repl != nil {
+	if s.wal == nil {
+		seq := s.nextSeq + 1
+		s.nextSeq, s.lastSeq = seq, seq
 		s.repl.push(core.ReplRecord{Seq: seq, Op: op, Kind: kind, Key: key, Version: version, Data: data})
+		s.notifyLocked()
+		s.walMu.Unlock()
+		return nil
 	}
-	s.notifyLocked()
-	return nil
+	if s.walClosing || s.wal.isClosed() {
+		s.walMu.Unlock()
+		return ErrClosed
+	}
+	rec := walRecord{Seq: s.nextSeq + 1, Op: op, Kind: kind, Key: key, Version: version, Data: data}
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		s.walMu.Unlock()
+		return err
+	}
+	s.nextSeq++
+	b := s.enqueueLocked(buf, rec)
+	s.walMu.Unlock()
+	s.kickCommitter()
+	<-b.done
+	return b.err
 }
 
 // Put stores v under (kind, key), overwriting any existing entity and
@@ -405,25 +436,41 @@ func (s *Store) applyReplayed(rec walRecord) {
 // Durable reports whether the store is backed by a write-ahead log.
 func (s *Store) Durable() bool { return s.wal != nil }
 
-// WALSize returns the current size in bytes of the write-ahead log (0 for
-// memory-only stores). Useful for deciding when to compact.
+// WALSize returns the current size in bytes of the write-ahead log across
+// all its segments (0 for memory-only stores). Useful for deciding when to
+// compact.
 func (s *Store) WALSize() int64 {
 	if s.wal == nil {
 		return 0
 	}
-	s.walMu.Lock()
-	defer s.walMu.Unlock()
-	return s.wal.size
+	return s.wal.totalSize()
 }
 
-// Close flushes and closes the write-ahead log. Subsequent writes return
-// ErrClosed; reads keep working. Close is a no-op for memory-only stores.
+// WALSegments returns the number of on-disk WAL segment files (0 for
+// memory-only stores). Compaction deletes sealed segments, so a freshly
+// compacted log is back to one.
+func (s *Store) WALSegments() int {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.segmentCount()
+}
+
+// Close drains the group-commit queue, then flushes and closes the
+// write-ahead log. Subsequent writes return ErrClosed; reads keep working.
+// Close is a no-op for memory-only stores and idempotent otherwise.
 func (s *Store) Close() error {
 	if s.wal == nil {
 		return nil
 	}
 	s.walMu.Lock()
-	defer s.walMu.Unlock()
+	already := s.walClosing
+	s.walClosing = true
+	s.walMu.Unlock()
+	if !already {
+		close(s.commitStop)
+	}
+	<-s.committerDone
 	return s.wal.close()
 }
 
@@ -432,6 +479,7 @@ type options struct {
 	disableWAL bool
 	walPath    string
 	fsync      bool
+	segLimit   int64
 }
 
 // Option customizes Open.
@@ -441,9 +489,16 @@ type Option func(*options)
 // memory only between explicit Snapshot calls (the pre-WAL behaviour).
 func WithoutWAL() Option { return func(o *options) { o.disableWAL = true } }
 
-// WithWALPath places the write-ahead log at an explicit path instead of the
-// default "<snapshot path>.wal".
+// WithWALPath roots the write-ahead log's segment files at an explicit
+// path instead of the default "<snapshot path>.wal". Segments are named
+// "<path>.000001", "<path>.000002", ….
 func WithWALPath(path string) Option { return func(o *options) { o.walPath = path } }
+
+// WithWALSegmentSize sets the byte threshold at which the active WAL
+// segment is sealed and a fresh one opened (DefaultWALSegmentSize when
+// unset or <= 0). Smaller segments mean compaction reclaims space in finer
+// steps; the last batch before a roll may overshoot the limit.
+func WithWALSegmentSize(n int64) Option { return func(o *options) { o.segLimit = n } }
 
 // WithFsync fsyncs the write-ahead log after every append. Default is a
 // plain write(2) per record, which survives process kills (the log lives in
@@ -472,7 +527,7 @@ func Open(path string, opts ...Option) (*Store, error) {
 	if walPath == "" {
 		walPath = path + ".wal"
 	}
-	w, records, err := openWAL(walPath, o.fsync)
+	w, records, err := openWAL(walPath, o.fsync, o.segLimit)
 	if err != nil {
 		return nil, err
 	}
@@ -490,5 +545,10 @@ func Open(path string, opts ...Option) (*Store, error) {
 		s.lastSeq = rec.Seq
 	}
 	s.wal = w
+	s.nextSeq = s.lastSeq
+	s.commitKick = make(chan struct{}, 1)
+	s.commitStop = make(chan struct{})
+	s.committerDone = make(chan struct{})
+	go s.committer()
 	return s, nil
 }

@@ -8,17 +8,29 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"sync"
 )
 
-// The write-ahead log is a flat sequence of length-prefixed, checksummed
+// The write-ahead log is a sequence of segment files — "<base>.000001",
+// "<base>.000002", … — each a flat run of length-prefixed, checksummed
 // records:
 //
 //	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
 //
-// The payload is the JSON encoding of walRecord. Appends are a single
-// write(2) call, so the only possible failure mode on a hard kill is a torn
-// record at the tail — which the checksum (or a short read) detects, and
-// replay discards by truncating the file back to the last good record.
+// The payload is the JSON encoding of walRecord. Appends go to the
+// highest-numbered (active) segment; once it crosses the size limit it is
+// sealed (synced, closed, never written again) and a fresh segment is
+// opened. Because sealed segments are immutable, compaction after a
+// snapshot deletes them outright instead of rewriting one growing file.
+//
+// Replay walks segments in index order and records in offset order. Batch
+// appends are a single write(2) call, so the only failure mode a hard kill
+// can produce is a torn record at the tail of the LAST segment — which the
+// checksum (or a short read) detects and replay discards. A bad record
+// anywhere in a sealed segment is real corruption (records after it were
+// acknowledged) and fails the open instead of silently dropping them.
 
 // Operations recorded in the log.
 const (
@@ -40,46 +52,173 @@ type walRecord struct {
 
 const walHeaderSize = 8
 
-// wal is an open write-ahead log. All methods are called with the store's
-// walMu held.
-type wal struct {
-	f      *os.File
-	path   string
-	fsync  bool
-	size   int64
-	closed bool
+// DefaultWALSegmentSize is the roll threshold for WAL segments. Small
+// enough that compaction reclaims space promptly, large enough that a
+// segment holds tens of thousands of typical records.
+const DefaultWALSegmentSize int64 = 4 << 20
+
+// walSegment describes one sealed, immutable segment file.
+type walSegment struct {
+	index int
+	path  string
+	size  int64
 }
 
-// openWAL opens (creating if needed) the log at path, replays every intact
-// record, and truncates any torn or corrupt tail so the file ends on a
-// record boundary ready for appends.
-func openWAL(path string, fsync bool) (*wal, []walRecord, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// wal is an open segmented write-ahead log. The committer goroutine calls
+// appendBatch without holding the store's walMu (so writers can keep
+// enqueuing during an fsync); the internal mutex keeps that I/O coherent
+// with reset/close/size readers, which run under walMu at moments when no
+// batch is in flight.
+type wal struct {
+	mu       sync.Mutex
+	base     string
+	fsync    bool
+	segLimit int64
+
+	sealed      []walSegment // immutable older segments, ascending index
+	active      *os.File
+	activeIndex int
+	activeSize  int64
+	closed      bool
+}
+
+// encodeRecord frames one record for appending: header plus JSON payload.
+func encodeRecord(rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: open wal: %w", err)
+		return nil, fmt.Errorf("store: wal encode: %w", err)
 	}
-	records, good, err := replay(f)
+	buf := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[walHeaderSize:], payload)
+	return buf, nil
+}
+
+// segmentPath names segment index under base: "<base>.000042".
+func segmentPath(base string, index int) string {
+	return fmt.Sprintf("%s.%06d", base, index)
+}
+
+// listSegments finds the on-disk segments of the log rooted at base,
+// ascending by index. Files whose suffix is not exactly six digits are not
+// segments and are ignored.
+func listSegments(base string) ([]walSegment, error) {
+	matches, err := filepath.Glob(base + ".*")
 	if err != nil {
-		f.Close()
+		return nil, fmt.Errorf("store: wal scan: %w", err)
+	}
+	var segs []walSegment
+	for _, m := range matches {
+		suffix := m[len(base)+1:]
+		idx, ok := parseSegmentIndex(suffix)
+		if !ok {
+			continue
+		}
+		info, err := os.Stat(m)
+		if err != nil || info.IsDir() {
+			continue
+		}
+		segs = append(segs, walSegment{index: idx, path: m, size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+// parseSegmentIndex accepts exactly six ASCII digits.
+func parseSegmentIndex(s string) (int, bool) {
+	if len(s) != 6 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// openWAL opens the segmented log rooted at base (creating segment 1 if the
+// log is new), replays every intact record across all segments in order,
+// and truncates a torn or corrupt tail — legal only in the last segment —
+// so the active segment ends on a record boundary ready for appends. A
+// pre-segmentation flat log at base itself is adopted as the oldest
+// segment.
+func openWAL(base string, fsync bool, segLimit int64) (*wal, []walRecord, error) {
+	if segLimit <= 0 {
+		segLimit = DefaultWALSegmentSize
+	}
+	segs, err := listSegments(base)
+	if err != nil {
 		return nil, nil, err
 	}
-	// Discard the tail past the last intact record (torn write from a
-	// previous crash) and position for appends.
-	if err := f.Truncate(good); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("store: wal truncate tail: %w", err)
+	if info, err := os.Stat(base); err == nil && !info.IsDir() {
+		idx := 1
+		if len(segs) > 0 {
+			idx = segs[0].index - 1
+			if idx < 0 {
+				return nil, nil, fmt.Errorf("store: wal: flat log %s conflicts with segment %s", base, segs[0].path)
+			}
+		}
+		legacy := walSegment{index: idx, path: segmentPath(base, idx), size: info.Size()}
+		if err := os.Rename(base, legacy.path); err != nil {
+			return nil, nil, fmt.Errorf("store: wal adopt flat log: %w", err)
+		}
+		segs = append([]walSegment{legacy}, segs...)
 	}
-	if _, err := f.Seek(good, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("store: wal seek: %w", err)
+
+	w := &wal{base: base, fsync: fsync, segLimit: segLimit}
+	if len(segs) == 0 {
+		f, err := os.OpenFile(segmentPath(base, 1), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: open wal: %w", err)
+		}
+		w.active, w.activeIndex = f, 1
+		return w, nil, nil
 	}
-	return &wal{f: f, path: path, fsync: fsync, size: good}, records, nil
+	var records []walRecord
+	for i, seg := range segs {
+		f, err := os.OpenFile(seg.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: open wal segment: %w", err)
+		}
+		recs, good, err := replay(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		records = append(records, recs...)
+		if i < len(segs)-1 {
+			// Sealed segments were synced whole before the next one took
+			// appends: anything short of fully intact is real corruption.
+			f.Close()
+			if good != seg.size {
+				return nil, nil, fmt.Errorf("store: wal segment %s corrupt at offset %d of %d", seg.path, good, seg.size)
+			}
+			w.sealed = append(w.sealed, seg)
+			continue
+		}
+		// Last segment: discard the torn tail (a write in flight when the
+		// process died) and keep the file active for appends.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: wal truncate tail: %w", err)
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: wal seek: %w", err)
+		}
+		w.active, w.activeIndex, w.activeSize = f, seg.index, good
+	}
+	return w, records, nil
 }
 
-// replay scans the log from the start, returning every intact record and
-// the offset just past the last one. Corruption (bad checksum, short read,
-// undecodable payload) ends the scan rather than failing the open: records
-// past a corrupt one were never acknowledged.
+// replay scans one segment from the start, returning every intact record
+// and the offset just past the last one. Corruption (bad checksum, short
+// read, undecodable payload) ends the scan rather than failing it; the
+// caller decides whether a short scan is a legal torn tail or corruption.
 func replay(f *os.File) ([]walRecord, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, fmt.Errorf("store: wal seek: %w", err)
@@ -117,67 +256,205 @@ func replay(f *os.File) ([]walRecord, int64, error) {
 	}
 }
 
-// append durably logs one record.
-func (w *wal) append(rec walRecord) error {
+// appendBatch writes one batch of framed records with a single write(2)
+// and, when fsync is on, a single Sync — the group-commit write path. On
+// success the active segment is sealed and rolled if it crossed the size
+// limit (a batch never spans segments; segments may overshoot the limit by
+// up to one batch).
+func (w *wal) appendBatch(buf []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
 	}
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("store: wal encode: %w", err)
-	}
-	buf := make([]byte, walHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[walHeaderSize:], payload)
-	if _, err := w.f.Write(buf); err != nil {
+	if _, err := w.active.Write(buf); err != nil {
 		// A partial write (ENOSPC) would leave torn bytes that make every
 		// LATER acknowledged record unreachable at replay. Rewind to the
 		// last record boundary; if even that fails, poison the log so
 		// writes fail loudly instead of silently losing durability.
-		if w.f.Truncate(w.size) != nil {
+		if w.active.Truncate(w.activeSize) != nil {
 			w.closed = true
-		} else if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+		} else if _, serr := w.active.Seek(w.activeSize, io.SeekStart); serr != nil {
 			w.closed = true
 		}
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	if w.fsync {
-		if err := w.f.Sync(); err != nil {
+		if err := w.active.Sync(); err != nil {
 			return fmt.Errorf("store: wal sync: %w", err)
 		}
 	}
-	w.size += int64(len(buf))
+	w.activeSize += int64(len(buf))
+	if w.activeSize >= w.segLimit {
+		if err := w.rollLocked(); err != nil {
+			// The batch is durable but the log cannot take further
+			// appends coherently; poison it rather than risk appending to
+			// a half-sealed segment.
+			w.closed = true
+			return err
+		}
+	}
 	return nil
 }
 
-// reset empties the log after a snapshot has captured its contents.
+// rollLocked seals the active segment and opens the next one. Seal always
+// syncs — even without the fsync option — so replay can trust every
+// non-final segment to be intact.
+func (w *wal) rollLocked() error {
+	if err := w.active.Sync(); err != nil {
+		return fmt.Errorf("store: wal seal sync: %w", err)
+	}
+	if err := w.active.Close(); err != nil {
+		return fmt.Errorf("store: wal seal close: %w", err)
+	}
+	w.sealed = append(w.sealed, walSegment{
+		index: w.activeIndex,
+		path:  segmentPath(w.base, w.activeIndex),
+		size:  w.activeSize,
+	})
+	f, err := os.OpenFile(segmentPath(w.base, w.activeIndex+1), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: wal roll: %w", err)
+	}
+	w.active = f
+	w.activeIndex++
+	w.activeSize = 0
+	return nil
+}
+
+// poison marks the log unusable so subsequent writes fail loudly.
+func (w *wal) poison() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+}
+
+// isClosed reports whether the log has been closed or poisoned.
+func (w *wal) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+// totalSize is the log's byte size across all segments.
+func (w *wal) totalSize() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.activeSize
+	for _, seg := range w.sealed {
+		n += seg.size
+	}
+	return n
+}
+
+// segmentCount is the number of on-disk segment files (sealed + active).
+func (w *wal) segmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sealed) + 1
+}
+
+// reset empties the log after a snapshot has captured its contents: sealed
+// segments are deleted outright (immutable and fully subsumed) and the
+// active segment is truncated in place. Only called at moments when no
+// batch is in flight (see Store.Snapshot / LoadReplicationSnapshot).
 func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
 	}
-	if err := w.f.Truncate(0); err != nil {
+	for _, seg := range w.sealed {
+		if err := os.Remove(seg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("store: wal reset: %w", err)
+		}
+	}
+	w.sealed = nil
+	if err := w.active.Truncate(0); err != nil {
 		return fmt.Errorf("store: wal reset: %w", err)
 	}
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+	if _, err := w.active.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("store: wal reset seek: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.active.Sync(); err != nil {
 		return fmt.Errorf("store: wal reset sync: %w", err)
 	}
-	w.size = 0
+	w.activeSize = 0
 	return nil
 }
 
-// close syncs and closes the file. Idempotent.
+// close syncs and closes the active segment. Idempotent.
 func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.closed {
 		return nil
 	}
 	w.closed = true
-	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+	if err := w.active.Sync(); err != nil {
+		w.active.Close()
 		return fmt.Errorf("store: wal close sync: %w", err)
 	}
-	return w.f.Close()
+	return w.active.Close()
+}
+
+// WALInfo summarizes a segmented log on disk, as VerifyWAL reads it.
+type WALInfo struct {
+	// Segments is the number of on-disk segment files.
+	Segments int
+	// Records is the count of intact records across all segments.
+	Records int
+	// FirstSeq and LastSeq bound the sequence numbers seen (0 when empty).
+	FirstSeq int64
+	LastSeq  int64
+	// Contiguous reports whether every record's sequence number is exactly
+	// its predecessor's plus one.
+	Contiguous bool
+	// TornBytes is the length of the discardable tail after the last intact
+	// record in the final segment (0 for a clean shutdown).
+	TornBytes int64
+}
+
+// VerifyWAL audits the segmented log rooted at base without applying or
+// modifying anything: sealed segments must be fully intact, a torn tail is
+// tolerated only in the final segment, and the info reports whether
+// sequence numbers are contiguous. The crash-consistency suite and ops
+// tooling use it to inspect a log left behind by a killed process.
+func VerifyWAL(base string) (WALInfo, error) {
+	segs, err := listSegments(base)
+	if err != nil {
+		return WALInfo{}, err
+	}
+	if info, err := os.Stat(base); err == nil && !info.IsDir() {
+		// A not-yet-adopted flat log orders before every segment.
+		segs = append([]walSegment{{index: -1, path: base, size: info.Size()}}, segs...)
+	}
+	out := WALInfo{Segments: len(segs), Contiguous: true}
+	for i, seg := range segs {
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return WALInfo{}, fmt.Errorf("store: verify wal: %w", err)
+		}
+		recs, good, err := replay(f)
+		f.Close()
+		if err != nil {
+			return WALInfo{}, err
+		}
+		if i < len(segs)-1 && good != seg.size {
+			return WALInfo{}, fmt.Errorf("store: wal segment %s corrupt at offset %d of %d", seg.path, good, seg.size)
+		}
+		if i == len(segs)-1 {
+			out.TornBytes = seg.size - good
+		}
+		for _, rec := range recs {
+			if out.Records == 0 {
+				out.FirstSeq = rec.Seq
+			} else if rec.Seq != out.LastSeq+1 {
+				out.Contiguous = false
+			}
+			out.LastSeq = rec.Seq
+			out.Records++
+		}
+	}
+	return out, nil
 }

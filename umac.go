@@ -228,11 +228,15 @@ func OpenStore(path string, opts ...StoreOption) (*Store, error) { return store.
 // explicit Snapshot calls (the pre-WAL behaviour).
 func StoreWithoutWAL() StoreOption { return store.WithoutWAL() }
 
-// StoreWithFsync fsyncs the write-ahead log on every write, extending the
+// StoreWithFsync fsyncs the write-ahead log on every commit, extending the
 // durability guarantee from "survives process kills" to "survives machine
-// crashes" at a per-write latency cost.
+// crashes". Concurrent writers are group-committed and share one fsync per
+// batch, so the latency cost amortizes across them.
 func StoreWithFsync() StoreOption { return store.WithFsync() }
 
-// StoreWithWALPath places the write-ahead log at an explicit path instead
-// of "<state path>.wal".
+// StoreWithWALPath roots the write-ahead log's segment files at an
+// explicit path instead of "<state path>.wal".
 func StoreWithWALPath(path string) StoreOption { return store.WithWALPath(path) }
+
+// StoreWithWALSegmentSize sets the WAL segment roll threshold in bytes.
+func StoreWithWALSegmentSize(n int64) StoreOption { return store.WithWALSegmentSize(n) }
