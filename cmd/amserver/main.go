@@ -87,6 +87,10 @@ func main() {
 
 		ringSpec = flag.String("ring", "", "cluster ring: name=primaryURL[|followerURL...] entries, comma-separated (sharded deployments)")
 		shard    = flag.String("shard", "", "name of the shard this node belongs to (must appear in -ring)")
+
+		eventBuf    = flag.Int("event-buffer", 0, "per-subscriber event buffer before a slow /v1/events consumer starts dropping (0 = default 256)")
+		eventReplay = flag.Int("event-replay", 0, "events retained for Last-Event-ID resume on /v1/events (0 = default 1024)")
+		eventHB     = flag.Duration("event-heartbeat", 0, "SSE heartbeat interval on /v1/events (0 = default 15s)")
 	)
 	flag.Parse()
 	if *statef == "" {
@@ -176,6 +180,11 @@ func main() {
 		Notifier:    &umac.Outbox{},
 		Replication: repl,
 		Cluster:     clusterCfg,
+		Events: umac.AMEventsConfig{
+			SubscriberBuffer: *eventBuf,
+			ReplayWindow:     *eventReplay,
+			Heartbeat:        *eventHB,
+		},
 	})
 	if repl.Role != "" {
 		log.Printf("amserver: replication role %s (applied seq %d)", repl.Role, st.LastSeq())

@@ -26,6 +26,7 @@ import (
 
 	"umac/internal/audit"
 	"umac/internal/core"
+	"umac/internal/events"
 	"umac/internal/identity"
 	"umac/internal/policy"
 	"umac/internal/store"
@@ -126,6 +127,9 @@ type Config struct {
 	// differential-test the two paths; production configurations leave
 	// it off.
 	DisableDecisionIndex bool
+	// Events sizes the streaming event control plane (GET /v1/events).
+	// The zero value uses the broker defaults.
+	Events EventsConfig
 }
 
 // DefaultDecisionCacheTTL is the fallback Host decision-cache TTL.
@@ -146,6 +150,12 @@ type AM struct {
 	notifier  Notifier
 	tracer    *core.Tracer
 	cacheTTL  time.Duration
+
+	// broker fans control-plane events (invalidation, consent,
+	// replication) out to /v1/events subscribers; eventsCfg carries the
+	// SSE serving knobs (see events.go).
+	broker    *events.Broker
+	eventsCfg EventsConfig
 
 	// draining flips the /v1/readyz probe to 503 so load balancers stop
 	// routing new traffic ahead of a shutdown.
@@ -228,18 +238,31 @@ func New(cfg Config) *AM {
 	if !cfg.DisableDecisionIndex {
 		a.index = newDecisionIndex()
 	}
+	a.eventsCfg = cfg.Events.withDefaults()
+	// The broker must exist before the replication loop starts: the
+	// follower sync path publishes replication signals from its goroutine.
+	a.broker = events.New(events.Options{
+		SubscriberBuffer: a.eventsCfg.SubscriberBuffer,
+		ReplayWindow:     a.eventsCfg.ReplayWindow,
+	})
 	a.startReplication()
 	return a
 }
 
-// Close stops the follower replication loop (if any) and flushes the
-// asynchronous audit pipeline. The backing store is the caller's to close
-// (it may be shared).
+// Close stops the follower replication loop (if any), shuts the event
+// broker down (every /v1/events subscriber drains and disconnects), and
+// flushes the asynchronous audit pipeline. The backing store is the
+// caller's to close (it may be shared).
 func (a *AM) Close() error {
 	a.stopReplication()
+	a.broker.Close()
 	a.auditPipe.Close()
 	return nil
 }
+
+// Events exposes the control-plane broker so embedding processes (sims,
+// tests) can subscribe in-process without an HTTP round-trip.
+func (a *AM) Events() *events.Broker { return a.broker }
 
 // SetDraining marks the AM as (not) draining: while draining, the
 // /v1/readyz probe answers 503 so load balancers pull the instance out of

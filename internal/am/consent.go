@@ -157,6 +157,7 @@ func (a *AM) ResolveConsent(actor core.UserID, ticket string, approve bool) erro
 		t.resolved = true
 		t.approved = false
 		a.mu.Unlock()
+		a.publishConsent(t.owner, ticket, false, core.TokenResponse{})
 		return nil
 	}
 	realm, err := a.LookupRealm(t.req.Host, t.req.Realm)
@@ -171,6 +172,7 @@ func (a *AM) ResolveConsent(actor core.UserID, ticket string, approve bool) erro
 		t.resolved = true
 		t.approved = false
 		a.mu.Unlock()
+		a.publishConsent(t.owner, ticket, false, core.TokenResponse{})
 		return fmt.Errorf("%w: consent given but policy still denies: %s", core.ErrAccessDenied, res.Reason)
 	}
 	tok, err := a.grantTokenWithConsent(t.req, realm)
@@ -182,7 +184,28 @@ func (a *AM) ResolveConsent(actor core.UserID, ticket string, approve bool) erro
 	t.approved = true
 	t.token = tok
 	a.mu.Unlock()
+	a.publishConsent(t.owner, ticket, true, tok)
 	return nil
+}
+
+// publishConsent pushes a ticket resolution onto the event control plane,
+// so a requester subscribed to GET /v1/events/consent learns the outcome
+// the moment the owner acts — no polling round-trip. The event carries
+// the minted token directly: ConsentStatus is consume-on-read, and a
+// stream subscriber must not have to race the poll endpoint for it.
+func (a *AM) publishConsent(owner core.UserID, ticket string, approved bool, tok core.TokenResponse) {
+	a.broker.Publish(core.Event{
+		Type:   core.EventConsent,
+		Owner:  owner,
+		Ticket: ticket,
+		Consent: &core.ConsentStatus{
+			Ticket:    ticket,
+			Resolved:  true,
+			Approved:  approved,
+			Token:     tok.Token,
+			ExpiresAt: tok.ExpiresAt,
+		},
+	})
 }
 
 // ConsentStatus reports a ticket's state; Requesters poll this (the

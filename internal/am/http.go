@@ -56,6 +56,11 @@ type RouteInfo struct {
 //	  GET    /v1/replication/snapshot   follower bootstrap image
 //	  GET    /v1/replication/wal        resumable WAL tail (long poll)
 //
+//	Event control plane (SSE; see events.go for the framing):
+//	  GET    /v1/events                 session or repl-bearer subscription
+//	  GET    /v1/events/consent        ticket-capability consent stream
+//	  GET    /v1/events/invalidation  pairing-signed invalidation stream
+//
 //	Operational (unauthenticated):
 //	  GET    /v1/healthz, /v1/readyz, /v1/metrics
 //
@@ -162,15 +167,25 @@ func (a *AM) Handler() http.Handler {
 	reg("PUT", "/cluster/owners/{owner}", a.replAuthed(a.handleOwnerOverride))
 	reg("POST", "/cluster/import", a.replAuthed(a.handleClusterImport))
 
+	// --- Event control plane (SSE) ---
+	// v1-only. One server-push surface for invalidation, consent and
+	// replication signals; each route authenticates for its audience
+	// (session or repl bearer / consent ticket capability / pairing HMAC).
+	reg("GET", "/events", http.HandlerFunc(a.handleEvents))
+	reg("GET", "/events/consent", http.HandlerFunc(a.handleEventsConsent))
+	reg("GET", "/events/invalidation", a.signed(verifier, a.handleEventsInvalidation))
+
 	// --- Operational ---
 	// healthz predates v1 and keeps its alias; readyz and metrics are new
 	// endpoints, so per the frozen-alias policy they exist under /v1 only.
 	regSame("GET", "/healthz", http.HandlerFunc(a.handleHealthz))
 	reg("GET", "/readyz", http.HandlerFunc(a.handleReadyz))
 	reg("GET", "/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		eventsHealth := a.broker.Health()
 		webutil.WriteJSON(w, http.StatusOK, metricsBody{
 			AM:              a.name,
 			Replication:     a.ReplicationHealth(),
+			Events:          &eventsHealth,
 			MetricsSnapshot: metrics.Snapshot(),
 		})
 	}))
@@ -269,6 +284,7 @@ func (a *AM) handleReadyz(w http.ResponseWriter, r *http.Request) {
 type metricsBody struct {
 	AM          string                  `json:"am"`
 	Replication *core.ReplicationHealth `json:"replication,omitempty"`
+	Events      *core.EventsHealth      `json:"events,omitempty"`
 	webutil.MetricsSnapshot
 }
 

@@ -70,6 +70,19 @@ func (a *AM) pushInvalidation(owner core.UserID, realms []core.RealmID, resource
 	if a.index != nil {
 		a.index.invalidate(owner, realms, resources)
 	}
+	// Publish to the event control plane regardless of whether legacy POST
+	// pushes are enabled: stream subscribers (GET /v1/events) get scoped
+	// invalidation without the AM dialing out, and the POST path below
+	// stays as the fallback for Hosts that do not subscribe.
+	a.broker.Publish(core.Event{
+		Type:  core.EventInvalidation,
+		Owner: owner,
+		Invalidation: &core.InvalidationPush{
+			Owner:     owner,
+			Realms:    realms,
+			Resources: resources,
+		},
+	})
 	a.mu.Lock()
 	inv := a.inval
 	a.mu.Unlock()

@@ -116,6 +116,32 @@ func (a *AM) Promote() {
 	a.stopReplication()
 	a.store.EnableReplication(a.replCfg.Window)
 	a.roleFollower.Store(false)
+	a.publishReplSignal(core.SignalPromoted)
+}
+
+// publishReplSignal emits a replication event on the control plane, with
+// the node's current health as payload. Subscribed operators and clients
+// learn about promotions and connectivity flips without polling /healthz.
+func (a *AM) publishReplSignal(signal string) {
+	a.broker.Publish(core.Event{
+		Type:        core.EventReplication,
+		Signal:      signal,
+		Replication: a.ReplicationHealth(),
+	})
+}
+
+// setReplConnected flips the follower's connectivity flag, publishing a
+// replication signal only on actual transitions (the sync loop calls this
+// every round; steady state must not flood the stream).
+func (a *AM) setReplConnected(connected bool) {
+	if a.replConnected.Swap(connected) == connected {
+		return
+	}
+	if connected {
+		a.publishReplSignal(core.SignalConnected)
+	} else {
+		a.publishReplSignal(core.SignalDisconnected)
+	}
 }
 
 // IsFollower reports whether the AM currently rejects writes.
@@ -335,7 +361,7 @@ func (a *AM) replLoop() {
 			if a.replCtx.Err() != nil {
 				return
 			}
-			a.replConnected.Store(false)
+			a.setReplConnected(false)
 			select {
 			case <-a.replCtx.Done():
 				return
@@ -387,7 +413,12 @@ func (a *AM) syncOnce(client *http.Client, wait time.Duration) error {
 		a.replApplied.Add(1)
 	}
 	a.replPrimarySeq.Store(page.LastSeq)
-	a.replConnected.Store(true)
+	a.setReplConnected(true)
+	// A page that leaves us behind the primary's head means sustained lag:
+	// surface it so dashboards see the gap before it becomes an outage.
+	if page.LastSeq > a.store.LastSeq() {
+		a.publishReplSignal(core.SignalLag)
+	}
 	return nil
 }
 
@@ -410,7 +441,7 @@ func (a *AM) bootstrap(client *http.Client) error {
 	}
 	a.replApplied.Add(int64(len(snap.Records)))
 	a.replPrimarySeq.Store(snap.Seq)
-	a.replConnected.Store(true)
+	a.setReplConnected(true)
 	if p := a.store.Path(); p != "" && a.store.Durable() {
 		if err := a.store.Snapshot(p); err != nil {
 			return fmt.Errorf("am: persist bootstrap snapshot: %w", err)

@@ -1,0 +1,354 @@
+// Package events is the in-process broker of the streaming event control
+// plane: one publish surface over which the AM pushes typed control
+// signals — decision-cache invalidation, consent resolution, replication
+// state — to any number of subscribers (SSE handlers, in-process
+// consumers, tests).
+//
+// The design promise is that a subscriber can NEVER hurt a publisher:
+// Publish does a bounded amount of work per subscriber (append to a
+// fixed-capacity ring under a short mutex) and returns. A subscriber that
+// stops draining overflows its own ring — oldest events are discarded and
+// the subscriber is handed a gap marker on its next read, telling it to
+// re-establish state out of band (the decision-cache TTL and the consent
+// poll endpoint remain the correctness backstops). A bounded replay
+// window supports Last-Event-ID resume across reconnects; a cursor older
+// than the window yields the same gap marker.
+package events
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"sync"
+	"time"
+
+	"umac/internal/core"
+)
+
+// Defaults used when Options fields are zero.
+const (
+	// DefaultSubscriberBuffer is the per-subscriber ring capacity.
+	DefaultSubscriberBuffer = 256
+	// DefaultReplayWindow is how many published events the broker retains
+	// for Last-Event-ID resume.
+	DefaultReplayWindow = 1024
+)
+
+// ErrClosed is returned by Subscriber.Next once the subscription (or the
+// whole broker) has been closed.
+var ErrClosed = errors.New("events: subscription closed")
+
+// Options sizes a Broker. The zero value uses the defaults.
+type Options struct {
+	// SubscriberBuffer caps each subscriber's ring; on overflow the
+	// oldest buffered event is dropped and the subscriber gets a gap
+	// marker on its next read.
+	SubscriberBuffer int
+	// ReplayWindow caps the broker-wide resume buffer.
+	ReplayWindow int
+}
+
+// Filter selects which events a subscriber receives. Zero-valued fields
+// match everything.
+type Filter struct {
+	// Types restricts to the listed event types (empty = all).
+	Types []core.EventType
+	// Owner restricts owner-scoped events to one owner. Node-wide events
+	// (empty Owner) are delivered regardless, so a PEP filtered to its
+	// pairing's owner still sees replication signals.
+	Owner core.UserID
+	// Ticket restricts consent events to one ticket (the requester-facing
+	// consent stream).
+	Ticket string
+}
+
+// Matches reports whether the filter selects e.
+func (f Filter) Matches(e core.Event) bool {
+	if len(f.Types) > 0 && !slices.Contains(f.Types, e.Type) {
+		return false
+	}
+	if f.Owner != "" && e.Owner != "" && e.Owner != f.Owner {
+		return false
+	}
+	if f.Ticket != "" && e.Ticket != f.Ticket {
+		return false
+	}
+	return true
+}
+
+// Broker fans published events out to subscribers. Create with New; safe
+// for concurrent use.
+type Broker struct {
+	subBuf int
+
+	mu        sync.Mutex
+	seq       int64
+	replay    []core.Event // ascending seq, len ≤ replayCap
+	replayCap int
+	subs      map[*Subscriber]struct{}
+	closed    bool
+	published int64
+	dropped   int64
+}
+
+// New constructs a Broker.
+func New(opts Options) *Broker {
+	if opts.SubscriberBuffer <= 0 {
+		opts.SubscriberBuffer = DefaultSubscriberBuffer
+	}
+	if opts.ReplayWindow <= 0 {
+		opts.ReplayWindow = DefaultReplayWindow
+	}
+	return &Broker{
+		subBuf:    opts.SubscriberBuffer,
+		replayCap: opts.ReplayWindow,
+		subs:      make(map[*Subscriber]struct{}),
+	}
+}
+
+// Publish assigns the next sequence number to e and enqueues it to every
+// matching subscriber. It never blocks on a subscriber: a full ring drops
+// its oldest event and flags a gap. Returns the assigned sequence number
+// (0 after Close).
+func (b *Broker) Publish(e core.Event) int64 {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0
+	}
+	b.seq++
+	e.Seq = b.seq
+	b.published++
+	b.replay = append(b.replay, e)
+	if len(b.replay) > b.replayCap {
+		// Shift rather than reslice so the backing array cannot grow
+		// without bound.
+		copy(b.replay, b.replay[1:])
+		b.replay = b.replay[:b.replayCap]
+	}
+	var dropped int64
+	for s := range b.subs {
+		if !s.filter.Matches(e) {
+			continue
+		}
+		dropped += s.enqueue(e)
+	}
+	b.dropped += dropped
+	b.mu.Unlock()
+	return e.Seq
+}
+
+// LastSeq returns the newest assigned sequence number.
+func (b *Broker) LastSeq() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Subscribe registers a subscriber for events matching f. after is the
+// resume cursor: events with Seq > after still in the replay window are
+// pre-buffered, atomically with registration, so nothing published
+// between replay and the first Next is missed. Pass after = -1 (or the
+// current LastSeq) for a live-only subscription.
+//
+// The returned bool reports a resume gap: after ≥ 0 but outside what
+// this broker can account for — older than the replay window, or AHEAD
+// of the current head (a cursor minted by a previous process lifetime:
+// seq restarts at 0, so anything published since the restart is already
+// lost to that subscriber). The caller must surface that to its consumer
+// exactly like a mid-stream gap. Close the subscriber when done.
+func (b *Broker) Subscribe(f Filter, after int64) (*Subscriber, bool) {
+	s := &Subscriber{
+		b:      b,
+		filter: f,
+		cap:    b.subBuf,
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gap := false
+	if after > b.seq {
+		// The cursor is ahead of everything this broker ever published: it
+		// belongs to a previous lifetime, and events since the restart are
+		// unaccountably lost. Signal the gap so the consumer re-syncs and
+		// adopts a cursor from THIS lifetime.
+		gap = true
+	} else if after >= 0 && after < b.seq {
+		oldest := b.seq - int64(len(b.replay)) + 1
+		if after+1 < oldest {
+			// The cursor predates the replay window: replaying what is
+			// retained would hide the hole, so skip straight to live.
+			gap = true
+		} else {
+			for _, e := range b.replay {
+				if e.Seq > after && f.Matches(e) {
+					s.buf = append(s.buf, e)
+				}
+			}
+		}
+	}
+	s.delivered = b.seq
+	if len(s.buf) > 0 {
+		s.delivered = s.buf[0].Seq - 1
+		s.signal()
+	}
+	if b.closed {
+		close(s.done)
+		s.closed = true
+		return s, gap
+	}
+	b.subs[s] = struct{}{}
+	return s, gap
+}
+
+// Close shuts the broker down: every subscriber's Next returns ErrClosed
+// once its buffer drains, and subsequent Publish calls are dropped.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		s.mu.Lock()
+		if !s.closed {
+			s.closed = true
+			close(s.done)
+		}
+		s.mu.Unlock()
+		delete(b.subs, s)
+	}
+}
+
+// Health snapshots the event-plane gauges for GET /v1/metrics.
+func (b *Broker) Health() core.EventsHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := core.EventsHealth{
+		Subscribers: make(map[core.EventType]int),
+		Published:   b.published,
+		Dropped:     b.dropped,
+		LastSeq:     b.seq,
+	}
+	all := []core.EventType{core.EventInvalidation, core.EventConsent, core.EventReplication}
+	for s := range b.subs {
+		types := s.filter.Types
+		if len(types) == 0 {
+			types = all
+		}
+		for _, t := range types {
+			h.Subscribers[t]++
+		}
+		s.mu.Lock()
+		lag := b.seq - s.delivered
+		s.mu.Unlock()
+		if lag > h.MaxLag {
+			h.MaxLag = lag
+		}
+	}
+	return h
+}
+
+// Subscriber is one registered consumer: a bounded ring of undelivered
+// events plus a gap flag. Obtain with Broker.Subscribe.
+type Subscriber struct {
+	b      *Broker
+	filter Filter
+	cap    int
+	notify chan struct{}
+	done   chan struct{}
+
+	mu        sync.Mutex
+	buf       []core.Event
+	gapped    bool
+	closed    bool
+	delivered int64 // seq of the last event handed to Next
+}
+
+// enqueue appends e, dropping the oldest buffered event on overflow.
+// Called with b.mu held; returns how many events were dropped (0 or 1).
+func (s *Subscriber) enqueue(e core.Event) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	var dropped int64
+	if len(s.buf) >= s.cap {
+		copy(s.buf, s.buf[1:])
+		s.buf = s.buf[:len(s.buf)-1]
+		s.gapped = true
+		dropped = 1
+	}
+	s.buf = append(s.buf, e)
+	s.signal()
+	return dropped
+}
+
+// signal nudges a parked Next without ever blocking the caller.
+func (s *Subscriber) signal() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until an event is available, the context ends, or the
+// subscription closes. The bool reports a gap IMMEDIATELY BEFORE the
+// returned event: one or more earlier events were dropped (slow consumer)
+// and the caller must trigger its re-sync path before applying this one.
+func (s *Subscriber) Next(ctx context.Context) (core.Event, bool, error) {
+	for {
+		s.mu.Lock()
+		if len(s.buf) > 0 {
+			e := s.buf[0]
+			// Slide rather than reslice so enqueue's capacity check stays
+			// meaningful against the original backing array.
+			copy(s.buf, s.buf[1:])
+			s.buf = s.buf[:len(s.buf)-1]
+			gap := s.gapped
+			s.gapped = false
+			s.delivered = e.Seq
+			s.mu.Unlock()
+			return e, gap, nil
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return core.Event{}, false, ErrClosed
+		}
+		select {
+		case <-s.notify:
+		case <-s.done:
+		case <-ctx.Done():
+			return core.Event{}, false, ctx.Err()
+		}
+	}
+}
+
+// Delivered returns the sequence number of the last event Next handed
+// out (the subscriber's live cursor).
+func (s *Subscriber) Delivered() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+// Close unregisters the subscriber; a parked Next returns ErrClosed
+// after the remaining buffer drains.
+func (s *Subscriber) Close() {
+	s.b.mu.Lock()
+	delete(s.b.subs, s)
+	s.b.mu.Unlock()
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
+	s.mu.Unlock()
+}

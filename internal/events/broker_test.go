@@ -1,0 +1,347 @@
+package events
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"umac/internal/core"
+)
+
+func inval(owner core.UserID) core.Event {
+	return core.Event{
+		Type:  core.EventInvalidation,
+		Owner: owner,
+		Invalidation: &core.InvalidationPush{
+			Owner: owner, Realms: []core.RealmID{"travel"},
+		},
+	}
+}
+
+func mustNext(t *testing.T, s *Subscriber) (core.Event, bool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	e, gap, err := s.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	return e, gap
+}
+
+func TestPublishSubscribeOrder(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	sub, gap := b.Subscribe(Filter{}, -1)
+	if gap {
+		t.Fatal("live subscription reported a resume gap")
+	}
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(inval("bob"))
+	}
+	for i := int64(1); i <= 10; i++ {
+		e, gap := mustNext(t, sub)
+		if gap {
+			t.Fatalf("unexpected gap before seq %d", e.Seq)
+		}
+		if e.Seq != i {
+			t.Fatalf("seq = %d, want %d", e.Seq, i)
+		}
+		if e.Time.IsZero() {
+			t.Fatalf("seq %d has zero publish time", e.Seq)
+		}
+	}
+}
+
+func TestFilterTypesOwnerTicket(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	sub, _ := b.Subscribe(Filter{
+		Types: []core.EventType{core.EventConsent},
+		Owner: "bob", Ticket: "tick-1",
+	}, -1)
+	defer sub.Close()
+	b.Publish(inval("bob"))                                                        // wrong type
+	b.Publish(core.Event{Type: core.EventConsent, Owner: "eve", Ticket: "tick-1"}) // wrong owner
+	b.Publish(core.Event{Type: core.EventConsent, Owner: "bob", Ticket: "other"})  // wrong ticket
+	want := b.Publish(core.Event{Type: core.EventConsent, Owner: "bob", Ticket: "tick-1"})
+	e, _ := mustNext(t, sub)
+	if e.Seq != want || e.Ticket != "tick-1" {
+		t.Fatalf("got seq %d ticket %q, want seq %d ticket tick-1", e.Seq, e.Ticket, want)
+	}
+}
+
+func TestOwnerFilterPassesNodeWideEvents(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	sub, _ := b.Subscribe(Filter{Owner: "bob"}, -1)
+	defer sub.Close()
+	b.Publish(core.Event{Type: core.EventReplication, Signal: core.SignalPromoted})
+	e, _ := mustNext(t, sub)
+	if e.Type != core.EventReplication {
+		t.Fatalf("owner-filtered subscriber missed node-wide event, got %+v", e)
+	}
+}
+
+func TestResumeReplaysExactlyOnce(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		b.Publish(inval("bob"))
+	}
+	// Resume after seq 2: must replay 3,4,5 then continue live with 6.
+	sub, gap := b.Subscribe(Filter{}, 2)
+	if gap {
+		t.Fatal("resume within the replay window reported a gap")
+	}
+	defer sub.Close()
+	b.Publish(inval("bob")) // seq 6, published after subscribe
+	for want := int64(3); want <= 6; want++ {
+		e, gap := mustNext(t, sub)
+		if gap || e.Seq != want {
+			t.Fatalf("got seq %d (gap=%v), want %d", e.Seq, gap, want)
+		}
+	}
+}
+
+func TestResumePastWindowReportsGap(t *testing.T) {
+	b := New(Options{ReplayWindow: 4})
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(inval("bob"))
+	}
+	// Cursor 2 is far behind the retained tail (7..10): the hole must be
+	// reported, and delivery must skip to live rather than silently
+	// replaying a stream with missing middles.
+	sub, gap := b.Subscribe(Filter{}, 2)
+	defer sub.Close()
+	if !gap {
+		t.Fatal("resume past the replay window did not report a gap")
+	}
+	next := b.Publish(inval("bob"))
+	e, _ := mustNext(t, sub)
+	if e.Seq != next {
+		t.Fatalf("after gap, got seq %d, want live seq %d", e.Seq, next)
+	}
+}
+
+func TestResumeAheadOfHeadReportsGap(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	b.Publish(inval("bob")) // head = 1
+	// Cursor 40 was minted by a previous process lifetime (seq restarts at
+	// 0): everything published since the restart is already lost to this
+	// subscriber, so the hole must be reported, not silently skipped.
+	sub, gap := b.Subscribe(Filter{}, 40)
+	defer sub.Close()
+	if !gap {
+		t.Fatal("resume ahead of the broker head did not report a gap")
+	}
+	next := b.Publish(inval("bob"))
+	e, _ := mustNext(t, sub)
+	if e.Seq != next {
+		t.Fatalf("after gap, got seq %d, want live seq %d", e.Seq, next)
+	}
+}
+
+func TestSlowSubscriberGapMarker(t *testing.T) {
+	b := New(Options{SubscriberBuffer: 4})
+	defer b.Close()
+	sub, _ := b.Subscribe(Filter{}, -1)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(inval("bob"))
+	}
+	// 6 events were dropped; the first delivered event carries the gap.
+	e, gap := mustNext(t, sub)
+	if !gap {
+		t.Fatal("overflowed subscriber got no gap marker")
+	}
+	if e.Seq != 7 {
+		t.Fatalf("first surviving event is seq %d, want 7 (oldest dropped first)", e.Seq)
+	}
+	// The gap is reported once; the rest of the tail is clean.
+	for want := int64(8); want <= 10; want++ {
+		e, gap := mustNext(t, sub)
+		if gap || e.Seq != want {
+			t.Fatalf("got seq %d (gap=%v), want %d gapless", e.Seq, gap, want)
+		}
+	}
+	if h := b.Health(); h.Dropped != 6 {
+		t.Fatalf("Health.Dropped = %d, want 6", h.Dropped)
+	}
+}
+
+// TestStalledSubscriberNeverBlocksPublisher is the backpressure contract
+// of the ISSUE: with one subscriber that never drains, publishing must
+// stay a bounded-latency, always-completing operation.
+func TestStalledSubscriberNeverBlocksPublisher(t *testing.T) {
+	b := New(Options{SubscriberBuffer: 8})
+	defer b.Close()
+	stalled, _ := b.Subscribe(Filter{}, -1) // never calls Next
+	defer stalled.Close()
+	live, _ := b.Subscribe(Filter{}, -1)
+	defer live.Close()
+
+	var drained sync.WaitGroup
+	drained.Add(1)
+	got := 0
+	go func() {
+		defer drained.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for {
+			_, _, err := live.Next(ctx)
+			if err != nil {
+				return
+			}
+			got++
+		}
+	}()
+
+	const n = 20000
+	var maxPublish time.Duration
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		b.Publish(inval("bob"))
+		if d := time.Since(t0); d > maxPublish {
+			maxPublish = d
+		}
+	}
+	total := time.Since(start)
+	// The bound is deliberately loose (CI containers stall arbitrarily),
+	// but a publisher actually blocking on the stalled ring would take
+	// seconds or hang outright.
+	if total > 5*time.Second {
+		t.Fatalf("publishing %d events with a stalled subscriber took %v", n, total)
+	}
+	t.Logf("published %d events in %v (max single publish %v)", n, total, maxPublish)
+
+	b.Close()
+	drained.Wait()
+	if got == 0 {
+		t.Fatal("live subscriber starved while a sibling was stalled")
+	}
+	h := b.Health()
+	if h.Dropped < n-8-1 {
+		t.Fatalf("stalled subscriber dropped %d events, want ≥ %d", h.Dropped, n-8-1)
+	}
+}
+
+func TestHealthGauges(t *testing.T) {
+	b := New(Options{SubscriberBuffer: 4})
+	defer b.Close()
+	inv, _ := b.Subscribe(Filter{Types: []core.EventType{core.EventInvalidation}}, -1)
+	defer inv.Close()
+	all, _ := b.Subscribe(Filter{}, -1)
+	defer all.Close()
+	h := b.Health()
+	if h.Subscribers[core.EventInvalidation] != 2 {
+		t.Fatalf("invalidation subscribers = %d, want 2", h.Subscribers[core.EventInvalidation])
+	}
+	if h.Subscribers[core.EventConsent] != 1 {
+		t.Fatalf("consent subscribers = %d, want 1", h.Subscribers[core.EventConsent])
+	}
+	for i := 0; i < 3; i++ {
+		b.Publish(inval("bob"))
+	}
+	h = b.Health()
+	if h.Published != 3 || h.LastSeq != 3 {
+		t.Fatalf("published/last_seq = %d/%d, want 3/3", h.Published, h.LastSeq)
+	}
+	if h.MaxLag != 3 {
+		t.Fatalf("max lag = %d, want 3 (nothing consumed yet)", h.MaxLag)
+	}
+	mustNext(t, all)
+	mustNext(t, all)
+	mustNext(t, all)
+	h = b.Health()
+	if h.MaxLag != 3 { // inv still has not consumed
+		t.Fatalf("max lag = %d, want 3 from the idle subscriber", h.MaxLag)
+	}
+}
+
+func TestNextContextCancel(t *testing.T) {
+	b := New(Options{})
+	defer b.Close()
+	sub, _ := b.Subscribe(Filter{}, -1)
+	defer sub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, _, err := sub.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next under cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestCloseUnblocksAndDrains(t *testing.T) {
+	b := New(Options{})
+	sub, _ := b.Subscribe(Filter{}, -1)
+	b.Publish(inval("bob"))
+	b.Close()
+	// The buffered event still drains, then ErrClosed.
+	e, _ := mustNext(t, sub)
+	if e.Seq != 1 {
+		t.Fatalf("drained seq %d, want 1", e.Seq)
+	}
+	if _, _, err := sub.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Next after close = %v, want ErrClosed", err)
+	}
+	if got := b.Publish(inval("bob")); got != 0 {
+		t.Fatalf("Publish after Close assigned seq %d, want 0", got)
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New(Options{SubscriberBuffer: 64})
+	defer b.Close()
+	const (
+		publishers = 4
+		perPub     = 500
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPub; i++ {
+				b.Publish(inval(core.UserID(fmt.Sprintf("owner-%d", p))))
+			}
+		}(p)
+	}
+	// Churning subscribers come and go while publishers run.
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub, _ := b.Subscribe(Filter{}, -1)
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			last := int64(0)
+			for {
+				e, _, err := sub.Next(ctx)
+				if err != nil {
+					sub.Close()
+					return
+				}
+				if e.Seq <= last {
+					t.Errorf("out-of-order delivery: %d after %d", e.Seq, last)
+					sub.Close()
+					return
+				}
+				last = e.Seq
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.LastSeq(); got != publishers*perPub {
+		t.Fatalf("LastSeq = %d, want %d", got, publishers*perPub)
+	}
+}

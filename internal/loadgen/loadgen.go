@@ -16,6 +16,11 @@
 //   - kill_migration: a hard SIGKILL of a shard primary in the middle of
 //     a live owner migration, recovery from the WAL, a migration retry,
 //     and a zero-acknowledged-write-loss audit afterwards.
+//   - consent_storm: consent-gated token requests with subscribers on the
+//     GET /v1/events/consent stream — resolution→notification latency
+//     measured over the stream and over the TokenStatus poll loop, under
+//     concurrent policy-write churn, with lost notifications counted as
+//     Lost.
 //
 // Every scenario reports per-phase throughput, p50/p99 latency, error and
 // loss counters in a superset of the repo's -benchjson schema (see
@@ -68,6 +73,7 @@ var Scenarios = map[string]Scenario{
 	"pairing_churn":    PairingChurn,
 	"delegation_chain": DelegationChain,
 	"kill_migration":   KillMigration,
+	"consent_storm":    ConsentStorm,
 }
 
 // ScenarioNames returns the registry keys sorted, for deterministic

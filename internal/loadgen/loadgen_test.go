@@ -52,7 +52,7 @@ func startRig(t *testing.T) *Rig {
 	return rig
 }
 
-// runScenarioSmoke is the shared body of the four scenario smokes.
+// runScenarioSmoke is the shared body of the scenario smokes.
 func runScenarioSmoke(t *testing.T, name string) {
 	if testing.Short() {
 		t.Skip("loadgen scenarios spawn real server processes")
@@ -102,6 +102,7 @@ func TestLoadgenZipfHotOwner(t *testing.T)    { runScenarioSmoke(t, "zipf_hot_ow
 func TestLoadgenPairingChurn(t *testing.T)    { runScenarioSmoke(t, "pairing_churn") }
 func TestLoadgenDelegationChain(t *testing.T) { runScenarioSmoke(t, "delegation_chain") }
 func TestLoadgenKillMigration(t *testing.T)   { runScenarioSmoke(t, "kill_migration") }
+func TestLoadgenConsentStorm(t *testing.T)    { runScenarioSmoke(t, "consent_storm") }
 
 // TestLoadgenAuditPagination drives >1000 audited operations for one
 // owner against the spawned cluster, then walks the audit log with the

@@ -1,0 +1,100 @@
+package pep
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"umac/internal/amclient"
+	"umac/internal/core"
+)
+
+// This file is the PEP's consumer of the AM's event control plane: a
+// subscription to GET /v1/events/invalidation (signed with the pairing
+// channel, like every Host→AM call) that applies scoped decision-cache
+// evictions the moment a policy changes — without the AM having to dial
+// back in through the legacy POST push, which stays mounted as the
+// fallback. The cache TTL remains the correctness backstop throughout:
+// losing the stream can only delay freshness, never grant stale access
+// beyond the TTL.
+
+// DefaultStreamRetry is how long an invalidation subscription waits after
+// the stream failed persistently (ErrStreamFailed) before resubscribing.
+const DefaultStreamRetry = 15 * time.Second
+
+// StartInvalidationStream subscribes the enforcer to owner's AM
+// invalidation events and applies them to the decision cache until Close.
+// On a persistent stream failure the whole cache is dropped once
+// (fail-safe: evictions may have been missed) and the subscription
+// retries after Config.StreamRetry — the legacy push handler and the TTL
+// carry freshness in the meantime. Call once per paired owner.
+func (e *Enforcer) StartInvalidationStream(owner core.UserID) error {
+	p, ok := e.PairingFor(owner)
+	if !ok {
+		return core.ErrNotPaired
+	}
+	stream := e.amFor(p).Stream(amclient.StreamConfig{Path: "/events/invalidation"})
+	e.streamWG.Add(1)
+	go func() {
+		defer e.streamWG.Done()
+		defer stream.Close()
+		for {
+			ev, err := stream.Next(e.streamCtx)
+			switch {
+			case e.streamCtx.Err() != nil:
+				return
+			case errors.Is(err, amclient.ErrStreamFailed):
+				// Events may have been missed while disconnected; drop the
+				// cache once rather than serve decisions the AM already
+				// revoked, then wait out the retry pause.
+				e.cache.Invalidate()
+				e.trace(core.PhaseObtainingDecision, "host:"+string(e.host), "am",
+					"invalidation-stream-down", err.Error())
+				t := time.NewTimer(e.streamRetry)
+				select {
+				case <-e.streamCtx.Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			case err != nil:
+				// Transient (context deadline etc.): the stream resumes by
+				// cursor on the next call.
+			default:
+				e.applyEvent(ev)
+			}
+		}
+	}()
+	return nil
+}
+
+// applyEvent applies one stream event to the decision cache, mirroring
+// HandleInvalidate's semantics: scoped eviction when the event names an
+// owner, full drop on anything doubtful (resync markers, unscoped
+// payloads) — when in doubt, never leave a stale permit behind.
+func (e *Enforcer) applyEvent(ev core.Event) {
+	switch ev.Type {
+	case core.EventResync:
+		// Events were lost between our cursor and the stream head: any of
+		// them could have been an eviction we needed.
+		e.cache.Invalidate()
+		e.trace(core.PhaseObtainingDecision, "am", "host:"+string(e.host),
+			"cache-invalidated", "stream resync")
+	case core.EventInvalidation:
+		push := ev.Invalidation
+		if push == nil || push.Owner == "" {
+			e.cache.Invalidate()
+			e.trace(core.PhaseObtainingDecision, "am", "host:"+string(e.host),
+				"cache-invalidated", "stream (unscoped)")
+			return
+		}
+		n := e.cache.InvalidateScope(Scope{
+			Owner:     push.Owner,
+			Realms:    push.Realms,
+			Resources: push.Resources,
+		})
+		e.trace(core.PhaseObtainingDecision, "am", "host:"+string(e.host),
+			"cache-invalidated", fmt.Sprintf("stream owner=%s realms=%d resources=%d evicted=%d",
+				push.Owner, len(push.Realms), len(push.Resources), n))
+	}
+}

@@ -19,6 +19,7 @@
 package pep
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"umac/internal/amclient"
 	"umac/internal/core"
@@ -75,6 +77,10 @@ type Config struct {
 	// against a durable (WAL-backed) store keeps its AM trust
 	// relationships. nil keeps pairings in memory only.
 	Store *store.Store
+	// StreamRetry is how long an invalidation-stream goroutine pauses
+	// after the stream fails persistently before trying again; 0 means
+	// DefaultStreamRetry. See StartInvalidationStream.
+	StreamRetry time.Duration
 }
 
 // Store kinds used by the enforcer for persisted pairing state.
@@ -112,6 +118,15 @@ type Enforcer struct {
 	verifierOnce sync.Once
 	verifier     *httpsig.Verifier
 
+	// streamCtx governs every subscription goroutine (see events.go):
+	// Close cancels it, which severs parked stream reads and reconnect
+	// backoff sleeps immediately — the same discipline as the AM's
+	// follower-sync loop, so Close never waits out a timeout.
+	streamCtx    context.Context
+	streamCancel context.CancelFunc
+	streamWG     sync.WaitGroup
+	streamRetry  time.Duration
+
 	// flights collapses concurrent decision queries for one cache key into
 	// a single signed round-trip (see singleflight.go).
 	flights flightGroup
@@ -144,6 +159,10 @@ func New(cfg Config) *Enforcer {
 	if name == "" {
 		name = string(cfg.Host)
 	}
+	retry := cfg.StreamRetry
+	if retry <= 0 {
+		retry = DefaultStreamRetry
+	}
 	e := &Enforcer{
 		host:          cfg.Host,
 		name:          name,
@@ -152,11 +171,23 @@ func New(cfg Config) *Enforcer {
 		cache:         cache,
 		tracer:        cfg.Tracer,
 		store:         cfg.Store,
+		streamRetry:   retry,
 		pairings:      make(map[core.UserID]Pairing),
 		realmPairings: make(map[realmKey]Pairing),
 	}
+	e.streamCtx, e.streamCancel = context.WithCancel(context.Background())
 	e.loadPairings()
 	return e
+}
+
+// Close stops every stream subscription goroutine the enforcer started,
+// cancelling parked reads and backoff sleeps so it returns promptly. The
+// enforcement surface (Check, Require) keeps working — only push-driven
+// freshness stops.
+func (e *Enforcer) Close() error {
+	e.streamCancel()
+	e.streamWG.Wait()
+	return nil
 }
 
 // loadPairings rehydrates persisted pairings from the backing store.

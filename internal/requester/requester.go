@@ -15,10 +15,12 @@ package requester
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"time"
@@ -66,6 +68,12 @@ type Config struct {
 	ConsentPollInterval time.Duration
 	// ConsentTimeout bounds the total consent wait (default 5s).
 	ConsentTimeout time.Duration
+	// DisableConsentStream pins consent waits to the polling path instead
+	// of subscribing to the AM's /v1/events/consent stream. The stream is
+	// the default (resolution arrives the moment the owner acts); polling
+	// remains as the automatic fallback when the stream fails, and as the
+	// measured baseline in benchmarks.
+	DisableConsentStream bool
 	// Tracer records protocol events.
 	Tracer *core.Tracer
 }
@@ -78,7 +86,13 @@ type Client struct {
 	http         *http.Client
 	pollInterval time.Duration
 	pollTimeout  time.Duration
+	noStream     bool
 	tracer       *core.Tracer
+
+	// ctx parents every consent wait (stream read or poll sleep); Close
+	// cancels it so shutdown never waits out a parked connection.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu     sync.RWMutex
 	tokens map[string]string // origin+"|"+realm → token
@@ -103,17 +117,28 @@ func New(cfg Config) *Client {
 	for k, v := range cfg.Claims {
 		claims[k] = v
 	}
-	return &Client{
+	c := &Client{
 		id:           cfg.ID,
 		subject:      cfg.Subject,
 		claims:       claims,
 		http:         h,
 		pollInterval: poll,
 		pollTimeout:  timeout,
+		noStream:     cfg.DisableConsentStream,
 		tracer:       cfg.Tracer,
 		tokens:       make(map[string]string),
 		last:         make(map[string]string),
 	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	return c
+}
+
+// Close cancels any in-flight consent wait — a parked stream read or a
+// poll sleep unblocks immediately — and makes future consent waits fail
+// fast. Cached tokens keep working; only waiting stops.
+func (c *Client) Close() error {
+	c.cancel()
+	return nil
 }
 
 // ID returns the Requester identity.
@@ -293,7 +318,7 @@ func (c *Client) ObtainToken(amURL string, host core.HostID, realm core.RealmID,
 		c.trace(core.PhaseObtainingToken, "am", "requester:"+string(c.id), "token-received", "")
 		return tr.Token, nil
 	case tr.PendingConsent != "":
-		return c.pollConsent(amURL, tr.PendingConsent)
+		return c.waitConsent(amURL, tr.PendingConsent)
 	case len(tr.RequiredTerms) > 0:
 		return "", &TermsError{Terms: tr.RequiredTerms}
 	default:
@@ -319,12 +344,101 @@ func isDenied(err error) bool {
 	return errors.As(err, &ae) && ae.Code == core.CodeUnknown && ae.Status == http.StatusForbidden
 }
 
-// pollConsent implements the asynchronous Requester↔AM interaction of
-// Section V.D: wait for the owner to approve or deny the consent ticket.
-func (c *Client) pollConsent(amURL, ticket string) (string, error) {
+// waitConsent waits for the owner to resolve the consent ticket — the
+// asynchronous Requester↔AM interaction of Section V.D. The default path
+// subscribes to the AM's consent event stream (GET /v1/events/consent):
+// resolution arrives the instant the owner acts, with the minted token in
+// the event payload. Persistent stream failure falls back to the polling
+// path automatically; DisableConsentStream pins it there. Either way the
+// wait is bounded by ConsentTimeout and cancelled by Close.
+func (c *Client) waitConsent(amURL, ticket string) (string, error) {
+	ctx, cancel := context.WithTimeout(c.ctx, c.pollTimeout)
+	defer cancel()
+	if c.noStream {
+		return c.pollConsent(ctx, amURL, ticket)
+	}
+	c.trace(core.PhaseObtainingToken, "requester:"+string(c.id), "am",
+		"consent-stream-start", ticket)
+	stream := c.am(amURL).Stream(amclient.StreamConfig{
+		Path:  "/events/consent",
+		Query: url.Values{core.ParamTicket: {ticket}},
+	})
+	defer stream.Close()
+	if err := stream.Connect(ctx); err != nil {
+		if errors.Is(err, amclient.ErrStreamFailed) {
+			c.trace(core.PhaseObtainingToken, "requester:"+string(c.id), "am",
+				"consent-stream-fallback", err.Error())
+			return c.pollConsent(ctx, amURL, ticket)
+		}
+		return "", c.consentWaitErr(ctx, err)
+	}
+	// The owner may have resolved the ticket between RequestToken handing
+	// it out and the subscription registering just now — an event published
+	// in that window had no subscriber and will never replay. One status
+	// check closes the race; everything after it arrives via the stream.
+	if st, err := c.am(amURL).TokenStatus(ticket); err == nil && st.Resolved {
+		if !st.Approved {
+			return "", ErrConsentDenied
+		}
+		c.trace(core.PhaseObtainingToken, "am", "requester:"+string(c.id),
+			"consent-approved", ticket)
+		return st.Token, nil
+	}
+	for {
+		ev, err := stream.Next(ctx)
+		switch {
+		case err == nil:
+		case errors.Is(err, amclient.ErrStreamFailed):
+			// The stream cannot be established (old AM, proxy trouble):
+			// degrade to the polling interaction for the remaining budget.
+			c.trace(core.PhaseObtainingToken, "requester:"+string(c.id), "am",
+				"consent-stream-fallback", err.Error())
+			return c.pollConsent(ctx, amURL, ticket)
+		default:
+			return "", c.consentWaitErr(ctx, err)
+		}
+		switch ev.Type {
+		case core.EventConsent:
+			if st := ev.Consent; st != nil && st.Resolved {
+				if !st.Approved {
+					return "", ErrConsentDenied
+				}
+				c.trace(core.PhaseObtainingToken, "am", "requester:"+string(c.id),
+					"consent-approved", ticket)
+				return st.Token, nil
+			}
+		case core.EventResync:
+			// The resolution may be among the lost events: check the poll
+			// endpoint once, then keep streaming for a live resolution.
+			st, err := c.am(amURL).TokenStatus(ticket)
+			if err == nil && st.Resolved {
+				if !st.Approved {
+					return "", ErrConsentDenied
+				}
+				return st.Token, nil
+			}
+		}
+	}
+}
+
+// consentWaitErr classifies a consent-wait context failure: the overall
+// deadline means the owner never acted (ErrConsentTimeout); cancellation
+// means Close was called.
+func (c *Client) consentWaitErr(ctx context.Context, err error) error {
+	if c.ctx.Err() != nil {
+		return fmt.Errorf("requester: client closed: %w", c.ctx.Err())
+	}
+	if ctx.Err() != nil {
+		return ErrConsentTimeout
+	}
+	return fmt.Errorf("requester: consent wait: %w", err)
+}
+
+// pollConsent is the polling interaction: ask the ticket-status endpoint
+// on an interval until resolution, deadline, or Close.
+func (c *Client) pollConsent(ctx context.Context, amURL, ticket string) (string, error) {
 	c.trace(core.PhaseObtainingToken, "requester:"+string(c.id), "am",
 		"consent-poll-start", ticket)
-	deadline := time.Now().Add(c.pollTimeout)
 	am := c.am(amURL)
 	for {
 		st, err := am.TokenStatus(ticket)
@@ -339,9 +453,12 @@ func (c *Client) pollConsent(amURL, ticket string) (string, error) {
 				"consent-approved", ticket)
 			return st.Token, nil
 		}
-		if time.Now().After(deadline) {
-			return "", ErrConsentTimeout
+		t := time.NewTimer(c.pollInterval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return "", c.consentWaitErr(ctx, ctx.Err())
+		case <-t.C:
 		}
-		time.Sleep(c.pollInterval)
 	}
 }

@@ -238,8 +238,10 @@ func TestConsentFlowOverHTTP(t *testing.T) {
 	// to the SMS" simulation.
 	done := make(chan error, 1)
 	go func() {
-		// Poll pending consents until one appears, then approve it.
-		deadline := time.Now().Add(5 * time.Second)
+		// Poll pending consents until one appears, then approve it. The
+		// deadline is generous: under -race on a loaded single-CPU box the
+		// whole flow can stall for seconds without anything being wrong.
+		deadline := time.Now().Add(15 * time.Second)
 		for time.Now().Before(deadline) {
 			pending := w.AM.PendingConsents("bob")
 			if len(pending) > 0 {
@@ -251,7 +253,10 @@ func TestConsentFlowOverHTTP(t *testing.T) {
 		done <- errors.New("no consent request appeared")
 	}()
 
-	alice := requester.New(requester.Config{ID: "alice-browser", Subject: "alice"})
+	alice := requester.New(requester.Config{
+		ID: "alice-browser", Subject: "alice",
+		ConsentTimeout: 15 * time.Second,
+	})
 	body, err := alice.Fetch(h.ResourceURL("diary"), core.ActionRead)
 	if err != nil {
 		t.Fatal(err)

@@ -160,6 +160,18 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush implements http.Flusher when the underlying writer does, so
+// streaming handlers (SSE on /v1/events) can push frames through the
+// metrics wrapper without buffering until the request ends.
+func (w *statusWriter) Flush() {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // status returns the recorded status (200 when the handler wrote a bare
 // body or nothing at all — net/http's implicit default).
 func (w *statusWriter) status() int {

@@ -84,6 +84,10 @@ type (
 	AM = am.AM
 	// AMConfig configures an AM.
 	AMConfig = am.Config
+	// AMEventsConfig tunes the AM's streaming event control plane
+	// (the GET /v1/events endpoint family): per-subscriber buffering,
+	// the resume replay window, and the SSE heartbeat interval.
+	AMEventsConfig = am.EventsConfig
 	// Outbox is the simulated e-mail/SMS consent channel.
 	Outbox = am.Outbox
 	// ReplicationConfig selects an AM's role in a replicated deployment:
@@ -149,6 +153,17 @@ type (
 	Page = amclient.Page
 	// AuditFilter narrows an AMClient audit query.
 	AuditFilter = amclient.AuditFilter
+	// EventStream is a reconnecting subscription to an AM event endpoint:
+	// it resumes from its cursor across drops and surfaces gaps as resync
+	// events.
+	EventStream = amclient.EventStream
+	// StreamConfig configures an AMClient.Stream subscription.
+	StreamConfig = amclient.StreamConfig
+	// Event is one envelope on the AM's event control plane.
+	Event = core.Event
+	// EventType partitions the event control plane: invalidation, consent,
+	// replication, resync.
+	EventType = core.EventType
 	// APIError is the structured error envelope of the v1 API.
 	APIError = core.APIError
 )
