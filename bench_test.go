@@ -33,6 +33,7 @@ import (
 	"umac/internal/loadgen"
 	"umac/internal/pep"
 	"umac/internal/policy"
+	"umac/internal/rebalance"
 	"umac/internal/requester"
 	"umac/internal/sim"
 	"umac/internal/store"
@@ -1411,6 +1412,49 @@ func BenchmarkDecisionIndex(b *testing.B) {
 				dec, err := a.Decide(pairing.PairingID, q)
 				if err != nil || !dec.Permit() {
 					b.Fatalf("dec=%+v err=%v", dec, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRebalancePlan measures the pure planner over a populated ring:
+// diffing old-vs-target ownership for every owner and emitting the minimal
+// move set when the ring grows by one shard. This is the CPU-bound slice of
+// a rebalance start (the migrations themselves are network-bound); it must
+// stay cheap enough to run inline in the POST /v1/rebalance handler.
+func BenchmarkRebalancePlan(b *testing.B) {
+	for _, owners := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("owners-%d", owners), func(b *testing.B) {
+			recordBench(b)
+			shards := []core.ShardInfo{
+				{Name: "shard-a", Primary: "http://a"},
+				{Name: "shard-b", Primary: "http://b"},
+				{Name: "shard-c", Primary: "http://c"},
+			}
+			ring, err := cluster.New(shards, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			byShard := make(map[string][]core.UserID, len(shards))
+			for i := 0; i < owners; i++ {
+				o := core.UserID(fmt.Sprintf("owner-%06d", i))
+				name := ring.Owner(o).Name
+				byShard[name] = append(byShard[name], o)
+			}
+			target := ring.State()
+			target.Version = 1
+			target.Shards = append(append([]core.ShardInfo(nil), target.Shards...),
+				core.ShardInfo{Name: "shard-d", Primary: "http://d"})
+			req := core.RebalanceRequest{Target: target}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := rebalance.BuildPlan(req, byShard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(plan.Moves) == 0 {
+					b.Fatal("empty plan")
 				}
 			}
 		})

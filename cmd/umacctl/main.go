@@ -12,12 +12,23 @@
 //	umacctl audit  -am URL -user bob                 consolidated audit summary
 //	umacctl migrate-owner -owner bob -from URL -to URL -to-shard NAME \
 //	    -repl-secret-file F                          live-move an owner between shards
+//	umacctl rebalance -am URL -repl-secret-file F \
+//	    -add name=URL[,name=URL...]                  grow the ring onto new shards
+//	umacctl drain -am URL -repl-secret-file F -shard NAME   empty a shard, then drop it
+//	umacctl rebalance -am URL -repl-secret-file F -status   coordinator progress
+//	umacctl rebalance -am URL -repl-secret-file F -abort    stop at the next move boundary
 //
 // migrate-owner drives the 7-step live migration drill (see
 // docs/OPERATIONS.md, "Sharded cluster"): scoped snapshot, import,
 // WAL-tail catch-up, ownership flip on both shards, final drain — with
 // zero acknowledged-write loss and no decision served from the losing
 // shard after cutover.
+//
+// rebalance and drain drive the bulk coordinator (POST /v1/rebalance):
+// they compute the target ring from the node's current one, start the
+// checkpointed plan, and poll live progress until it lands. Both are
+// resumable — re-running the same command after a coordinator crash
+// continues the plan without re-migrating finished owners.
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"umac"
 	"umac/internal/amclient"
@@ -52,13 +64,17 @@ func main() {
 		cmdAudit(os.Args[2:])
 	case "migrate-owner":
 		cmdMigrateOwner(os.Args[2:])
+	case "rebalance":
+		cmdRebalance(os.Args[2:])
+	case "drain":
+		cmdDrain(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: umacctl <parse|format|export|import|audit|migrate-owner> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: umacctl <parse|format|export|import|audit|migrate-owner|rebalance|drain> [flags]")
 	os.Exit(2)
 }
 
@@ -144,17 +160,7 @@ func cmdMigrateOwner(args []string) {
 	if *owner == "" || *from == "" || *to == "" || *toShard == "" {
 		log.Fatal("umacctl migrate-owner: -owner, -from, -to and -to-shard required")
 	}
-	sec := *secret
-	if *secretF != "" {
-		data, err := os.ReadFile(*secretF)
-		if err != nil {
-			log.Fatalf("umacctl migrate-owner: read -repl-secret-file: %v", err)
-		}
-		sec = strings.TrimSpace(string(data))
-	}
-	if sec == "" {
-		log.Fatal("umacctl migrate-owner: a replication secret is required (-repl-secret-file)")
-	}
+	sec := readSecret("migrate-owner", *secret, *secretF)
 	src := amclient.New(amclient.Config{BaseURL: *from, ReplSecret: sec})
 	dst := amclient.New(amclient.Config{BaseURL: *to, ReplSecret: sec})
 	rep, err := amclient.MigrateOwner(src, dst, core.UserID(*owner), *toShard,
@@ -164,6 +170,148 @@ func cmdMigrateOwner(args []string) {
 	}
 	out, _ := json.MarshalIndent(rep, "", "  ")
 	fmt.Println(string(out))
+}
+
+// readSecret resolves the shared replication secret from -repl-secret /
+// -repl-secret-file, fatally if neither yields one.
+func readSecret(cmd, secret, secretFile string) string {
+	sec := secret
+	if secretFile != "" {
+		data, err := os.ReadFile(secretFile)
+		if err != nil {
+			log.Fatalf("umacctl %s: read -repl-secret-file: %v", cmd, err)
+		}
+		sec = strings.TrimSpace(string(data))
+	}
+	if sec == "" {
+		log.Fatalf("umacctl %s: a replication secret is required (-repl-secret-file)", cmd)
+	}
+	return sec
+}
+
+// adminClient builds a repl-authed client for coordinator operations.
+func adminClient(amURL, secret string) *amclient.Client {
+	return amclient.New(amclient.Config{BaseURL: amURL, ReplSecret: secret})
+}
+
+// watchRebalance polls the coordinator until the plan reaches a terminal
+// state, printing progress lines, and exits non-zero on failure.
+func watchRebalance(cl *amclient.Client, interval time.Duration) {
+	var last string
+	for {
+		st, err := cl.RebalanceStatus()
+		if err != nil {
+			log.Fatalf("umacctl rebalance: status poll: %v", err)
+		}
+		line := fmt.Sprintf("ring v%d %s: %d/%d moved, %d remaining", st.RingVersion, st.State, st.Done, st.Total, st.Remaining)
+		if st.Moving != "" {
+			line += fmt.Sprintf(" (moving %s)", st.Moving)
+		}
+		if line != last {
+			fmt.Fprintln(os.Stderr, line)
+			last = line
+		}
+		switch st.State {
+		case core.RebalanceDone, core.RebalanceAborted:
+			out, _ := json.MarshalIndent(st, "", "  ")
+			fmt.Println(string(out))
+			return
+		case core.RebalanceFailed:
+			log.Fatalf("umacctl rebalance: plan failed: %s", st.Error)
+		}
+		time.Sleep(interval)
+	}
+}
+
+func cmdRebalance(args []string) {
+	fs := flag.NewFlagSet("rebalance", flag.ExitOnError)
+	amURL := fs.String("am", "", "coordinator node's base URL")
+	secret := fs.String("repl-secret", "", "shared replication secret (prefer -repl-secret-file)")
+	secretF := fs.String("repl-secret-file", "", "file holding the shared replication secret")
+	add := fs.String("add", "", "shards to add: name=primaryURL[,name=primaryURL...]")
+	status := fs.Bool("status", false, "print coordinator progress and exit")
+	abort := fs.Bool("abort", false, "stop the running plan at the next move boundary")
+	interval := fs.Duration("interval", time.Second, "progress poll interval")
+	fs.Parse(args)
+	if *amURL == "" {
+		log.Fatal("umacctl rebalance: -am required")
+	}
+	cl := adminClient(*amURL, readSecret("rebalance", *secret, *secretF))
+	switch {
+	case *status:
+		st, err := cl.RebalanceStatus()
+		if err != nil {
+			log.Fatalf("umacctl rebalance: %v", err)
+		}
+		out, _ := json.MarshalIndent(st, "", "  ")
+		fmt.Println(string(out))
+	case *abort:
+		st, err := cl.RebalanceAbort()
+		if err != nil {
+			log.Fatalf("umacctl rebalance: %v", err)
+		}
+		out, _ := json.MarshalIndent(st, "", "  ")
+		fmt.Println(string(out))
+	case *add != "":
+		info, err := cl.ClusterInfo()
+		if err != nil {
+			log.Fatalf("umacctl rebalance: fetch current ring: %v", err)
+		}
+		target := core.RingState{
+			Version: info.RingVersion + 1, Vnodes: info.Vnodes,
+			Shards: info.Shards, Draining: info.Draining,
+		}
+		for _, spec := range strings.Split(*add, ",") {
+			name, url, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok || name == "" || url == "" {
+				log.Fatalf("umacctl rebalance: bad -add entry %q, want name=primaryURL", spec)
+			}
+			target.Shards = append(target.Shards, core.ShardInfo{
+				Name: name, Primary: url, Endpoints: []string{url},
+			})
+		}
+		if _, err := cl.RebalanceStart(core.RebalanceRequest{Target: target}); err != nil {
+			log.Fatalf("umacctl rebalance: %v", err)
+		}
+		watchRebalance(cl, *interval)
+	default:
+		log.Fatal("umacctl rebalance: one of -add, -status or -abort required (use drain to empty a shard)")
+	}
+}
+
+func cmdDrain(args []string) {
+	fs := flag.NewFlagSet("drain", flag.ExitOnError)
+	amURL := fs.String("am", "", "coordinator node's base URL (not the draining shard)")
+	secret := fs.String("repl-secret", "", "shared replication secret (prefer -repl-secret-file)")
+	secretF := fs.String("repl-secret-file", "", "file holding the shared replication secret")
+	shard := fs.String("shard", "", "shard name to drain and drop")
+	interval := fs.Duration("interval", time.Second, "progress poll interval")
+	fs.Parse(args)
+	if *amURL == "" || *shard == "" {
+		log.Fatal("umacctl drain: -am and -shard required")
+	}
+	cl := adminClient(*amURL, readSecret("drain", *secret, *secretF))
+	info, err := cl.ClusterInfo()
+	if err != nil {
+		log.Fatalf("umacctl drain: fetch current ring: %v", err)
+	}
+	found := false
+	for _, s := range info.Shards {
+		if s.Name == *shard {
+			found = true
+		}
+	}
+	if !found {
+		log.Fatalf("umacctl drain: shard %q not in the current ring", *shard)
+	}
+	target := core.RingState{
+		Version: info.RingVersion + 1, Vnodes: info.Vnodes,
+		Shards: info.Shards, Draining: append(info.Draining, *shard),
+	}
+	if _, err := cl.RebalanceStart(core.RebalanceRequest{Target: target}); err != nil {
+		log.Fatalf("umacctl drain: %v", err)
+	}
+	watchRebalance(cl, *interval)
 }
 
 func cmdAudit(args []string) {

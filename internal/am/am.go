@@ -25,10 +25,12 @@ import (
 	"time"
 
 	"umac/internal/audit"
+	"umac/internal/cluster"
 	"umac/internal/core"
 	"umac/internal/events"
 	"umac/internal/identity"
 	"umac/internal/policy"
+	"umac/internal/rebalance"
 	"umac/internal/store"
 	"umac/internal/token"
 )
@@ -165,11 +167,18 @@ type AM struct {
 	routes []RouteInfo
 
 	// clusterCfg is the node's shard membership (see cluster.go); the
-	// zero value disables ownership gating. migMu is the migration
+	// zero value disables ownership gating. ringPtr holds the ring
+	// currently in force — seeded from clusterCfg.Ring, superseded by
+	// persisted installs (PUT /v1/cluster/ring, replication) — swapped
+	// atomically so routing reads never lock. migMu is the migration
 	// barrier: gated mutations hold it read-side for their whole
-	// duration, SetOwnerShard write-locks it to flip ownership.
+	// duration, SetOwnerShard and ring installs write-lock it to flip
+	// ownership. rebal is the embedded rebalance coordinator (sharded
+	// primaries only; see rebalance.go in this package).
 	clusterCfg ClusterConfig
+	ringPtr    atomic.Pointer[cluster.Ring]
 	migMu      sync.RWMutex
+	rebal      *rebalance.Coordinator
 
 	// Replication state (see replication.go). roleFollower gates writes;
 	// the remaining fields are the follower sync loop's telemetry.
@@ -245,7 +254,17 @@ func New(cfg Config) *AM {
 		SubscriberBuffer: a.eventsCfg.SubscriberBuffer,
 		ReplayWindow:     a.eventsCfg.ReplayWindow,
 	})
+	// Seed the live ring from config, then let a persisted install (a
+	// rebalance the previous process ran before dying) supersede it.
+	if cfg.Cluster.enabled() {
+		a.ringPtr.Store(cfg.Cluster.Ring)
+		a.restoreRing()
+	}
 	a.startReplication()
+	// Sharded primaries embed the rebalance coordinator; an unfinished
+	// checkpointed plan resumes automatically — the crash-recovery half of
+	// the coordinator's resumability contract.
+	a.setupRebalance()
 	return a
 }
 

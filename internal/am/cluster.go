@@ -3,7 +3,9 @@ package am
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 
 	"umac/internal/audit"
@@ -32,8 +34,11 @@ type ClusterConfig struct {
 	// Shard names the shard this node belongs to. It must match one of the
 	// ring's shard names.
 	Shard string
-	// Ring is the cluster-wide owner ring; every node and client of the
-	// deployment must be built from the same shard list.
+	// Ring is the cluster-wide owner ring the node boots with; every node
+	// and client of the deployment must be built from the same shard list.
+	// It is only the seed: a persisted ring state (installed by a
+	// rebalance via PUT /v1/cluster/ring) with a higher version supersedes
+	// it at startup and at runtime.
 	Ring *cluster.Ring
 }
 
@@ -47,8 +52,104 @@ func (c ClusterConfig) enabled() bool { return c.Ring != nil && c.Shard != "" }
 // its primary.
 const kindShardOverride = "shard-override"
 
+// kindClusterRing is the store kind persisting the installed ring state
+// (core.RingState) under clusterRingKey. Being ordinary store state it
+// survives a SIGKILL through the WAL and replicates to the shard's
+// followers, so the whole replication group routes by the same ring after
+// a rebalance — and after a crash.
+const kindClusterRing = "cluster-ring"
+
+// clusterRingKey is the fixed key of the installed ring state.
+const clusterRingKey = "current"
+
 // sharded reports whether ownership gating is active on this node.
-func (a *AM) sharded() bool { return a.clusterCfg.enabled() }
+func (a *AM) sharded() bool { return a.ringPtr.Load() != nil && a.clusterCfg.Shard != "" }
+
+// ring returns the ring currently in force (nil on an unsharded node).
+// The pointer is swapped atomically by ring installs; readers must not
+// cache it across requests.
+func (a *AM) ring() *cluster.Ring { return a.ringPtr.Load() }
+
+// restoreRing installs the persisted ring state when it is newer than the
+// ring currently in force — the crash-recovery path (New) and the
+// follower bootstrap path (the snapshot may carry a newer ring record).
+func (a *AM) restoreRing() {
+	cur := a.ringPtr.Load()
+	if cur == nil {
+		return // unsharded: a persisted ring without shard membership is meaningless
+	}
+	var st core.RingState
+	if _, err := a.store.Get(kindClusterRing, clusterRingKey, &st); err != nil {
+		return
+	}
+	if st.Version <= cur.Version() {
+		return
+	}
+	if ring, err := cluster.NewState(st); err == nil {
+		a.ringPtr.Store(ring)
+	}
+}
+
+// installRingRecord applies a replicated or imported cluster-ring record:
+// the follower-side mirror of UpdateRing. Older versions are skipped
+// (snapshot-then-tail replays may present them transiently).
+func (a *AM) installRingRecord(rec core.ReplRecord) {
+	if rec.Op != core.ReplOpPut || rec.Key != clusterRingKey {
+		return
+	}
+	cur := a.ringPtr.Load()
+	if cur == nil {
+		return
+	}
+	var st core.RingState
+	if json.Unmarshal(rec.Data, &st) != nil || st.Version <= cur.Version() {
+		return
+	}
+	if ring, err := cluster.NewState(st); err == nil {
+		a.ringPtr.Store(ring)
+	}
+}
+
+// UpdateRing installs a new ring state: the rebalance coordinator's
+// topology push. Version discipline makes it idempotent and
+// monotonic — a higher version persists and takes effect atomically, the
+// current version is acknowledged without change, an older one answers
+// conflict. The node's own shard may be absent from the new state (the
+// final ring of its own drain), after which it disclaims every owner.
+// The install write-locks the migration barrier, so no gated mutation
+// straddles the routing flip.
+func (a *AM) UpdateRing(st core.RingState) (core.ClusterInfo, error) {
+	if !a.sharded() {
+		return core.ClusterInfo{}, core.APIErrorf(core.CodeNotFound,
+			"am: %s is not part of a sharded cluster", a.name)
+	}
+	cur := a.ring()
+	if st.Version < cur.Version() {
+		return core.ClusterInfo{}, core.APIErrorf(core.CodeConflict,
+			"am: ring v%d is older than the installed v%d", st.Version, cur.Version())
+	}
+	if st.Version == cur.Version() {
+		return a.ClusterInfo()
+	}
+	ring, err := cluster.NewState(st)
+	if err != nil {
+		return core.ClusterInfo{}, core.APIErrorf(core.CodeBadRequest, "am: %v", err)
+	}
+	a.migMu.Lock()
+	_, err = a.store.Put(kindClusterRing, clusterRingKey, st)
+	if err == nil {
+		a.ringPtr.Store(ring)
+	}
+	a.migMu.Unlock()
+	if err != nil {
+		return core.ClusterInfo{}, err
+	}
+	a.audit.Append(audit.Event{
+		Type:   audit.EventOwnerMigrated,
+		Detail: fmt.Sprintf("ring v%d installed (%d shards, %d draining)", st.Version, len(st.Shards), len(st.Draining)),
+	})
+	return a.ClusterInfo()
+}
 
 // ShardName returns the name of the shard this node belongs to ("" when
 // unsharded).
@@ -61,13 +162,14 @@ func (a *AM) shardOf(owner core.UserID) (core.ShardInfo, bool) {
 	if !a.sharded() {
 		return core.ShardInfo{}, false
 	}
+	ring := a.ring()
 	var name string
 	if _, err := a.store.Get(kindShardOverride, string(owner), &name); err == nil {
-		if s, ok := a.clusterCfg.Ring.Shard(name); ok {
+		if s, ok := ring.Shard(name); ok {
 			return s, true
 		}
 	}
-	return a.clusterCfg.Ring.Owner(owner), true
+	return ring.Owner(owner), true
 }
 
 // gateOwner guards an owner-scoped MUTATING operation: it checks shard
@@ -117,10 +219,13 @@ func (a *AM) ClusterInfo() (core.ClusterInfo, error) {
 		return core.ClusterInfo{}, core.APIErrorf(core.CodeNotFound,
 			"am: %s is not part of a sharded cluster", a.name)
 	}
+	ring := a.ring()
 	info := core.ClusterInfo{
-		Shard:  a.clusterCfg.Shard,
-		Vnodes: a.clusterCfg.Ring.Vnodes(),
-		Shards: a.clusterCfg.Ring.Shards(),
+		Shard:       a.clusterCfg.Shard,
+		RingVersion: ring.Version(),
+		Vnodes:      ring.Vnodes(),
+		Shards:      ring.Shards(),
+		Draining:    ring.Draining(),
 	}
 	for _, e := range a.store.List(kindShardOverride) {
 		var name string
@@ -146,7 +251,7 @@ func (a *AM) SetOwnerShard(owner core.UserID, shard string) error {
 	if owner == "" {
 		return core.APIErrorf(core.CodeBadRequest, "am: owner required")
 	}
-	if _, ok := a.clusterCfg.Ring.Shard(shard); !ok {
+	if _, ok := a.ring().Shard(shard); !ok {
 		return core.APIErrorf(core.CodeBadRequest, "am: unknown shard %q", shard)
 	}
 	// Write-lock the migration barrier: every in-flight gated mutation
@@ -162,6 +267,106 @@ func (a *AM) SetOwnerShard(owner core.UserID, shard string) error {
 		Type: audit.EventOwnerMigrated, Owner: owner, Detail: "owner pinned to shard " + shard,
 	})
 	return nil
+}
+
+// ClearOwnerShard removes an owner's shard override, so the hash ring
+// alone places the owner again — the rebalance coordinator's cleanup once
+// the pushed ring agrees with the migrated placement. Clearing an absent
+// override is a no-op: the call is idempotent under coordinator retries.
+func (a *AM) ClearOwnerShard(owner core.UserID) error {
+	if !a.sharded() {
+		return core.APIErrorf(core.CodeNotFound, "am: %s is not part of a sharded cluster", a.name)
+	}
+	if owner == "" {
+		return core.APIErrorf(core.CodeBadRequest, "am: owner required")
+	}
+	a.migMu.Lock()
+	err := a.store.Delete(kindShardOverride, string(owner))
+	a.migMu.Unlock()
+	if errors.Is(err, store.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	a.audit.Append(audit.Event{
+		Type: audit.EventOwnerMigrated, Owner: owner, Detail: "owner shard override cleared",
+	})
+	return nil
+}
+
+// --- Per-shard load accounting (the rebalance planner's input) ---
+
+// ownerOf classifies a store entity to the owner whose closure it belongs
+// to — the forward direction of replOwnerKeep's predicate, sharing its
+// kind-by-kind ownership encoding. Ownerless entities (system state,
+// grants predating the cluster) report ok=false. It runs under store
+// locks and must not call back into the store.
+func ownerOf(e store.Entity) (core.UserID, bool) {
+	switch e.Kind {
+	case kindLinkGen, kindLinkSpec, kindGroup:
+		owner, _, ok := strings.Cut(e.Key, "/")
+		return core.UserID(owner), ok
+	case kindCustodian, kindShardOverride:
+		return core.UserID(e.Key), true
+	case kindPairing, kindRealm, kindPolicy, kindGrant:
+		var doc ownerDoc
+		if json.Unmarshal(e.Data, &doc) != nil {
+			return "", false
+		}
+		if e.Kind == kindPairing {
+			return doc.User, doc.User != ""
+		}
+		return doc.Owner, doc.Owner != ""
+	}
+	return "", false
+}
+
+// OwnerStats reports the owners this shard effectively owns (ring
+// placement plus overrides) with their record counts — the per-shard load
+// data the rebalance planner diffs against the target ring, and the
+// source of the /v1/metrics cluster gauges. Owners whose records linger
+// locally but who are owned elsewhere (migrated-away leftovers) are
+// excluded: planning from them would re-move owners that already moved.
+// Override records count toward their owner, so a just-migrated owner
+// with no data yet still appears on its new shard.
+func (a *AM) OwnerStats() (core.OwnerStatsResponse, error) {
+	if !a.sharded() {
+		return core.OwnerStatsResponse{}, core.APIErrorf(core.CodeNotFound,
+			"am: %s is not part of a sharded cluster", a.name)
+	}
+	counts := a.store.OwnerStats(func(e store.Entity) (string, bool) {
+		owner, ok := ownerOf(e)
+		return string(owner), ok
+	})
+	resp := core.OwnerStatsResponse{
+		Shard:       a.clusterCfg.Shard,
+		RingVersion: a.ring().Version(),
+	}
+	for owner, n := range counts {
+		if s, ok := a.shardOf(core.UserID(owner)); ok && s.Name == a.clusterCfg.Shard {
+			resp.Owners = append(resp.Owners, core.OwnerLoad{Owner: core.UserID(owner), Records: n})
+		}
+	}
+	sort.Slice(resp.Owners, func(i, j int) bool { return resp.Owners[i].Owner < resp.Owners[j].Owner })
+	return resp, nil
+}
+
+// ClusterHealth condenses OwnerStats into the /v1/metrics gauge set (nil
+// on an unsharded node).
+func (a *AM) ClusterHealth() *core.ClusterHealth {
+	stats, err := a.OwnerStats()
+	if err != nil {
+		return nil
+	}
+	h := &core.ClusterHealth{Shard: stats.Shard, RingVersion: stats.RingVersion, Owners: len(stats.Owners)}
+	for _, o := range stats.Owners {
+		h.OwnerRecords += o.Records
+		if o.Records > h.MaxOwnerRecords {
+			h.MaxOwnerRecords = o.Records
+		}
+	}
+	return h
 }
 
 // --- Owner-closure filtering (the migration stream) ---
@@ -233,6 +438,47 @@ func (a *AM) handleOwnerOverride(w http.ResponseWriter, r *http.Request) {
 	webutil.WriteJSON(w, http.StatusOK, map[string]string{string(owner): req.Shard})
 }
 
+// handleOwnerOverrideClear serves DELETE /v1/cluster/owners/{owner}: the
+// rebalance coordinator's pin cleanup, authenticated by the replication
+// secret. Idempotent.
+func (a *AM) handleOwnerOverrideClear(w http.ResponseWriter, r *http.Request) {
+	owner := core.UserID(r.PathValue("owner"))
+	if err := a.ClearOwnerShard(owner); err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleOwnerStats serves GET /v1/cluster/owners: the shard's effective
+// owner list with record counts, authenticated by the replication secret
+// (it enumerates every owner the shard serves).
+func (a *AM) handleOwnerStats(w http.ResponseWriter, r *http.Request) {
+	stats, err := a.OwnerStats()
+	if err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, stats)
+}
+
+// handleRingUpdate serves PUT /v1/cluster/ring: the rebalance
+// coordinator's topology push, authenticated by the replication secret.
+// Idempotent and monotonic by ring version.
+func (a *AM) handleRingUpdate(w http.ResponseWriter, r *http.Request) {
+	var st core.RingState
+	if err := webutil.ReadJSON(r, &st); err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	info, err := a.UpdateRing(st)
+	if err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, info)
+}
+
 // handleClusterImport serves POST /v1/cluster/import: records captured
 // from another shard's owner-scoped snapshot or WAL tail, installed as
 // ordinary local writes (re-sequenced into this primary's WAL, so they
@@ -276,6 +522,9 @@ func (a *AM) applyImported(rec core.ReplRecord) error {
 	}
 	if rec.Kind == kindGroup {
 		a.groups.installRecord(rec)
+	}
+	if rec.Kind == kindClusterRing {
+		a.installRingRecord(rec)
 	}
 	if a.index != nil {
 		a.index.applyRecord(rec)

@@ -272,3 +272,116 @@ func TestOwnerClosureSnapshotAndImport(t *testing.T) {
 		t.Fatalf("group directory not restored on import: %v", members)
 	}
 }
+
+func TestRingUpdateVersioning(t *testing.T) {
+	f := newClusterFixture(t)
+
+	// A newer ring installs, swaps the routing view, and reports its
+	// version; re-pushing the same version is an idempotent no-op; pushing
+	// an older version is a conflict.
+	next := f.ring.State()
+	next.Version = 3
+	info, err := f.amA.UpdateRing(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RingVersion != 3 {
+		t.Fatalf("ring version %d after install, want 3", info.RingVersion)
+	}
+	if info, err = f.amA.UpdateRing(next); err != nil || info.RingVersion != 3 {
+		t.Fatalf("same-version push: info=%+v err=%v", info, err)
+	}
+	stale := f.ring.State()
+	stale.Version = 2
+	if _, err := f.amA.UpdateRing(stale); err == nil {
+		t.Fatal("stale ring push accepted")
+	} else {
+		var ae *core.APIError
+		if !errors.As(err, &ae) || ae.Code != core.CodeConflict {
+			t.Fatalf("stale ring push: want conflict, got %v", err)
+		}
+	}
+
+	// The installed ring persists: a new AM over the same store must come
+	// up at v3 even though its config seeds the v0 ring.
+	st := f.amA.Store()
+	f.amA.Close()
+	reborn := New(Config{Name: "am-a2", Store: st, Cluster: ClusterConfig{Shard: "shard-a", Ring: f.ring}})
+	defer reborn.Close()
+	rinfo, err := reborn.ClusterInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.RingVersion != 3 {
+		t.Fatalf("rebuilt AM at ring v%d, want persisted v3", rinfo.RingVersion)
+	}
+
+	// A draining ring keeps the draining shard addressable (overrides and
+	// hints still validate against it) but routes no owners to it.
+	drain := f.ring.State()
+	drain.Version = 4
+	drain.Draining = []string{"shard-b"}
+	if _, err := reborn.UpdateRing(drain); err != nil {
+		t.Fatal(err)
+	}
+	if err := reborn.SetOwnerShard(f.ownerB, "shard-b"); err != nil {
+		t.Fatalf("draining shard no longer addressable for overrides: %v", err)
+	}
+	inf, err := reborn.ClusterInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inf.Draining) != 1 || inf.Draining[0] != "shard-b" {
+		t.Fatalf("draining set %v, want [shard-b]", inf.Draining)
+	}
+}
+
+func TestOwnerStatsEffectiveOwnership(t *testing.T) {
+	f := newClusterFixture(t)
+	if _, err := f.amA.CreatePolicy(f.ownerA, permitPolicy(f.ownerA)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.amA.CreatePolicy(f.ownerA, permitPolicy(f.ownerA)); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := f.amA.OwnerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shard != "shard-a" || len(stats.Owners) != 1 {
+		t.Fatalf("stats %+v, want one shard-a owner", stats)
+	}
+	if got := stats.Owners[0]; got.Owner != f.ownerA || got.Records < 2 {
+		t.Fatalf("owner load %+v, want %s with >=2 records", got, f.ownerA)
+	}
+
+	// An owner pinned away stops counting even though its data is still
+	// resident — OwnerStats reports effective ownership, so a rebalance
+	// replan after an abort only sees the un-moved remainder.
+	if err := f.amA.SetOwnerShard(f.ownerA, "shard-b"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = f.amA.OwnerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Owners) != 0 {
+		t.Fatalf("migrated-away owner still counted: %+v", stats.Owners)
+	}
+
+	// Clearing the pin restores it, and ClearOwnerShard is idempotent.
+	if err := f.amA.ClearOwnerShard(f.ownerA); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.amA.ClearOwnerShard(f.ownerA); err != nil {
+		t.Fatalf("second clear not idempotent: %v", err)
+	}
+	stats, err = f.amA.OwnerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Owners) != 1 {
+		t.Fatalf("owner not restored after pin clear: %+v", stats.Owners)
+	}
+}

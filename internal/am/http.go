@@ -164,8 +164,19 @@ func (a *AM) Handler() http.Handler {
 	// v1-only. The topology probe is open like healthz; the migration
 	// admin routes share the replication secret's bearer auth.
 	reg("GET", "/cluster", http.HandlerFunc(a.handleClusterInfo))
+	reg("PUT", "/cluster/ring", a.replAuthed(a.handleRingUpdate))
+	reg("GET", "/cluster/owners", a.replAuthed(a.handleOwnerStats))
 	reg("PUT", "/cluster/owners/{owner}", a.replAuthed(a.handleOwnerOverride))
+	reg("DELETE", "/cluster/owners/{owner}", a.replAuthed(a.handleOwnerOverrideClear))
 	reg("POST", "/cluster/import", a.replAuthed(a.handleClusterImport))
+
+	// --- Rebalance (the self-rebalancing coordinator; see rebalance.go) ---
+	// v1-only, replication-secret bearer auth: starting, watching and
+	// aborting a bulk owner migration are operator actions on the same
+	// trust level as the migration routes the coordinator drives.
+	reg("POST", "/rebalance", a.replAuthed(a.handleRebalanceStart))
+	reg("GET", "/rebalance", a.replAuthed(a.handleRebalanceStatus))
+	reg("DELETE", "/rebalance", a.replAuthed(a.handleRebalanceAbort))
 
 	// --- Event control plane (SSE) ---
 	// v1-only. One server-push surface for invalidation, consent and
@@ -182,12 +193,19 @@ func (a *AM) Handler() http.Handler {
 	reg("GET", "/readyz", http.HandlerFunc(a.handleReadyz))
 	reg("GET", "/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		eventsHealth := a.broker.Health()
-		webutil.WriteJSON(w, http.StatusOK, metricsBody{
+		body := metricsBody{
 			AM:              a.name,
 			Replication:     a.ReplicationHealth(),
 			Events:          &eventsHealth,
+			Cluster:         a.ClusterHealth(),
 			MetricsSnapshot: metrics.Snapshot(),
-		})
+		}
+		if a.rebal != nil {
+			if st := a.rebal.Status(); st.State != "" {
+				body.Rebalance = &st
+			}
+		}
+		webutil.WriteJSON(w, http.StatusOK, body)
 	}))
 
 	a.mu.Lock()
@@ -285,6 +303,12 @@ type metricsBody struct {
 	AM          string                  `json:"am"`
 	Replication *core.ReplicationHealth `json:"replication,omitempty"`
 	Events      *core.EventsHealth      `json:"events,omitempty"`
+	// Cluster carries the shard's owner-load gauges (sharded nodes only):
+	// the data the rebalance planner diffs and operators alert on.
+	Cluster *core.ClusterHealth `json:"cluster,omitempty"`
+	// Rebalance is the embedded coordinator's progress, present once a
+	// plan has run on this node.
+	Rebalance *core.RebalanceStatus `json:"rebalance,omitempty"`
 	webutil.MetricsSnapshot
 }
 

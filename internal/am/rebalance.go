@@ -1,0 +1,141 @@
+package am
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+
+	"umac/internal/core"
+	"umac/internal/rebalance"
+	"umac/internal/webutil"
+)
+
+// This file embeds the rebalance coordinator (internal/rebalance) into a
+// sharded primary: the /v1/rebalance admin surface (start, progress,
+// abort — replication-secret bearer auth like the other cluster admin
+// routes), the broker adapter turning coordinator lifecycle signals into
+// replication-type events on /v1/events, and the startup auto-resume that
+// makes a SIGKILLed coordinator continue its checkpointed plan when the
+// process comes back.
+
+// setupRebalance embeds a coordinator on sharded primaries and resumes
+// any unfinished checkpointed plan. Followers and unsharded nodes get no
+// coordinator: the /v1/rebalance routes answer not_found there.
+func (a *AM) setupRebalance() {
+	if !a.sharded() || a.replCfg.Role == RoleFollower || a.replCfg.Secret == "" {
+		return
+	}
+	a.rebal = rebalance.New(rebalance.Config{
+		Store:  a.store,
+		Secret: a.replCfg.Secret,
+		Notify: a.publishRebalanceSignal,
+		Logf: func(format string, args ...any) {
+			log.Printf("[%s] %s", a.name, fmt.Sprintf(format, args...))
+		},
+	})
+	if st, resumed, err := a.rebal.Resume(); err != nil {
+		log.Printf("[%s] rebalance: resume failed: %v", a.name, err)
+	} else if resumed {
+		log.Printf("[%s] rebalance: resumed plan %s (%d/%d moves done)", a.name, st.ID, st.Done, st.Total)
+	}
+}
+
+// publishRebalanceSignal adapts coordinator lifecycle notifications onto
+// the event broker: replication-type events (so ?types=replication
+// subscriptions see the rebalance progress) carrying the progress
+// snapshot and, for move signals, the owner that just moved.
+func (a *AM) publishRebalanceSignal(signal string, owner core.UserID, st core.RebalanceStatus) {
+	snapshot := st
+	a.broker.Publish(core.Event{
+		Type:      core.EventReplication,
+		Signal:    signal,
+		Owner:     owner,
+		Rebalance: &snapshot,
+	})
+}
+
+// Rebalancer exposes the embedded coordinator (nil on followers and
+// unsharded nodes) for in-process drivers: sims and tests.
+func (a *AM) Rebalancer() *rebalance.Coordinator { return a.rebal }
+
+// handleRebalanceStart serves POST /v1/rebalance: plan and start a
+// rebalance toward the requested target ring. Re-POSTing the target of
+// the unfinished checkpointed plan resumes it; a different target while
+// one is unfinished answers conflict (abort it first).
+func (a *AM) handleRebalanceStart(w http.ResponseWriter, r *http.Request) {
+	if a.rebal == nil {
+		webutil.FailCode(w, r, core.CodeNotFound, "am: %s hosts no rebalance coordinator", a.name)
+		return
+	}
+	var req core.RebalanceRequest
+	if err := webutil.ReadJSON(r, &req); err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	if req.Target.Version <= 0 {
+		req.Target.Version = a.ring().Version() + 1
+	}
+	// Resume path: the checkpointed plan for this same target, unfinished.
+	planID := fmt.Sprintf("ring-v%d", req.Target.Version)
+	if st := a.rebal.Status(); st.ID == planID &&
+		(st.State == core.RebalanceRunning || st.State == core.RebalanceFailed) {
+		st, _, err := a.rebal.Resume()
+		if err != nil {
+			webutil.Fail(w, r, err)
+			return
+		}
+		webutil.WriteJSON(w, http.StatusAccepted, st)
+		return
+	}
+	if req.Target.Version < a.ring().Version() {
+		webutil.FailCode(w, r, core.CodeConflict,
+			"am: target ring v%d is older than the installed v%d", req.Target.Version, a.ring().Version())
+		return
+	}
+	owners, err := rebalance.GatherOwners(a.ring().Shards(), a.replCfg.Secret, nil)
+	if err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	plan, err := rebalance.BuildPlan(req, owners)
+	if err != nil {
+		webutil.FailCode(w, r, core.CodeBadRequest, "%s", err.Error())
+		return
+	}
+	st, err := a.rebal.Start(plan)
+	if err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusAccepted, st)
+}
+
+// handleRebalanceStatus serves GET /v1/rebalance: the coordinator's
+// progress snapshot (not_found before any plan ever ran here).
+func (a *AM) handleRebalanceStatus(w http.ResponseWriter, r *http.Request) {
+	if a.rebal == nil {
+		webutil.FailCode(w, r, core.CodeNotFound, "am: %s hosts no rebalance coordinator", a.name)
+		return
+	}
+	st := a.rebal.Status()
+	if st.State == "" {
+		webutil.FailCode(w, r, core.CodeNotFound, "am: no rebalance plan on %s", a.name)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, st)
+}
+
+// handleRebalanceAbort serves DELETE /v1/rebalance: stop at the next
+// move boundary, leaving every unfinished owner wholly on its source.
+func (a *AM) handleRebalanceAbort(w http.ResponseWriter, r *http.Request) {
+	if a.rebal == nil {
+		webutil.FailCode(w, r, core.CodeNotFound, "am: %s hosts no rebalance coordinator", a.name)
+		return
+	}
+	st, err := a.rebal.Abort()
+	if err != nil {
+		webutil.Fail(w, r, err)
+		return
+	}
+	webutil.WriteJSON(w, http.StatusOK, st)
+}

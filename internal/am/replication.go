@@ -404,6 +404,12 @@ func (a *AM) syncOnce(client *http.Client, wait time.Duration) error {
 		if rec.Kind == kindGroup {
 			a.groups.installRecord(rec)
 		}
+		// A replicated ring install must take routing effect on the
+		// follower too: after a promotion it gates owners by the same
+		// topology its former primary pushed.
+		if rec.Kind == kindClusterRing {
+			a.installRingRecord(rec)
+		}
 		// Policy and link records change what the compiled decision index
 		// resolves; the index has no TTL, so replicated changes must drop
 		// its entries just like local PAP mutations do.
@@ -434,8 +440,10 @@ func (a *AM) bootstrap(client *http.Client) error {
 		return err
 	}
 	// The snapshot replaced the whole store; rebuild the in-memory group
-	// directory and flush the compiled decision index to match it.
+	// directory, adopt any newer ring state the image carried, and flush
+	// the compiled decision index to match it.
 	a.groups.rebuild()
+	a.restoreRing()
 	if a.index != nil {
 		a.index.reset()
 	}

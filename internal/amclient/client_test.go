@@ -1,4 +1,4 @@
-package amclient
+package amclient_test
 
 import (
 	"bytes"
@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"umac/internal/am"
+	"umac/internal/amclient"
 	"umac/internal/core"
 	"umac/internal/policy"
 )
@@ -31,19 +32,19 @@ func newFixture(t *testing.T) *fixture {
 	return &fixture{am: a, srv: srv}
 }
 
-func (f *fixture) as(user core.UserID) *Client {
-	return New(Config{BaseURL: f.srv.URL, User: user})
+func (f *fixture) as(user core.UserID) *amclient.Client {
+	return amclient.New(amclient.Config{BaseURL: f.srv.URL, User: user})
 }
 
 // pair establishes a signed channel for host on behalf of user and
 // returns a credentialed client plus the pairing ID.
-func (f *fixture) pair(t *testing.T, host core.HostID, user core.UserID) (*Client, string) {
+func (f *fixture) pair(t *testing.T, host core.HostID, user core.UserID) (*amclient.Client, string) {
 	t.Helper()
 	code, err := f.am.ApprovePairing(core.PairingRequest{Host: host, User: user})
 	if err != nil {
 		t.Fatal(err)
 	}
-	open := New(Config{BaseURL: f.srv.URL})
+	open := amclient.New(amclient.Config{BaseURL: f.srv.URL})
 	pr, err := open.ExchangePairingCode(code, host)
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +80,7 @@ func TestManagementSurface(t *testing.T) {
 	if err := bob.UpdatePolicy(got); err != nil {
 		t.Fatalf("update: %v", err)
 	}
-	list, err := bob.ListPolicies("", Page{})
+	list, err := bob.ListPolicies("", amclient.Page{})
 	if err != nil || len(list) != 1 || list[0].Name != "renamed" {
 		t.Fatalf("list: %v (%d)", err, len(list))
 	}
@@ -116,7 +117,7 @@ func TestManagementSurface(t *testing.T) {
 	}
 	// Carol manages bob's policies as custodian via ?owner=.
 	carol := f.as("carol")
-	if _, err := carol.ListPolicies("bob", Page{}); err != nil {
+	if _, err := carol.ListPolicies("bob", amclient.Page{}); err != nil {
 		t.Fatalf("custodian list: %v", err)
 	}
 	if err := bob.RemoveCustodian("carol"); err != nil {
@@ -124,7 +125,7 @@ func TestManagementSurface(t *testing.T) {
 	}
 
 	// Audit: events accrued, summary decodes.
-	events, err := bob.Audit(AuditFilter{}, Page{Limit: 5})
+	events, err := bob.Audit(amclient.AuditFilter{}, amclient.Page{Limit: 5})
 	if err != nil || len(events) == 0 {
 		t.Fatalf("audit: %v (%d)", err, len(events))
 	}
@@ -157,7 +158,7 @@ func TestSignedProtocolSurface(t *testing.T) {
 		t.Fatalf("link: %v", err)
 	}
 
-	open := New(Config{BaseURL: f.srv.URL})
+	open := amclient.New(amclient.Config{BaseURL: f.srv.URL})
 	tr, err := open.RequestToken(core.TokenRequest{
 		Requester: "r", Subject: "alice", Host: "webpics", Realm: "travel",
 		Resource: "x", Action: core.ActionRead,
@@ -184,7 +185,7 @@ func TestSignedProtocolSurface(t *testing.T) {
 	}
 
 	// Pairing listing + RESTful revoke.
-	pairings, err := bob.Pairings("", Page{})
+	pairings, err := bob.Pairings("", amclient.Page{})
 	if err != nil || len(pairings) != 1 || pairings[0].ID != pairingID {
 		t.Fatalf("pairings: %v (%+v)", err, pairings)
 	}
@@ -210,7 +211,7 @@ func TestErrorTyping(t *testing.T) {
 	}
 
 	// Policy deny (no linked policy → deny-biased).
-	open := New(Config{BaseURL: f.srv.URL})
+	open := amclient.New(amclient.Config{BaseURL: f.srv.URL})
 	_, err := open.RequestToken(core.TokenRequest{
 		Requester: "r", Subject: "mallory", Host: "webpics", Realm: "travel",
 		Resource: "x", Action: core.ActionWrite,
@@ -236,7 +237,7 @@ func TestErrorTyping(t *testing.T) {
 	}
 
 	// Unauthenticated management call.
-	_, err = New(Config{BaseURL: f.srv.URL}).ListPolicies("", Page{})
+	_, err = amclient.New(amclient.Config{BaseURL: f.srv.URL}).ListPolicies("", amclient.Page{})
 	if !errors.As(err, &ae) || ae.Code != core.CodeUnauthenticated || ae.Status != 401 {
 		t.Fatalf("unauth err = %v", err)
 	}
@@ -255,7 +256,7 @@ func TestErrorTyping(t *testing.T) {
 // whole flow still works — the compatibility contract for old Hosts.
 func TestLegacyMode(t *testing.T) {
 	f := newFixture(t)
-	bob := New(Config{BaseURL: f.srv.URL, User: "bob", Legacy: true})
+	bob := amclient.New(amclient.Config{BaseURL: f.srv.URL, User: "bob", Legacy: true})
 	created, err := bob.CreatePolicy(testPolicy("bob", "p1"))
 	if err != nil {
 		t.Fatalf("legacy create: %v", err)
@@ -265,7 +266,7 @@ func TestLegacyMode(t *testing.T) {
 	}
 
 	code, _ := f.am.ApprovePairing(core.PairingRequest{Host: "webpics", User: "bob"})
-	legacyOpen := New(Config{BaseURL: f.srv.URL, Legacy: true})
+	legacyOpen := amclient.New(amclient.Config{BaseURL: f.srv.URL, Legacy: true})
 	pr, err := legacyOpen.ExchangePairingCode(code, "webpics")
 	if err != nil {
 		t.Fatalf("legacy exchange: %v", err)
@@ -285,11 +286,11 @@ func TestPagination(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	page, err := bob.ListPolicies("", Page{Offset: 3, Limit: 10})
+	page, err := bob.ListPolicies("", amclient.Page{Offset: 3, Limit: 10})
 	if err != nil || len(page) != 2 {
 		t.Fatalf("page: %v (%d)", err, len(page))
 	}
-	page, err = bob.ListPolicies("", Page{Limit: 2})
+	page, err = bob.ListPolicies("", amclient.Page{Limit: 2})
 	if err != nil || len(page) != 2 {
 		t.Fatalf("limit page: %v (%d)", err, len(page))
 	}
@@ -298,7 +299,7 @@ func TestPagination(t *testing.T) {
 // TestHealthProbes covers Healthz and Ready against a live AM.
 func TestHealthProbes(t *testing.T) {
 	f := newFixture(t)
-	c := New(Config{BaseURL: f.srv.URL})
+	c := amclient.New(amclient.Config{BaseURL: f.srv.URL})
 	h, err := c.Healthz()
 	if err != nil || h.Status != "ok" || h.AM != "am" {
 		t.Fatalf("healthz: %v (%+v)", err, h)

@@ -75,6 +75,61 @@ func (c *Client) ReplicationTailScoped(owner core.UserID, from int64, max int) (
 	return page, err
 }
 
+// ClearOwnerShard removes owner's shard override on the receiving shard
+// group (DELETE /v1/cluster/owners/{owner}) — the cleanup step once the
+// hash ring itself maps the owner where the override pointed. Clearing an
+// absent override succeeds (idempotent). Requires Config.ReplSecret.
+func (c *Client) ClearOwnerShard(owner core.UserID) error {
+	return c.do("DELETE", "/cluster/owners/"+url.PathEscape(string(owner)), nil, nil, nil)
+}
+
+// UpdateRing pushes a versioned ring state to the node
+// (PUT /v1/cluster/ring). The node installs and persists it when the
+// version exceeds the state in force, answers idempotently for the same
+// version, and rejects older versions with conflict. Requires
+// Config.ReplSecret.
+func (c *Client) UpdateRing(st core.RingState) (core.ClusterInfo, error) {
+	var info core.ClusterInfo
+	err := c.do("PUT", "/cluster/ring", nil, st, &info)
+	return info, err
+}
+
+// OwnerStats fetches the shard's per-owner load (GET /v1/cluster/owners):
+// the record counts the rebalance planner weighs moves by. Requires
+// Config.ReplSecret.
+func (c *Client) OwnerStats() (core.OwnerStatsResponse, error) {
+	var resp core.OwnerStatsResponse
+	err := c.get("/cluster/owners", nil, &resp)
+	return resp, err
+}
+
+// RebalanceStart asks the node to coordinate a rebalance onto the target
+// ring (POST /v1/rebalance). Re-posting the same target resumes an
+// unfinished plan; a different target while one is unfinished answers
+// conflict. Requires Config.ReplSecret.
+func (c *Client) RebalanceStart(req core.RebalanceRequest) (core.RebalanceStatus, error) {
+	var st core.RebalanceStatus
+	err := c.do("POST", "/rebalance", nil, req, &st)
+	return st, err
+}
+
+// RebalanceStatus fetches the coordinator's checkpointed progress
+// (GET /v1/rebalance). Requires Config.ReplSecret.
+func (c *Client) RebalanceStatus() (core.RebalanceStatus, error) {
+	var st core.RebalanceStatus
+	err := c.get("/rebalance", nil, &st)
+	return st, err
+}
+
+// RebalanceAbort asks the coordinator to stop at the next move boundary
+// (DELETE /v1/rebalance), leaving every owner wholly on exactly one shard.
+// Requires Config.ReplSecret.
+func (c *Client) RebalanceAbort() (core.RebalanceStatus, error) {
+	var st core.RebalanceStatus
+	err := c.do("DELETE", "/rebalance", nil, nil, &st)
+	return st, err
+}
+
 // --- ClusterClient ---
 
 // ClusterClient is a shard-aware AM client: it holds one Client per shard
@@ -103,9 +158,23 @@ func NewCluster(cfg Config) (*ClusterClient, error) {
 	return cc, nil
 }
 
+// Install replaces the routing state with the given ClusterInfo — the
+// push-side alternative to Refresh for a caller that already holds a
+// fresher topology (a streamed replication event, a rebalance driver).
+func (cc *ClusterClient) Install(info core.ClusterInfo) error {
+	return cc.install(info)
+}
+
 // install replaces the routing state with a freshly fetched ClusterInfo.
+// Draining shards keep their clients (pinned owners still live there mid-
+// rebalance) but own no hash points, so fresh placements avoid them.
 func (cc *ClusterClient) install(info core.ClusterInfo) error {
-	ring, err := cluster.New(info.Shards, info.Vnodes)
+	ring, err := cluster.NewState(core.RingState{
+		Version:  info.RingVersion,
+		Vnodes:   info.Vnodes,
+		Shards:   info.Shards,
+		Draining: info.Draining,
+	})
 	if err != nil {
 		return fmt.Errorf("amclient: bad cluster ring: %w", err)
 	}
@@ -234,7 +303,12 @@ func (cc *ClusterClient) Do(owner core.UserID, fn func(*Client) error) error {
 func (cc *ClusterClient) Info() core.ClusterInfo {
 	cc.mu.RLock()
 	defer cc.mu.RUnlock()
-	info := core.ClusterInfo{Vnodes: cc.ring.Vnodes(), Shards: cc.ring.Shards()}
+	info := core.ClusterInfo{
+		RingVersion: cc.ring.Version(),
+		Vnodes:      cc.ring.Vnodes(),
+		Shards:      cc.ring.Shards(),
+		Draining:    cc.ring.Draining(),
+	}
 	if len(cc.overrides) > 0 {
 		info.Overrides = make(map[string]string, len(cc.overrides))
 		for k, v := range cc.overrides {

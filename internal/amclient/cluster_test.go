@@ -1,6 +1,7 @@
-package amclient
+package amclient_test
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"umac/internal/am"
+	"umac/internal/amclient"
 	"umac/internal/cluster"
 	"umac/internal/core"
 	"umac/internal/policy"
@@ -97,7 +99,7 @@ func permitPolicy(owner core.UserID) policy.Policy {
 
 func TestClusterClientRoutesByOwner(t *testing.T) {
 	w := newClusterWorld(t)
-	cc, err := NewCluster(Config{BaseURL: w.srvs["shard-a"].URL, User: w.ownerB})
+	cc, err := amclient.NewCluster(amclient.Config{BaseURL: w.srvs["shard-a"].URL, User: w.ownerB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +133,7 @@ func (w *clusterWorld) migrate(t *testing.T, owner core.UserID) {
 func TestClusterClientChasesHintOnceAndRefreshes(t *testing.T) {
 	w := newClusterWorld(t)
 	// The client learns the ring while ownerA still lives on shard-a.
-	cc, err := NewCluster(Config{BaseURL: w.srvs["shard-a"].URL, User: w.ownerA})
+	cc, err := amclient.NewCluster(amclient.Config{BaseURL: w.srvs["shard-a"].URL, User: w.ownerA})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +164,7 @@ func TestClusterClientChasesHintOnceAndRefreshes(t *testing.T) {
 
 func TestClusterClientChasesAtMostOnce(t *testing.T) {
 	w := newClusterWorld(t)
-	cc, err := NewCluster(Config{BaseURL: w.srvs["shard-a"].URL, User: w.ownerA})
+	cc, err := amclient.NewCluster(amclient.Config{BaseURL: w.srvs["shard-a"].URL, User: w.ownerA})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +183,7 @@ func TestClusterClientChasesAtMostOnce(t *testing.T) {
 
 func TestClusterClientOwnerWithNoShard(t *testing.T) {
 	w := newClusterWorld(t)
-	cc, err := NewCluster(Config{BaseURL: w.srvs["shard-a"].URL, User: w.ownerA})
+	cc, err := amclient.NewCluster(amclient.Config{BaseURL: w.srvs["shard-a"].URL, User: w.ownerA})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +197,7 @@ func TestClusterClientOwnerWithNoShard(t *testing.T) {
 			info.Shards[i].Endpoints = nil
 		}
 	}
-	if err := cc.install(info); err != nil {
+	if err := cc.Install(info); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := cc.For(w.ownerA); err == nil {
@@ -205,7 +207,7 @@ func TestClusterClientOwnerWithNoShard(t *testing.T) {
 		t.Fatal("call for an unroutable owner succeeded")
 	}
 	// Other owners keep working (through their own session identity).
-	ccB, err := NewCluster(Config{BaseURL: w.srvs["shard-b"].URL, User: w.ownerB})
+	ccB, err := amclient.NewCluster(amclient.Config{BaseURL: w.srvs["shard-b"].URL, User: w.ownerB})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,9 +246,9 @@ func TestMigrateOwnerMovesClosure(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	src := New(Config{BaseURL: w.srvs["shard-a"].URL, ReplSecret: clusterTestSecret})
-	dst := New(Config{BaseURL: w.srvs["shard-b"].URL, ReplSecret: clusterTestSecret})
-	rep, err := MigrateOwner(src, dst, w.ownerA, "shard-b", nil)
+	src := amclient.New(amclient.Config{BaseURL: w.srvs["shard-a"].URL, ReplSecret: clusterTestSecret})
+	dst := amclient.New(amclient.Config{BaseURL: w.srvs["shard-b"].URL, ReplSecret: clusterTestSecret})
+	rep, err := amclient.MigrateOwner(src, dst, w.ownerA, "shard-b", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +257,7 @@ func TestMigrateOwnerMovesClosure(t *testing.T) {
 	}
 
 	// The losing shard refuses the owner's decisions now…
-	decider := New(Config{
+	decider := amclient.New(amclient.Config{
 		BaseURL: w.srvs["shard-a"].URL, PairingID: pairing.PairingID, Secret: pairing.Secret,
 	})
 	q := core.DecisionQuery{
@@ -267,7 +269,7 @@ func TestMigrateOwnerMovesClosure(t *testing.T) {
 	}
 	// …and the gaining shard serves them from migrated state (shared
 	// token key, migrated pairing secret and grant).
-	decider2 := New(Config{
+	decider2 := amclient.New(amclient.Config{
 		BaseURL: w.srvs["shard-b"].URL, PairingID: pairing.PairingID, Secret: pairing.Secret,
 	})
 	dec, err := decider2.Decide(q)
@@ -276,7 +278,17 @@ func TestMigrateOwnerMovesClosure(t *testing.T) {
 	}
 
 	// Bad target shard name is refused up front.
-	if _, err := MigrateOwner(src, dst, w.ownerB, "shard-x", nil); err == nil {
+	if _, err := amclient.MigrateOwner(src, dst, w.ownerB, "shard-x", nil); err == nil {
 		t.Fatal("migration to an unknown shard accepted")
 	}
+}
+
+// wrongShard extracts a wrong_shard APIError, nil for anything else (the
+// external-test mirror of the package's unexported helper).
+func wrongShard(err error) *core.APIError {
+	var ae *core.APIError
+	if errors.As(err, &ae) && ae.Code == core.CodeWrongShard {
+		return ae
+	}
+	return nil
 }

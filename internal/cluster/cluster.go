@@ -8,9 +8,15 @@
 // group: primary plus followers) via consistent hashing with virtual
 // nodes, so adding or removing a shard remaps only ~1/N of the owners.
 //
-// The ring itself is static configuration (every node and client is built
-// with the same shard list); per-owner overrides — the live-migration
-// cutover state — live in each AM's replicated store, not here.
+// The ring starts as configuration (every node and client is built with
+// the same shard list, version 0) and evolves as versioned RingState
+// pushed over PUT /v1/cluster/ring during a rebalance: a state may name
+// draining shards, which stay addressable (overrides and wrong_shard
+// hints still resolve through them) but own no hash points — the
+// transition topology of a drain while owners move off. Per-owner
+// overrides — the live-migration cutover state — live in each AM's
+// replicated store, not here. Diff is the rebalance planner's primitive:
+// the exact owner set a topology change remaps.
 package cluster
 
 import (
@@ -34,30 +40,43 @@ type point struct {
 }
 
 // Ring maps resource owners onto shards by consistent hashing. A Ring is
-// immutable after New and safe for concurrent use.
+// immutable after New/NewState and safe for concurrent use.
 type Ring struct {
-	shards []core.ShardInfo
-	byName map[string]int
-	points []point
-	vnodes int
+	shards   []core.ShardInfo
+	byName   map[string]int
+	points   []point
+	vnodes   int
+	version  int64
+	draining map[string]bool
 }
 
-// New builds a ring over the given shards with vnodes virtual nodes per
-// shard (DefaultVnodes when vnodes <= 0). Shard names must be non-empty
-// and unique; order does not affect the mapping (only names seed the
-// ring).
+// New builds a version-0 ring over the given shards with vnodes virtual
+// nodes per shard (DefaultVnodes when vnodes <= 0). Shard names must be
+// non-empty and unique; order does not affect the mapping (only names seed
+// the ring).
 func New(shards []core.ShardInfo, vnodes int) (*Ring, error) {
-	if len(shards) == 0 {
+	return NewState(core.RingState{Vnodes: vnodes, Shards: shards})
+}
+
+// NewState builds a ring from a versioned ring state. Draining shards must
+// be members of st.Shards; they resolve by name (Shard) and appear in
+// Shards, but own no hash points, so Owner never maps to them. At least
+// one shard must not be draining.
+func NewState(st core.RingState) (*Ring, error) {
+	if len(st.Shards) == 0 {
 		return nil, fmt.Errorf("cluster: ring needs at least one shard")
 	}
+	vnodes := st.Vnodes
 	if vnodes <= 0 {
 		vnodes = DefaultVnodes
 	}
 	r := &Ring{
-		shards: append([]core.ShardInfo(nil), shards...),
-		byName: make(map[string]int, len(shards)),
-		points: make([]point, 0, len(shards)*vnodes),
-		vnodes: vnodes,
+		shards:   append([]core.ShardInfo(nil), st.Shards...),
+		byName:   make(map[string]int, len(st.Shards)),
+		points:   make([]point, 0, len(st.Shards)*vnodes),
+		vnodes:   vnodes,
+		version:  st.Version,
+		draining: make(map[string]bool, len(st.Draining)),
 	}
 	for i, s := range r.shards {
 		if s.Name == "" {
@@ -67,12 +86,28 @@ func New(shards []core.ShardInfo, vnodes int) (*Ring, error) {
 			return nil, fmt.Errorf("cluster: duplicate shard name %q", s.Name)
 		}
 		r.byName[s.Name] = i
+	}
+	for _, name := range st.Draining {
+		if _, ok := r.byName[name]; !ok {
+			return nil, fmt.Errorf("cluster: draining shard %q is not a ring member", name)
+		}
+		r.draining[name] = true
+	}
+	owning := 0
+	for i, s := range r.shards {
+		if r.draining[s.Name] {
+			continue
+		}
+		owning++
 		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, point{
 				hash:  hash64(fmt.Sprintf("%s#%d", s.Name, v)),
 				shard: i,
 			})
 		}
+	}
+	if owning == 0 {
+		return nil, fmt.Errorf("cluster: every shard is draining; at least one must own the ring")
 	}
 	sort.Slice(r.points, func(i, j int) bool {
 		if r.points[i].hash != r.points[j].hash {
@@ -128,6 +163,60 @@ func (r *Ring) Shards() []core.ShardInfo {
 
 // Vnodes returns the virtual-node count per shard the ring was built with.
 func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Version returns the ring state's version (0 for configuration-built
+// rings).
+func (r *Ring) Version() int64 { return r.version }
+
+// Draining returns the names of draining shards (members that own no hash
+// points), sorted.
+func (r *Ring) Draining() []string {
+	if len(r.draining) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.draining))
+	for name := range r.draining {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsDraining reports whether the named shard is a draining member.
+func (r *Ring) IsDraining(name string) bool { return r.draining[name] }
+
+// State serializes the ring back into the versioned wire form (the inverse
+// of NewState).
+func (r *Ring) State() core.RingState {
+	return core.RingState{
+		Version:  r.version,
+		Vnodes:   r.vnodes,
+		Shards:   r.Shards(),
+		Draining: r.Draining(),
+	}
+}
+
+// Diff computes the owner moves a topology change implies: for each owner,
+// a move from its placement on the old ring to its placement on the new
+// one, skipping owners whose shard is unchanged. Consistent hashing keeps
+// the result minimal (~1/N of the owners on a shard add, exactly the
+// drained shard's owners on a drain); the moves come back in owners'
+// order, phase MovePending. Per-owner overrides are the caller's concern —
+// Diff is the pure hash-placement diff.
+func Diff(old, next *Ring, owners []core.UserID) []core.RebalanceMove {
+	var moves []core.RebalanceMove
+	for _, owner := range owners {
+		from := old.Owner(owner).Name
+		to := next.Owner(owner).Name
+		if from == to {
+			continue
+		}
+		moves = append(moves, core.RebalanceMove{
+			Owner: owner, From: from, To: to, Phase: core.MovePending,
+		})
+	}
+	return moves
+}
 
 // ParseSpec parses the -ring flag syntax into shard infos:
 //

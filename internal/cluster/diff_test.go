@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"umac/internal/core"
+)
+
+// Property tests for the rebalance planner's pure core: Diff(old, new)
+// over an owner population must move exactly the owners the hash
+// placement remaps — no more (minimal remap), no fewer (every remapped
+// owner is in the plan) — across vnode counts and in both topology
+// directions (shard add, shard drain).
+
+func testOwners(n int) []core.UserID {
+	out := make([]core.UserID, n)
+	for i := range out {
+		out[i] = core.UserID(fmt.Sprintf("owner-%d", i))
+	}
+	return out
+}
+
+// mustRing builds a ring or fails the test.
+func mustRing(t *testing.T, st core.RingState) *Ring {
+	t.Helper()
+	r, err := NewState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// checkDiffExact asserts Diff's contract against brute force: a move for
+// every owner whose placement differs between the rings, with From/To
+// matching the placements, and nothing else.
+func checkDiffExact(t *testing.T, old, next *Ring, owners []core.UserID) []core.RebalanceMove {
+	t.Helper()
+	moves := Diff(old, next, owners)
+	byOwner := make(map[core.UserID]core.RebalanceMove, len(moves))
+	for _, m := range moves {
+		if _, dup := byOwner[m.Owner]; dup {
+			t.Fatalf("owner %s planned twice", m.Owner)
+		}
+		byOwner[m.Owner] = m
+	}
+	for _, owner := range owners {
+		from, to := old.Owner(owner).Name, next.Owner(owner).Name
+		m, planned := byOwner[owner]
+		if from == to {
+			if planned {
+				t.Fatalf("owner %s planned to move %s → %s but placement is unchanged (%s)",
+					owner, m.From, m.To, from)
+			}
+			continue
+		}
+		if !planned {
+			t.Fatalf("owner %s remapped %s → %s but missing from the plan", owner, from, to)
+		}
+		if m.From != from || m.To != to || m.Phase != core.MovePending {
+			t.Fatalf("owner %s: move %+v, want from=%s to=%s phase=%s", owner, m, from, to, core.MovePending)
+		}
+	}
+	return moves
+}
+
+func TestDiffShardAddMinimal(t *testing.T) {
+	owners := testOwners(5000)
+	for _, vnodes := range []int{8, 64, 128} {
+		old := mustRing(t, core.RingState{Vnodes: vnodes, Shards: testShards(3)})
+		next := mustRing(t, core.RingState{Version: 1, Vnodes: vnodes, Shards: testShards(4)})
+		moves := checkDiffExact(t, old, next, owners)
+		if len(moves) == 0 {
+			t.Fatalf("vnodes=%d: adding a shard moved nobody", vnodes)
+		}
+		for _, m := range moves {
+			// Adding shard-3 may only pull owners toward it.
+			if m.To != "shard-3" {
+				t.Fatalf("vnodes=%d: owner %s moves %s → %s, not to the new shard", vnodes, m.Owner, m.From, m.To)
+			}
+		}
+		// Consistent hashing: ~1/4 of owners move; past half the hash is
+		// not consistent.
+		if frac := float64(len(moves)) / float64(len(owners)); frac > 0.5 {
+			t.Fatalf("vnodes=%d: shard add remapped %.1f%% of owners", vnodes, frac*100)
+		}
+	}
+}
+
+func TestDiffShardDrainExact(t *testing.T) {
+	owners := testOwners(5000)
+	for _, vnodes := range []int{8, 64} {
+		shards := testShards(4)
+		old := mustRing(t, core.RingState{Vnodes: vnodes, Shards: shards})
+		// The transition state keeps the draining shard addressable but
+		// pointless: exactly its owners move, everyone else stays put.
+		next := mustRing(t, core.RingState{
+			Version: 1, Vnodes: vnodes, Shards: shards, Draining: []string{"shard-2"},
+		})
+		moves := checkDiffExact(t, old, next, owners)
+		for _, m := range moves {
+			if m.From != "shard-2" {
+				t.Fatalf("vnodes=%d: drain moved owner %s off %s, not the draining shard", vnodes, m.Owner, m.From)
+			}
+			if m.To == "shard-2" {
+				t.Fatalf("vnodes=%d: drain moved owner %s onto the draining shard", vnodes, m.Owner)
+			}
+		}
+		want := 0
+		for _, owner := range owners {
+			if old.Owner(owner).Name == "shard-2" {
+				want++
+			}
+		}
+		if len(moves) != want {
+			t.Fatalf("vnodes=%d: drain planned %d moves, shard-2 holds %d owners", vnodes, len(moves), want)
+		}
+	}
+}
+
+func TestDiffIdenticalRingsEmpty(t *testing.T) {
+	owners := testOwners(1000)
+	a := mustRing(t, core.RingState{Shards: testShards(3)})
+	b := mustRing(t, core.RingState{Version: 7, Shards: testShards(3)})
+	if moves := Diff(a, b, owners); len(moves) != 0 {
+		t.Fatalf("identical membership produced %d moves", len(moves))
+	}
+}
+
+func TestRingStateRoundTripAndDraining(t *testing.T) {
+	st := core.RingState{
+		Version: 3, Vnodes: 16, Shards: testShards(3), Draining: []string{"shard-1"},
+	}
+	r := mustRing(t, st)
+	if r.Version() != 3 || r.Vnodes() != 16 {
+		t.Fatalf("version/vnodes lost: %d/%d", r.Version(), r.Vnodes())
+	}
+	if !r.IsDraining("shard-1") || r.IsDraining("shard-0") {
+		t.Fatalf("draining flags wrong: %v", r.Draining())
+	}
+	// Draining shards stay addressable...
+	if _, ok := r.Shard("shard-1"); !ok {
+		t.Fatal("draining shard not resolvable by name")
+	}
+	// ...but never own an owner.
+	for _, owner := range testOwners(2000) {
+		if r.Owner(owner).Name == "shard-1" {
+			t.Fatalf("owner %s mapped to the draining shard", owner)
+		}
+	}
+	got := r.State()
+	if got.Version != st.Version || got.Vnodes != st.Vnodes ||
+		len(got.Shards) != len(st.Shards) || len(got.Draining) != 1 || got.Draining[0] != "shard-1" {
+		t.Fatalf("State() round-trip: %+v", got)
+	}
+	// Rebuilding from the serialized state yields the identical mapping.
+	r2 := mustRing(t, got)
+	for _, owner := range testOwners(500) {
+		if r.Owner(owner).Name != r2.Owner(owner).Name {
+			t.Fatalf("owner %s maps differently after State round-trip", owner)
+		}
+	}
+}
+
+func TestRingStateValidation(t *testing.T) {
+	if _, err := NewState(core.RingState{
+		Shards: testShards(2), Draining: []string{"nope"},
+	}); err == nil {
+		t.Error("unknown draining shard accepted")
+	}
+	if _, err := NewState(core.RingState{
+		Shards: testShards(2), Draining: []string{"shard-0", "shard-1"},
+	}); err == nil {
+		t.Error("fully draining ring accepted")
+	}
+}

@@ -43,6 +43,11 @@ const (
 	CodeUnknownRealm = "unknown_realm"
 	// CodeNotFound: any other missing entity (policy, ticket, link).
 	CodeNotFound = "not_found"
+	// CodeConflict: the request conflicts with current server state — a
+	// stale ring version push, or a rebalance started while a different
+	// unfinished plan is checkpointed. Resolve the conflict (refresh the
+	// ring; resume or abort the existing plan) before retrying.
+	CodeConflict = "conflict"
 	// CodePairingCodeInvalid: the one-time pairing code is unknown, expired,
 	// consumed, or presented by the wrong Host.
 	CodePairingCodeInvalid = "pairing_code_invalid"
@@ -88,6 +93,7 @@ var codeInfo = map[string]struct {
 	CodeNotPaired:          {404, false, ErrNotPaired},
 	CodeUnknownRealm:       {404, false, ErrUnknownRealm},
 	CodeNotFound:           {404, false, nil},
+	CodeConflict:           {409, false, nil},
 	CodePairingCodeInvalid: {403, false, nil},
 	CodeInternal:           {500, true, nil},
 	CodeUnavailable:        {503, true, nil},

@@ -23,6 +23,26 @@ type ShardInfo struct {
 	Endpoints []string `json:"endpoints,omitempty"`
 }
 
+// RingState is the versioned, serializable form of the consistent-hash
+// ring: what PUT /v1/cluster/ring installs, what each node persists in its
+// store (so a restart recovers the latest topology, not the boot flags),
+// and what the rebalance coordinator plans against. Versions are totally
+// ordered per deployment; a node rejects any state older than the one it
+// holds, making ring pushes idempotent and safely retryable.
+type RingState struct {
+	// Version orders ring states; boot-flag rings are version 0 and every
+	// pushed update must carry a strictly larger version.
+	Version int64 `json:"version"`
+	// Vnodes is the virtual-node count per shard (0 means the default).
+	Vnodes int `json:"vnodes,omitempty"`
+	// Shards is the full membership, draining shards included.
+	Shards []ShardInfo `json:"shards"`
+	// Draining names shards that stay addressable (their overrides and
+	// wrong_shard hints still resolve) but own no hash points — the
+	// transition state of a drain while owners move off them.
+	Draining []string `json:"draining,omitempty"`
+}
+
 // ClusterInfo answers GET /v1/cluster: the ring every node of a sharded
 // deployment is configured with, this node's own place in it, and the
 // per-owner overrides currently in force. Clients rebuild their routing
@@ -30,10 +50,15 @@ type ShardInfo struct {
 type ClusterInfo struct {
 	// Shard is the name of the shard the answering node belongs to.
 	Shard string `json:"shard"`
+	// RingVersion is the version of the ring state in force on the node
+	// (0 until a versioned ring has been pushed).
+	RingVersion int64 `json:"ring_version"`
 	// Vnodes is the virtual-node count per shard the ring was built with.
 	Vnodes int `json:"vnodes"`
 	// Shards is the full ring membership.
 	Shards []ShardInfo `json:"shards"`
+	// Draining names shards still addressable but owning no hash points.
+	Draining []string `json:"draining,omitempty"`
 	// Overrides pins owners to shards irrespective of the hash ring —
 	// the live-migration cutover state, keyed by owner, valued by shard
 	// name. Replicated within each shard like any other store state.
@@ -62,4 +87,125 @@ type ClusterImportRequest struct {
 type ClusterImportResponse struct {
 	// Applied counts the records installed.
 	Applied int `json:"applied"`
+}
+
+// OwnerLoad is one owner's share of a shard's stored state: the per-owner
+// record count the rebalance planner weighs moves by.
+type OwnerLoad struct {
+	// Owner is the resource owner.
+	Owner UserID `json:"owner"`
+	// Records counts the store records in the owner's closure (pairings,
+	// realms, policies, links, groups, custodians, grants).
+	Records int `json:"records"`
+}
+
+// OwnerStatsResponse answers GET /v1/cluster/owners: the per-owner load of
+// the answering shard, restricted to owners the shard effectively owns
+// (ring placement plus overrides).
+type OwnerStatsResponse struct {
+	// Shard is the answering node's shard.
+	Shard string `json:"shard"`
+	// RingVersion is the ring state the ownership view was computed under.
+	RingVersion int64 `json:"ring_version"`
+	// Owners lists the shard's owners with their record counts, sorted by
+	// owner for determinism.
+	Owners []OwnerLoad `json:"owners"`
+}
+
+// ClusterHealth summarizes a node's place in the sharded cluster on
+// GET /v1/metrics: the per-shard load gauges the rebalance planner (and
+// capacity dashboards) read.
+type ClusterHealth struct {
+	// Shard is the node's shard name.
+	Shard string `json:"shard"`
+	// RingVersion is the ring state version in force.
+	RingVersion int64 `json:"ring_version"`
+	// Owners counts distinct owners with state on this shard.
+	Owners int `json:"owners"`
+	// OwnerRecords counts store records across those owners' closures.
+	OwnerRecords int `json:"owner_records"`
+	// MaxOwnerRecords is the largest single owner's record count — the
+	// skew gauge: rebalancing moves ~1/N owners, not 1/N records, so one
+	// giant owner shows up here first.
+	MaxOwnerRecords int `json:"max_owner_records"`
+}
+
+// Rebalance move phases, in execution order. A move checkpoints its phase
+// through the coordinator's store before acting on it, so a killed
+// coordinator resumes each owner exactly where it stopped.
+const (
+	// MovePending: planned, nothing shipped yet. Resuming reruns the move
+	// from the start (safe: the owner is still pinned to its source).
+	MovePending = "pending"
+	// MoveCopied: snapshot + catch-up are on the target and the cutover is
+	// about to flip. Resuming re-flips (idempotent) and drains from the
+	// checkpointed offset — never re-imports a stale snapshot over newer
+	// target writes.
+	MoveCopied = "copied"
+	// MoveDone: cutover complete, source drained, overrides cleared.
+	// Resuming skips the owner entirely.
+	MoveDone = "done"
+)
+
+// RebalanceMove is one planned owner move within a rebalance.
+type RebalanceMove struct {
+	// Owner is the owner being moved.
+	Owner UserID `json:"owner"`
+	// From and To name the losing and gaining shards.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Phase is the move's checkpointed progress (MovePending, MoveCopied,
+	// MoveDone).
+	Phase string `json:"phase,omitempty"`
+}
+
+// Rebalance lifecycle states reported by RebalanceStatus.State.
+const (
+	// RebalanceRunning: the coordinator is executing (or resuming) the plan.
+	RebalanceRunning = "running"
+	// RebalanceDone: every planned move completed and the final ring is in
+	// force everywhere.
+	RebalanceDone = "done"
+	// RebalanceAborted: the coordinator stopped cleanly at a move boundary;
+	// unmoved owners stay pinned to their source shards.
+	RebalanceAborted = "aborted"
+	// RebalanceFailed: a move exhausted its retries; the plan resumes on
+	// a coordinator restart or a re-POST of the same target.
+	RebalanceFailed = "failed"
+)
+
+// RebalanceRequest is the body of POST /v1/rebalance: rebalance the
+// cluster onto the target ring.
+type RebalanceRequest struct {
+	// Target is the ring to converge on. Its version must exceed the ring
+	// version currently in force. A shard being drained stays in
+	// Target.Shards and is named in Target.Draining; once every owner has
+	// moved off it the coordinator pushes a final state (Version+1) with
+	// the shard removed entirely.
+	Target RingState `json:"target"`
+	// BatchSize caps how many owners move between progress checkpoints of
+	// the plan state; 0 means the coordinator default.
+	BatchSize int `json:"batch_size,omitempty"`
+	// MovesPerSec rate-limits migration starts; 0 means unlimited.
+	MovesPerSec float64 `json:"moves_per_sec,omitempty"`
+}
+
+// RebalanceStatus answers GET /v1/rebalance (and rides the rebalance
+// lifecycle events): the coordinator's checkpointed progress.
+type RebalanceStatus struct {
+	// ID identifies the plan (stable across coordinator restarts).
+	ID string `json:"id"`
+	// State is the lifecycle state (RebalanceRunning, RebalanceDone,
+	// RebalanceAborted, RebalanceFailed; "" when no plan exists).
+	State string `json:"state"`
+	// RingVersion is the target ring version being converged on.
+	RingVersion int64 `json:"ring_version"`
+	// Total, Done and Remaining count planned owner moves.
+	Total     int `json:"total"`
+	Done      int `json:"done"`
+	Remaining int `json:"remaining"`
+	// Moving is the owner currently in flight ("" between moves).
+	Moving UserID `json:"moving,omitempty"`
+	// Error carries the terminal error of a failed plan.
+	Error string `json:"error,omitempty"`
 }

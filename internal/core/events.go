@@ -43,6 +43,26 @@ const (
 	SignalPromoted = "promoted"
 )
 
+// Rebalance signal names carried in Event.Signal on EventReplication.
+// Rebalancing is bulk topology-driven replication, so its lifecycle rides
+// the replication event type: existing ?types=replication subscriptions
+// see a rebalance live without a new stream.
+const (
+	// SignalRebalanceStarted: a coordinator began (or resumed) executing a
+	// plan; Event.Rebalance carries the plan's progress.
+	SignalRebalanceStarted = "rebalance-started"
+	// SignalRebalanceMove: one owner finished moving; Event.Owner names it
+	// and Event.Rebalance carries the updated progress.
+	SignalRebalanceMove = "rebalance-move"
+	// SignalRebalanceDone: every planned move completed.
+	SignalRebalanceDone = "rebalance-done"
+	// SignalRebalanceAborted: the coordinator stopped cleanly mid-plan.
+	SignalRebalanceAborted = "rebalance-aborted"
+	// SignalRebalanceFailed: a move exhausted its retries; the plan is
+	// resumable.
+	SignalRebalanceFailed = "rebalance-failed"
+)
+
 // Event is the envelope every /v1/events subscriber receives: one
 // sequence-numbered, typed, owner-scoped control-plane signal. Exactly
 // one payload pointer is set, matching Type (none for EventResync).
@@ -68,6 +88,9 @@ type Event struct {
 	Consent *ConsentStatus `json:"consent,omitempty"`
 	// Replication is the node's health at a replication event.
 	Replication *ReplicationHealth `json:"replication,omitempty"`
+	// Rebalance is the coordinator's progress at a rebalance signal
+	// (SignalRebalanceStarted et al.; Type is EventReplication).
+	Rebalance *RebalanceStatus `json:"rebalance,omitempty"`
 }
 
 // EventsHealth is the event-plane gauge set on GET /v1/metrics: live

@@ -21,6 +21,15 @@
 //     measured over the stream and over the TokenStatus poll loop, under
 //     concurrent policy-write churn, with lost notifications counted as
 //     Lost.
+//   - ring_double: the ring grows from two shards to four through the
+//     bulk-rebalance coordinator under sustained Zipf load, with SIGKILLs
+//     of a migrating shard primary AND of the coordinator host mid-plan —
+//     the resumed plan must finish unchanged, with zero acknowledged loss
+//     and a bounded under-rebalance p99.
+//   - kill_rebalance: shard-b is drained to extinction through the same
+//     coordinator under the same two kills; afterwards the final ring
+//     (shard-b gone) must be in force everywhere and the drained node
+//     must disclaim every owner it used to serve.
 //
 // Every scenario reports per-phase throughput, p50/p99 latency, error and
 // loss counters in a superset of the repo's -benchjson schema (see
@@ -74,6 +83,8 @@ var Scenarios = map[string]Scenario{
 	"delegation_chain": DelegationChain,
 	"kill_migration":   KillMigration,
 	"consent_storm":    ConsentStorm,
+	"ring_double":      RingDouble,
+	"kill_rebalance":   KillRebalance,
 }
 
 // ScenarioNames returns the registry keys sorted, for deterministic

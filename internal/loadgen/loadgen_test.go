@@ -103,6 +103,8 @@ func TestLoadgenPairingChurn(t *testing.T)    { runScenarioSmoke(t, "pairing_chu
 func TestLoadgenDelegationChain(t *testing.T) { runScenarioSmoke(t, "delegation_chain") }
 func TestLoadgenKillMigration(t *testing.T)   { runScenarioSmoke(t, "kill_migration") }
 func TestLoadgenConsentStorm(t *testing.T)    { runScenarioSmoke(t, "consent_storm") }
+func TestLoadgenRingDouble(t *testing.T)      { runScenarioSmoke(t, "ring_double") }
+func TestLoadgenKillRebalance(t *testing.T)   { runScenarioSmoke(t, "kill_rebalance") }
 
 // TestLoadgenAuditPagination drives >1000 audited operations for one
 // owner against the spawned cluster, then walks the audit log with the

@@ -207,6 +207,60 @@ func StartCluster(ctx context.Context, binary, dir string, logf func(string, ...
 	return rig, nil
 }
 
+// SpawnShard starts a fresh durable primary for a shard outside the
+// original topology, fronted by its own FaultProxy like every other
+// node, and waits for readiness. baseSpec is a ring spec WITHOUT the new
+// shard (typically the rig's own, plus any shards that joined earlier);
+// the node is started on the transition spec baseSpec+",shard=proxyURL",
+// because amserver refuses a -shard absent from its ring. That is safe:
+// clients keep routing by the old ring, so the new node sees nothing but
+// migration traffic until a rebalance pushes the grown ring everywhere.
+// The rig's own Ring and RingSpec are left untouched — OwnersFor keeps
+// describing the pre-growth placement scenarios seeded under.
+func (r *Rig) SpawnShard(ctx context.Context, shard, baseSpec string) (*Node, error) {
+	name := shard + "-primary"
+	if _, exists := r.Nodes[name]; exists {
+		return nil, fmt.Errorf("loadgen: node %q already spawned", name)
+	}
+	addr, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	target := "http://" + addr
+	proxy, err := NewFaultProxy(target)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Name: name, Shard: shard, Role: "primary",
+		Addr: addr, URL: target, Proxy: proxy,
+		StateFile: filepath.Join(r.Dir, name+".json"),
+		logPath:   filepath.Join(r.Dir, name+".log"),
+	}
+	ringSpec := fmt.Sprintf("%s,%s=%s", baseSpec, shard, proxy.URL())
+	n.args = []string{
+		"-addr", n.Addr, "-name", n.Name, "-base-url", n.Proxy.URL(),
+		"-state", n.StateFile, "-role", "primary", "-shard", shard,
+		"-ring", ringSpec,
+		"-repl-secret-file", filepath.Join(r.Dir, "repl.secret"),
+		"-token-key-file", filepath.Join(r.Dir, "token.key"),
+	}
+	r.Nodes[name] = n
+	if err := r.start(n); err != nil {
+		proxy.Close()
+		delete(r.Nodes, name)
+		return nil, err
+	}
+	if err := waitReady(ctx, n.URL); err != nil {
+		n.Kill()
+		proxy.Close()
+		delete(r.Nodes, name)
+		return nil, fmt.Errorf("loadgen: spawned shard %s never became ready: %w", shard, err)
+	}
+	r.Logf("loadgen: shard %s joined as %s (ring spec %s)", shard, name, ringSpec)
+	return n, nil
+}
+
 // start launches (or relaunches) a node's process, appending its output
 // to the node log.
 func (r *Rig) start(n *Node) error {

@@ -1,0 +1,31 @@
+package rebalance
+
+import (
+	"fmt"
+	"net/http"
+
+	"umac/internal/amclient"
+	"umac/internal/core"
+)
+
+// GatherOwners queries GET /v1/cluster/owners on every listed shard
+// primary and returns the effective owner set per shard — BuildPlan's
+// ownersByShard input. The listing is by effective ownership (ring plus
+// overrides), so owners half-moved by an earlier aborted rebalance are
+// reported by the shard that actually serves them.
+func GatherOwners(shards []core.ShardInfo, secret string, hc *http.Client) (map[string][]core.UserID, error) {
+	out := make(map[string][]core.UserID, len(shards))
+	for _, s := range shards {
+		cc := amclient.New(amclient.Config{BaseURL: s.Primary, ReplSecret: secret, HTTPClient: hc})
+		stats, err := cc.OwnerStats()
+		if err != nil {
+			return nil, fmt.Errorf("rebalance: owner stats of shard %s: %w", s.Name, err)
+		}
+		owners := make([]core.UserID, 0, len(stats.Owners))
+		for _, o := range stats.Owners {
+			owners = append(owners, o.Owner)
+		}
+		out[s.Name] = owners
+	}
+	return out, nil
+}

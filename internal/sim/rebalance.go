@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"umac/internal/am"
+	"umac/internal/amclient"
+	"umac/internal/cluster"
+	"umac/internal/core"
+	"umac/internal/policy"
+)
+
+// This file is the bulk-rebalance workload: a two-shard cluster grows a
+// third shard through the coordinator's HTTP surface (POST /v1/rebalance
+// on an ordinary node — the same path umacctl and operators use), is
+// aborted mid-plan, and is then re-posted to completion. The assertions
+// are the coordinator's abort and replan promises: a clean stop leaves
+// every owner wholly on exactly one shard with nothing acknowledged
+// lost, and re-posting the same target plans exactly the remainder.
+
+// RebalanceReport summarizes one RunRebalanceWorkload execution.
+type RebalanceReport struct {
+	// OwnersSeeded counts owners created across the two original shards;
+	// each carries one acknowledged policy.
+	OwnersSeeded int
+	// MovesPlanned is the first plan's size (owners remapped to the new
+	// shard); MovesAtAbort how many it completed before the abort landed.
+	MovesPlanned int
+	MovesAtAbort int
+	// MovesAfterReplan is the second plan's size. The replan promise is
+	// MovesAtAbort + MovesAfterReplan == MovesPlanned.
+	MovesAfterReplan int
+	// SplitOwners lists owners effectively owned by zero or by multiple
+	// shards after the abort (must be empty — abort leaves whole owners).
+	SplitOwners []core.UserID
+	// LostPolicies lists acknowledged policy IDs unreadable through the
+	// shard-routed client after the final convergence (must be empty).
+	LostPolicies []core.PolicyID
+	// FinalRingVersion is the ring version in force everywhere at the end.
+	FinalRingVersion int64
+}
+
+// RunRebalanceWorkload drives the grow-abort-replan scenario. owners is
+// the number of owners seeded before the ring grows. ctx bounds every
+// phase.
+func RunRebalanceWorkload(ctx context.Context, owners int) (RebalanceReport, error) {
+	var rep RebalanceReport
+
+	// --- Topology: shard-a and shard-b in the ring, shard-c waiting ---
+	srvs := make(map[string]*httptest.Server, 3)
+	for _, name := range []string{"shard-a", "shard-b", "shard-c"} {
+		srv := httptest.NewUnstartedServer(nil)
+		srv.Start()
+		srvs[name] = srv
+		defer srv.Close()
+	}
+	shards := []core.ShardInfo{
+		{Name: "shard-a", Primary: srvs["shard-a"].URL, Endpoints: []string{srvs["shard-a"].URL}},
+		{Name: "shard-b", Primary: srvs["shard-b"].URL, Endpoints: []string{srvs["shard-b"].URL}},
+	}
+	ring, err := cluster.New(shards, 0)
+	if err != nil {
+		return rep, err
+	}
+	for _, name := range []string{"shard-a", "shard-b", "shard-c"} {
+		a := am.New(am.Config{
+			Name: "am-" + name, TokenKey: clusterTokenKey, BaseURL: srvs[name].URL,
+			Replication: am.ReplicationConfig{Role: am.RolePrimary, Secret: clusterSecret},
+			Cluster:     am.ClusterConfig{Shard: name, Ring: ring},
+		})
+		defer a.Close()
+		srvs[name].Config.Handler = a.Handler()
+	}
+	admin := func(name string) *amclient.Client {
+		return amclient.New(amclient.Config{BaseURL: srvs[name].URL, ReplSecret: clusterSecret})
+	}
+
+	// --- Seed: one acknowledged policy per owner, shard-routed ---
+	ackedBy := make(map[core.UserID]core.PolicyID, owners)
+	for i := 0; i < owners; i++ {
+		if err := checkPhase(ctx, "seed"); err != nil {
+			return rep, err
+		}
+		owner := core.UserID(fmt.Sprintf("user-%d", i))
+		mgr, err := amclient.NewCluster(amclient.Config{BaseURL: srvs["shard-a"].URL, User: owner})
+		if err != nil {
+			return rep, err
+		}
+		p, err := mgr.CreatePolicy(policy.Policy{
+			Owner: owner, Kind: policy.KindGeneral,
+			Rules: []policy.Rule{{
+				Effect:   policy.EffectPermit,
+				Subjects: []policy.Subject{{Type: policy.SubjectUser, Name: "alice"}},
+				Actions:  []core.Action{core.ActionRead},
+			}},
+		})
+		if err != nil {
+			return rep, fmt.Errorf("sim: seed %s: %w", owner, err)
+		}
+		ackedBy[owner] = p.ID
+		rep.OwnersSeeded++
+	}
+
+	// --- Grow: target ring = current + shard-c, built from the node's own
+	// view exactly as the CLI does ---
+	coord := admin("shard-a")
+	info, err := coord.ClusterInfo()
+	if err != nil {
+		return rep, err
+	}
+	target := core.RingState{
+		Version: info.RingVersion + 1, Vnodes: info.Vnodes,
+		Shards: append(append([]core.ShardInfo(nil), info.Shards...), core.ShardInfo{
+			Name: "shard-c", Primary: srvs["shard-c"].URL, Endpoints: []string{srvs["shard-c"].URL},
+		}),
+	}
+	// Rate-limit so the abort provably lands mid-plan.
+	if _, err := coord.RebalanceStart(core.RebalanceRequest{Target: target, MovesPerSec: 20}); err != nil {
+		return rep, fmt.Errorf("sim: rebalance start: %w", err)
+	}
+
+	// --- Abort once at least one move has landed ---
+	for {
+		if err := checkPhase(ctx, "await-first-moves"); err != nil {
+			return rep, err
+		}
+		st, err := coord.RebalanceStatus()
+		if err != nil {
+			return rep, err
+		}
+		rep.MovesPlanned = st.Total
+		if st.State != core.RebalanceRunning || st.Done >= 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := coord.RebalanceAbort(); err != nil {
+		return rep, fmt.Errorf("sim: abort: %w", err)
+	}
+	var st core.RebalanceStatus
+	for {
+		if err := checkPhase(ctx, "await-abort"); err != nil {
+			return rep, err
+		}
+		if st, err = coord.RebalanceStatus(); err != nil {
+			return rep, err
+		}
+		if st.State != core.RebalanceRunning {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.State != core.RebalanceAborted || st.Done >= st.Total {
+		return rep, fmt.Errorf("sim: abort landed as %q after %d/%d moves — not mid-plan", st.State, st.Done, st.Total)
+	}
+	rep.MovesAtAbort = st.Done
+
+	// --- Abort contract: every owner wholly on exactly one shard ---
+	placed := make(map[core.UserID]int)
+	for _, name := range []string{"shard-a", "shard-b", "shard-c"} {
+		stats, err := admin(name).OwnerStats()
+		if err != nil {
+			return rep, fmt.Errorf("sim: owner stats of %s: %w", name, err)
+		}
+		for _, o := range stats.Owners {
+			placed[o.Owner]++
+		}
+	}
+	for owner := range ackedBy {
+		if placed[owner] != 1 {
+			rep.SplitOwners = append(rep.SplitOwners, owner)
+		}
+	}
+	if len(rep.SplitOwners) > 0 {
+		return rep, fmt.Errorf("sim: %d owners split or orphaned after abort: %v", len(rep.SplitOwners), rep.SplitOwners)
+	}
+
+	// --- Replan: re-posting the same target covers exactly the remainder ---
+	st, err = coord.RebalanceStart(core.RebalanceRequest{Target: target})
+	if err != nil {
+		return rep, fmt.Errorf("sim: replan: %w", err)
+	}
+	rep.MovesAfterReplan = st.Total
+	if rep.MovesAtAbort+rep.MovesAfterReplan != rep.MovesPlanned {
+		return rep, fmt.Errorf("sim: replan covers %d moves after %d done, first plan had %d",
+			rep.MovesAfterReplan, rep.MovesAtAbort, rep.MovesPlanned)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if err := checkPhase(ctx, "await-convergence"); err != nil {
+			return rep, err
+		}
+		if st, err = coord.RebalanceStatus(); err != nil {
+			return rep, err
+		}
+		if st.State == core.RebalanceDone {
+			break
+		}
+		if st.State != core.RebalanceRunning || time.Now().After(deadline) {
+			return rep, fmt.Errorf("sim: convergence stalled in %q (%d/%d): %s", st.State, st.Done, st.Total, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// --- Zero loss: every acknowledged policy readable via routed reads ---
+	for owner, id := range ackedBy {
+		reader, err := amclient.NewCluster(amclient.Config{BaseURL: srvs["shard-a"].URL, User: owner})
+		if err != nil {
+			return rep, err
+		}
+		if _, err := reader.GetPolicy(owner, id); err != nil {
+			rep.LostPolicies = append(rep.LostPolicies, id)
+		}
+	}
+	if len(rep.LostPolicies) > 0 {
+		return rep, fmt.Errorf("sim: %d acknowledged policies lost across abort+replan", len(rep.LostPolicies))
+	}
+	for _, name := range []string{"shard-a", "shard-b", "shard-c"} {
+		inf, err := admin(name).ClusterInfo()
+		if err != nil {
+			return rep, err
+		}
+		if inf.RingVersion != target.Version {
+			return rep, fmt.Errorf("sim: %s at ring v%d after convergence, want v%d", name, inf.RingVersion, target.Version)
+		}
+		if len(inf.Overrides) != 0 {
+			return rep, fmt.Errorf("sim: %s still holds overrides after convergence: %v", name, inf.Overrides)
+		}
+	}
+	rep.FinalRingVersion = target.Version
+	return rep, nil
+}

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRebalanceWorkload proves the coordinator's operator-facing surface:
+// grow the ring over HTTP, abort mid-plan leaving whole owners, replan
+// exactly the remainder, converge with zero acknowledged loss.
+func TestRebalanceWorkload(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := RunRebalanceWorkload(ctx, 24)
+	if err != nil {
+		t.Fatalf("rebalance workload: %v (report %+v)", err, rep)
+	}
+	if rep.MovesPlanned == 0 || rep.MovesAtAbort == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+	if rep.MovesAtAbort+rep.MovesAfterReplan != rep.MovesPlanned {
+		t.Fatalf("replan arithmetic broken: %+v", rep)
+	}
+	t.Logf("seeded %d owners; plan %d moves, aborted after %d, replanned %d, converged at ring v%d",
+		rep.OwnersSeeded, rep.MovesPlanned, rep.MovesAtAbort, rep.MovesAfterReplan, rep.FinalRingVersion)
+}

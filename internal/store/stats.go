@@ -1,0 +1,31 @@
+package store
+
+// This file adds the per-owner load accounting the rebalance planner and
+// the /v1/metrics cluster gauges read: one consistent whole-store pass
+// that buckets every entity by the owner a caller-supplied classifier
+// assigns it to. The store itself has no notion of ownership — kinds
+// encode it differently (key prefixes, payload fields) — so the mapping
+// stays with the caller (the AM's replication closure rules), and this
+// side keeps the locking discipline: one lockAll(false) view, classifier
+// must not call back into the store.
+
+// OwnerStats walks every entity under a consistent read view and counts
+// records per owner. classify maps an entity to its owner; entities it
+// rejects (system state, indexes, anything ownerless) are not counted.
+// The classifier runs under the store's read locks and must not call back
+// into the store.
+func (s *Store) OwnerStats(classify func(Entity) (owner string, ok bool)) map[string]int {
+	out := make(map[string]int)
+	s.lockAll(false)
+	for i := range s.shards {
+		for _, kind := range s.shards[i].kinds {
+			for _, e := range kind {
+				if owner, ok := classify(e); ok {
+					out[owner]++
+				}
+			}
+		}
+	}
+	s.unlockAll(false)
+	return out
+}

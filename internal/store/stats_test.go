@@ -1,0 +1,42 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOwnerStats(t *testing.T) {
+	s := New()
+	put := func(kind, key string) {
+		t.Helper()
+		if _, err := s.Put(kind, key, map[string]string{"k": key}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("policy", "alice/p1")
+	put("policy", "alice/p2")
+	put("realm", "alice/travel")
+	put("policy", "bob/p1")
+	put("system", "ring") // ownerless: must not be counted
+
+	classify := func(e Entity) (string, bool) {
+		if e.Kind == "system" {
+			return "", false
+		}
+		owner, _, ok := strings.Cut(e.Key, "/")
+		return owner, ok
+	}
+	got := s.OwnerStats(classify)
+	if len(got) != 2 || got["alice"] != 3 || got["bob"] != 1 {
+		t.Fatalf("OwnerStats = %v, want alice:3 bob:1", got)
+	}
+
+	// Deletes shrink the counts; a drained owner disappears entirely.
+	if err := s.Delete("policy", "bob/p1"); err != nil {
+		t.Fatal(err)
+	}
+	got = s.OwnerStats(classify)
+	if _, there := got["bob"]; there || got["alice"] != 3 {
+		t.Fatalf("OwnerStats after delete = %v", got)
+	}
+}
