@@ -91,6 +91,13 @@ func main() {
 		eventBuf    = flag.Int("event-buffer", 0, "per-subscriber event buffer before a slow /v1/events consumer starts dropping (0 = default 256)")
 		eventReplay = flag.Int("event-replay", 0, "events retained for Last-Event-ID resume on /v1/events (0 = default 1024)")
 		eventHB     = flag.Duration("event-heartbeat", 0, "SSE heartbeat interval on /v1/events (0 = default 15s)")
+
+		ratePairing      = flag.Float64("rate-pairing", 0, "per-pairing rate budget in cost units/sec on the signed Host channel (0 = unlimited)")
+		ratePairingBurst = flag.Float64("rate-pairing-burst", 0, "per-pairing burst capacity (0 = 10x rate)")
+		rateSession      = flag.Float64("rate-session", 0, "per-user rate budget in cost units/sec on the session management surface (0 = unlimited)")
+		rateSessionBurst = flag.Float64("rate-session-burst", 0, "per-user burst capacity (0 = 10x rate)")
+		rateIP           = flag.Float64("rate-ip", 0, "per-remote-IP rate budget in cost units/sec on unauthenticated public routes (0 = unlimited)")
+		rateIPBurst      = flag.Float64("rate-ip-burst", 0, "per-remote-IP burst capacity (0 = 10x rate)")
 	)
 	flag.Parse()
 	if *statef == "" {
@@ -185,7 +192,16 @@ func main() {
 			ReplayWindow:     *eventReplay,
 			Heartbeat:        *eventHB,
 		},
+		Abuse: umac.AMAbuseConfig{
+			PairingRate: *ratePairing, PairingBurst: *ratePairingBurst,
+			SessionRate: *rateSession, SessionBurst: *rateSessionBurst,
+			IPRate: *rateIP, IPBurst: *rateIPBurst,
+		},
 	})
+	if *ratePairing > 0 || *rateSession > 0 || *rateIP > 0 {
+		log.Printf("amserver: abuse controls on (pairing %.1f/s, session %.1f/s, ip %.1f/s)",
+			*ratePairing, *rateSession, *rateIP)
+	}
 	if repl.Role != "" {
 		log.Printf("amserver: replication role %s (applied seq %d)", repl.Role, st.LastSeq())
 	}

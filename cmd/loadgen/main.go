@@ -113,7 +113,7 @@ func runScenarios(ctx context.Context, names []string, opts loadgen.Options, out
 		// A fresh cluster per scenario: kill_migration leaves migrated
 		// owners and restarted processes behind, and isolation keeps the
 		// per-scenario numbers comparable run over run.
-		rig, err := loadgen.StartCluster(ctx, binary, dir, log.Printf)
+		rig, err := loadgen.StartCluster(ctx, binary, dir, log.Printf, loadgen.ScenarioExtraArgs(name)...)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", name, err)
 		}

@@ -1,0 +1,224 @@
+package am
+
+// Abuse-control integration tests at the HTTP surface: request-size caps
+// answer the structured request_too_large (413) on every decode path, and
+// the per-tenant limiter answers rate_limited (429) with a Retry-After
+// hint while leaving other tenants and the operational probes untouched.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"umac/internal/core"
+	"umac/internal/httpsig"
+	"umac/internal/identity"
+	"umac/internal/webutil"
+)
+
+// oversized returns a JSON body just past the MaxBodyBytes cap: a single
+// string field whose value is cap-many bytes of padding.
+func oversized() []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"pad":"`)
+	b.Write(bytes.Repeat([]byte("x"), webutil.MaxBodyBytes+1))
+	b.WriteString(`"}`)
+	return b.Bytes()
+}
+
+func wantTooLarge(t *testing.T, resp *http.Response, route string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("%s: oversized body status = %d, want 413", route, resp.StatusCode)
+	}
+	var e core.APIError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("%s: 413 body is not the structured envelope: %v", route, err)
+	}
+	if e.Code != core.CodeRequestTooLarge {
+		t.Fatalf("%s: 413 code = %q, want %q", route, e.Code, core.CodeRequestTooLarge)
+	}
+}
+
+func TestOversizedBodiesRejected(t *testing.T) {
+	f := newHTTPFixture(t)
+	code, _ := f.am.ApprovePairing(core.PairingRequest{Host: "webpics", User: "bob"})
+	pr, err := f.am.ExchangeCode(code, "webpics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := oversized()
+
+	// Unauthenticated JSON decode path (ReadJSON).
+	resp, err := http.Post(f.srv.URL+"/v1/api/pair/exchange", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTooLarge(t, resp, "pair/exchange")
+
+	// Signed decode path (the decision batch family).
+	req, _ := http.NewRequest(http.MethodPost, f.srv.URL+"/v1/api/decision/batch", bytes.NewReader(huge))
+	req.Header.Set("Content-Type", "application/json")
+	if err := httpsig.Sign(req, pr.PairingID, pr.Secret); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTooLarge(t, resp, "decision/batch")
+
+	// The import stream, which bypasses ReadJSON and carries its own cap.
+	// The body must be a syntactically valid JSON prefix so the decoder
+	// keeps reading until the size cap — not a parse error — stops it.
+	var importBody bytes.Buffer
+	importBody.WriteString(`[`)
+	for importBody.Len() <= webutil.MaxBodyBytes {
+		importBody.WriteString(`{"name":"p"},`)
+	}
+	importBody.WriteString(`{}]`)
+	req, _ = http.NewRequest(http.MethodPost, f.srv.URL+"/v1/policies/import", &importBody)
+	req.Header.Set(identity.DefaultUserHeader, "bob")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTooLarge(t, resp, "policies/import")
+
+	// An in-bounds body on the same route still works: the cap is a cap,
+	// not a regression of the happy path.
+	resp, err = http.Post(f.srv.URL+"/v1/api/pair/exchange", "application/json",
+		strings.NewReader(`{"code":"nope","host":"webpics"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusRequestEntityTooLarge {
+		t.Fatal("pair/exchange: in-bounds body answered 413")
+	}
+}
+
+// limitedFixture builds an AM with tight session/pairing budgets and a
+// generous IP tier (the tests all originate from one address).
+func limitedFixture(t *testing.T) *httpFixture {
+	t.Helper()
+	a := New(Config{Name: "am", Notifier: &Outbox{}, Abuse: AbuseConfig{
+		SessionRate: 1, SessionBurst: 5,
+		PairingRate: 1, PairingBurst: 5,
+		IPRate: 100000, IPBurst: 100000,
+	}})
+	srv := httptest.NewServer(a.Handler())
+	t.Cleanup(srv.Close)
+	a.SetBaseURL(srv.URL)
+	return &httpFixture{am: a, srv: srv}
+}
+
+func TestRateLimit429Surface(t *testing.T) {
+	f := limitedFixture(t)
+
+	get := func(user, path string) *http.Response {
+		req, _ := http.NewRequest(http.MethodGet, f.srv.URL+path, nil)
+		if user != "" {
+			req.Header.Set(identity.DefaultUserHeader, user)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Burn bob's burst (costRead=2, burst 5 -> two admits), then assert
+	// the structured 429.
+	var last *http.Response
+	for i := 0; i < 6; i++ {
+		if last != nil {
+			last.Body.Close()
+		}
+		last = get("bob", "/v1/policies")
+	}
+	if last.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget status = %d, want 429", last.StatusCode)
+	}
+	retryHdr := last.Header.Get("Retry-After")
+	if retryHdr == "" {
+		t.Fatal("429 answer is missing the Retry-After header")
+	}
+	if n, err := strconv.Atoi(retryHdr); err != nil || n < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer of seconds", retryHdr)
+	}
+	var e core.APIError
+	if err := json.NewDecoder(last.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	last.Body.Close()
+	if e.Code != core.CodeRateLimited {
+		t.Fatalf("429 code = %q, want %q", e.Code, core.CodeRateLimited)
+	}
+	if e.RetryAfterSeconds < 1 {
+		t.Fatalf("envelope retry_after_seconds = %d, want >= 1", e.RetryAfterSeconds)
+	}
+
+	// Another user on the same AM is not throttled by bob's spend.
+	resp := get("carol", "/v1/policies")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("victim tenant status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The operational probes are never limited.
+	for i := 0; i < 20; i++ {
+		resp := get("", "/v1/healthz")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz throttled to %d on probe %d; probes must be exempt", resp.StatusCode, i)
+		}
+		resp.Body.Close()
+	}
+
+	// The gauges surface on healthz and count what happened above.
+	resp = get("", "/v1/healthz")
+	defer resp.Body.Close()
+	var h core.HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Abuse == nil {
+		t.Fatal("healthz carries no abuse gauges on a limiter-enabled AM")
+	}
+	if h.Abuse.Throttled < 1 {
+		t.Fatalf("abuse gauges show %d throttled, want >= 1", h.Abuse.Throttled)
+	}
+	session := h.Abuse.Tiers["session"]
+	if session.Throttled < 1 || session.Buckets < 2 {
+		t.Fatalf("session tier = %+v, want throttles and both tenants' buckets", session)
+	}
+}
+
+// TestRateLimitDisabledByDefault pins the fail-open default: an AM with a
+// zero AbuseConfig never answers 429 and exposes no abuse gauges.
+func TestRateLimitDisabledByDefault(t *testing.T) {
+	f := newHTTPFixture(t)
+	for i := 0; i < 50; i++ {
+		resp := f.do(t, "bob", http.MethodGet, "/v1/policies", nil)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			t.Fatalf("request %d throttled on an AM with abuse controls disabled", i)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	resp := f.do(t, "", http.MethodGet, "/v1/healthz", nil)
+	defer resp.Body.Close()
+	var h core.HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Abuse != nil {
+		t.Fatalf("healthz reports abuse gauges %+v with the limiter disabled", h.Abuse)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"umac/internal/rebalance"
 	"umac/internal/store"
 	"umac/internal/token"
+	"umac/internal/webutil"
 )
 
 // Store kinds used by the AM.
@@ -132,6 +133,9 @@ type Config struct {
 	// Events sizes the streaming event control plane (GET /v1/events).
 	// The zero value uses the broker defaults.
 	Events EventsConfig
+	// Abuse enables the per-tenant token-bucket rate limiter (pairing /
+	// session / remote-IP tiers). The zero value disables it.
+	Abuse AbuseConfig
 }
 
 // DefaultDecisionCacheTTL is the fallback Host decision-cache TTL.
@@ -158,6 +162,10 @@ type AM struct {
 	// SSE serving knobs (see events.go).
 	broker    *events.Broker
 	eventsCfg EventsConfig
+
+	// limiter is the per-tenant admission controller (nil = abuse
+	// controls disabled; see ratelimit.go).
+	limiter *webutil.RateLimiter
 
 	// draining flips the /v1/readyz probe to 503 so load balancers stop
 	// routing new traffic ahead of a shutdown.
@@ -238,6 +246,7 @@ func New(cfg Config) *AM {
 		cacheTTL:   cacheTTL,
 		replCfg:    cfg.Replication,
 		clusterCfg: cfg.Cluster,
+		limiter:    newLimiter(cfg.Abuse),
 		pending:    make(map[string]pendingPairing),
 		consents:   make(map[string]*consentTicket),
 	}

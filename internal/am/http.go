@@ -102,57 +102,64 @@ func (a *AM) Handler() http.Handler {
 	// read-only follower rejects them with the structured not_primary
 	// error (leader hint included) before authentication runs. The
 	// decision family and all GET reads stay open on followers.
+	//
+	// Admission control (ratelimit.go) runs inside the auth wrappers —
+	// signed and authed charge their verified identity's bucket, and the
+	// unauthenticated public routes are wrapped in the per-remote-IP tier.
+	// Costs are the route's cost class: decisions cheap, PAP mutations
+	// heavy, import/export/audit/consent heaviest. Operational probes and
+	// the replication-secret admin surface are never limited.
 
 	// --- Host-facing API ---
-	regSame("POST", "/api/pair/exchange", a.primaryOnly(http.HandlerFunc(a.handlePairExchange)))
-	regSame("POST", "/api/protect", a.primaryOnly(a.signed(verifier, a.handleProtect)))
-	regSame("POST", "/api/decision", a.signed(verifier, a.handleDecision))
-	regSame("POST", "/api/decision/batch", a.signed(verifier, a.handleDecisionBatch))
-	regSame("POST", "/api/decision/pull", a.signed(verifier, a.handlePullDecision))
-	regSame("POST", "/api/decision/state", a.signed(verifier, a.handleStateDecision))
+	regSame("POST", "/api/pair/exchange", a.primaryOnly(a.ipLimited(costMutation, http.HandlerFunc(a.handlePairExchange))))
+	regSame("POST", "/api/protect", a.primaryOnly(a.signed(verifier, costMutation, a.handleProtect)))
+	regSame("POST", "/api/decision", a.signed(verifier, costDecision, a.handleDecision))
+	regSame("POST", "/api/decision/batch", a.signed(verifier, costDecision, a.handleDecisionBatch))
+	regSame("POST", "/api/decision/pull", a.signed(verifier, costDecision, a.handlePullDecision))
+	regSame("POST", "/api/decision/state", a.signed(verifier, costDecision, a.handleStateDecision))
 
 	// --- Requester-facing ---
-	regSame("POST", "/token", a.primaryOnly(http.HandlerFunc(a.handleToken)))
-	regSame("GET", "/token/status", http.HandlerFunc(a.handleTokenStatus))
-	regSame("POST", "/state", a.primaryOnly(http.HandlerFunc(a.handleEstablishState)))
+	regSame("POST", "/token", a.primaryOnly(a.ipLimited(costMutation, http.HandlerFunc(a.handleToken))))
+	regSame("GET", "/token/status", a.ipLimited(costDecision, http.HandlerFunc(a.handleTokenStatus)))
+	regSame("POST", "/state", a.primaryOnly(a.ipLimited(costMutation, http.HandlerFunc(a.handleEstablishState))))
 
 	// --- Browser-facing ---
-	regSame("GET", "/pair/confirm", a.primaryOnly(a.authed(a.handlePairConfirm)))
-	regSame("GET", "/compose", a.authed(a.handleComposePage))
+	regSame("GET", "/pair/confirm", a.primaryOnly(a.authed(costMutation, a.handlePairConfirm)))
+	regSame("GET", "/compose", a.authed(costRead, a.handleComposePage))
 
-	regSame("GET", "/policies", a.authed(a.handlePolicyList))
-	regSame("POST", "/policies", a.primaryOnly(a.authed(a.handlePolicyCreate)))
-	regSame("GET", "/policies/export", a.authed(a.handlePolicyExport))
-	regSame("POST", "/policies/import", a.primaryOnly(a.authed(a.handlePolicyImport)))
-	regSame("GET", "/policies/{id}", a.authed(a.handlePolicyGet))
-	regSame("PUT", "/policies/{id}", a.primaryOnly(a.authed(a.handlePolicyUpdate)))
-	regSame("DELETE", "/policies/{id}", a.primaryOnly(a.authed(a.handlePolicyDelete)))
+	regSame("GET", "/policies", a.authed(costRead, a.handlePolicyList))
+	regSame("POST", "/policies", a.primaryOnly(a.authed(costMutation, a.handlePolicyCreate)))
+	regSame("GET", "/policies/export", a.authed(costExpensive, a.handlePolicyExport))
+	regSame("POST", "/policies/import", a.primaryOnly(a.authed(costExpensive, a.handlePolicyImport)))
+	regSame("GET", "/policies/{id}", a.authed(costRead, a.handlePolicyGet))
+	regSame("PUT", "/policies/{id}", a.primaryOnly(a.authed(costMutation, a.handlePolicyUpdate)))
+	regSame("DELETE", "/policies/{id}", a.primaryOnly(a.authed(costMutation, a.handlePolicyDelete)))
 
-	regSame("POST", "/links/general", a.primaryOnly(a.authed(a.handleLinkGeneral)))
-	regSame("POST", "/links/specific", a.primaryOnly(a.authed(a.handleLinkSpecific)))
-	regSame("DELETE", "/links/general", a.primaryOnly(a.authed(a.handleUnlinkGeneral)))
-	regSame("DELETE", "/links/specific", a.primaryOnly(a.authed(a.handleUnlinkSpecific)))
+	regSame("POST", "/links/general", a.primaryOnly(a.authed(costMutation, a.handleLinkGeneral)))
+	regSame("POST", "/links/specific", a.primaryOnly(a.authed(costMutation, a.handleLinkSpecific)))
+	regSame("DELETE", "/links/general", a.primaryOnly(a.authed(costMutation, a.handleUnlinkGeneral)))
+	regSame("DELETE", "/links/specific", a.primaryOnly(a.authed(costMutation, a.handleUnlinkSpecific)))
 
-	regSame("GET", "/groups", a.authed(a.handleGroupList))
-	regSame("GET", "/groups/{group}/members", a.authed(a.handleGroupMembers))
-	regSame("POST", "/groups/{group}/members", a.primaryOnly(a.authed(a.handleGroupAdd)))
-	regSame("DELETE", "/groups/{group}/members/{user}", a.primaryOnly(a.authed(a.handleGroupRemove)))
+	regSame("GET", "/groups", a.authed(costRead, a.handleGroupList))
+	regSame("GET", "/groups/{group}/members", a.authed(costRead, a.handleGroupMembers))
+	regSame("POST", "/groups/{group}/members", a.primaryOnly(a.authed(costMutation, a.handleGroupAdd)))
+	regSame("DELETE", "/groups/{group}/members/{user}", a.primaryOnly(a.authed(costMutation, a.handleGroupRemove)))
 
-	regSame("GET", "/custodians", a.authed(a.handleCustodianList))
-	regSame("POST", "/custodians", a.primaryOnly(a.authed(a.handleCustodianAdd)))
-	regSame("DELETE", "/custodians/{user}", a.primaryOnly(a.authed(a.handleCustodianRemove)))
+	regSame("GET", "/custodians", a.authed(costRead, a.handleCustodianList))
+	regSame("POST", "/custodians", a.primaryOnly(a.authed(costMutation, a.handleCustodianAdd)))
+	regSame("DELETE", "/custodians/{user}", a.primaryOnly(a.authed(costMutation, a.handleCustodianRemove)))
 
-	regSame("GET", "/audit", a.authed(a.handleAudit))
-	regSame("GET", "/audit/summary", a.authed(a.handleAuditSummary))
+	regSame("GET", "/audit", a.authed(costExpensive, a.handleAudit))
+	regSame("GET", "/audit/summary", a.authed(costExpensive, a.handleAuditSummary))
 
-	regSame("GET", "/consents", a.authed(a.handleConsentList))
-	regSame("POST", "/consents/{ticket}", a.primaryOnly(a.authed(a.handleConsentResolve)))
+	regSame("GET", "/consents", a.authed(costRead, a.handleConsentList))
+	regSame("POST", "/consents/{ticket}", a.primaryOnly(a.authed(costExpensive, a.handleConsentResolve)))
 
-	regSame("GET", "/pairings", a.authed(a.handlePairingList))
+	regSame("GET", "/pairings", a.authed(costRead, a.handlePairingList))
 	// DELETE is the canonical revocation; the pre-v1 POST …/revoke form is
 	// kept as an alias on both surfaces.
-	reg("DELETE", "/pairings/{id}", a.primaryOnly(a.authed(a.handlePairingRevoke)))
-	regSame("POST", "/pairings/{id}/revoke", a.primaryOnly(a.authed(a.handlePairingRevoke)))
+	reg("DELETE", "/pairings/{id}", a.primaryOnly(a.authed(costMutation, a.handlePairingRevoke)))
+	regSame("POST", "/pairings/{id}/revoke", a.primaryOnly(a.authed(costMutation, a.handlePairingRevoke)))
 
 	// --- Replication (primary → follower WAL shipping) ---
 	// New endpoints, v1-only per the frozen-alias policy. Authenticated by
@@ -182,9 +189,13 @@ func (a *AM) Handler() http.Handler {
 	// v1-only. One server-push surface for invalidation, consent and
 	// replication signals; each route authenticates for its audience
 	// (session or repl bearer / consent ticket capability / pairing HMAC).
+	// /events authenticates internally (session or repl bearer) and
+	// stays unlimited — follower tailing must never be throttled; the
+	// public consent stream rides the IP tier, the invalidation stream
+	// its pairing's bucket (one charge per subscription, not per event).
 	reg("GET", "/events", http.HandlerFunc(a.handleEvents))
-	reg("GET", "/events/consent", http.HandlerFunc(a.handleEventsConsent))
-	reg("GET", "/events/invalidation", a.signed(verifier, a.handleEventsInvalidation))
+	reg("GET", "/events/consent", a.ipLimited(costMutation, http.HandlerFunc(a.handleEventsConsent)))
+	reg("GET", "/events/invalidation", a.signed(verifier, costMutation, a.handleEventsInvalidation))
 
 	// --- Operational ---
 	// healthz predates v1 and keeps its alias; readyz and metrics are new
@@ -198,6 +209,7 @@ func (a *AM) Handler() http.Handler {
 			Replication:     a.ReplicationHealth(),
 			Events:          &eventsHealth,
 			Cluster:         a.ClusterHealth(),
+			Abuse:           a.AbuseHealth(),
 			MetricsSnapshot: metrics.Snapshot(),
 		}
 		if a.rebal != nil {
@@ -225,21 +237,27 @@ func (a *AM) Routes() []RouteInfo {
 // authedHandler receives the authenticated actor.
 type authedHandler func(w http.ResponseWriter, r *http.Request, actor core.UserID)
 
-// authed wraps browser endpoints with authentication.
-func (a *AM) authed(h authedHandler) http.Handler {
+// authed wraps browser endpoints with authentication, then charges cost
+// against the authenticated user's session-tier bucket.
+func (a *AM) authed(cost float64, h authedHandler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		actor, ok := a.auth.Authenticate(r)
 		if !ok {
 			webutil.FailCode(w, r, core.CodeUnauthenticated, "am: authentication required")
 			return
 		}
+		if !a.allow(w, r, tierSession, string(actor), cost) {
+			return
+		}
 		h(w, r, actor)
 	})
 }
 
-// signed wraps Host-facing endpoints with HMAC channel verification; the
-// handler receives the authenticated pairing ID.
-func (a *AM) signed(v *httpsig.Verifier, h func(w http.ResponseWriter, r *http.Request, pairingID string)) http.Handler {
+// signed wraps Host-facing endpoints with HMAC channel verification, then
+// charges cost against the verified pairing's bucket; the handler
+// receives the authenticated pairing ID. Verification runs first so a
+// forged signature cannot drain a tenant's budget.
+func (a *AM) signed(v *httpsig.Verifier, cost float64, h func(w http.ResponseWriter, r *http.Request, pairingID string)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		pairingID, err := v.Verify(r)
 		if err != nil {
@@ -250,8 +268,23 @@ func (a *AM) signed(v *httpsig.Verifier, h func(w http.ResponseWriter, r *http.R
 			webutil.FailCode(w, r, code, "%s", err.Error())
 			return
 		}
+		if !a.allow(w, r, tierPairing, pairingID, cost) {
+			return
+		}
 		h(w, r, pairingID)
 	})
+}
+
+// failOp answers an operation error under the given caller-fault code —
+// unless the error chain carries core.ErrInternalFault, which is not the
+// caller's doing and must ride the sanitizing 500 funnel instead of
+// leaking its cause inside a 4xx envelope.
+func failOp(w http.ResponseWriter, r *http.Request, code string, err error) {
+	if errors.Is(err, core.ErrInternalFault) {
+		webutil.Fail(w, r, err)
+		return
+	}
+	webutil.FailCode(w, r, code, "%s", err.Error())
 }
 
 // ownerParam resolves the owner an actor is operating on: the explicit
@@ -284,6 +317,7 @@ func (a *AM) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			PipelineCap:   a.auditPipe.Capacity(),
 		},
 		Replication: a.ReplicationHealth(),
+		Abuse:       a.AbuseHealth(),
 	})
 }
 
@@ -309,6 +343,9 @@ type metricsBody struct {
 	// Rebalance is the embedded coordinator's progress, present once a
 	// plan has run on this node.
 	Rebalance *core.RebalanceStatus `json:"rebalance,omitempty"`
+	// Abuse carries the rate-limiter throttle gauges (present only when
+	// abuse controls are enabled).
+	Abuse *core.AbuseHealth `json:"abuse,omitempty"`
 	webutil.MetricsSnapshot
 }
 
@@ -362,7 +399,7 @@ func (a *AM) handlePairExchange(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := a.ExchangeCode(req.Code, req.Host)
 	if err != nil {
-		webutil.FailCode(w, r, core.CodePairingCodeInvalid, "%s", err.Error())
+		failOp(w, r, core.CodePairingCodeInvalid, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, resp)
@@ -447,7 +484,7 @@ func (a *AM) handleDecision(w http.ResponseWriter, r *http.Request, pairingID st
 		webutil.Fail(w, r, err)
 		return
 	}
-	writeDecisionJSON(w, resp)
+	writeDecisionJSON(w, r, resp)
 }
 
 func (a *AM) handleDecisionBatch(w http.ResponseWriter, r *http.Request, pairingID string) {
@@ -463,7 +500,7 @@ func (a *AM) handleDecisionBatch(w http.ResponseWriter, r *http.Request, pairing
 		webutil.Fail(w, r, err)
 		return
 	}
-	writeDecisionJSON(w, resp)
+	writeDecisionJSON(w, r, resp)
 }
 
 func (a *AM) handlePullDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
@@ -479,7 +516,7 @@ func (a *AM) handlePullDecision(w http.ResponseWriter, r *http.Request, pairingI
 		webutil.Fail(w, r, err)
 		return
 	}
-	writeDecisionJSON(w, resp)
+	writeDecisionJSON(w, r, resp)
 }
 
 func (a *AM) handleStateDecision(w http.ResponseWriter, r *http.Request, pairingID string) {
@@ -495,7 +532,7 @@ func (a *AM) handleStateDecision(w http.ResponseWriter, r *http.Request, pairing
 		webutil.Fail(w, r, err)
 		return
 	}
-	writeDecisionJSON(w, resp)
+	writeDecisionJSON(w, r, resp)
 }
 
 func (a *AM) handleEstablishState(w http.ResponseWriter, r *http.Request) {
@@ -536,7 +573,7 @@ func (a *AM) handleToken(w http.ResponseWriter, r *http.Request) {
 func (a *AM) handleTokenStatus(w http.ResponseWriter, r *http.Request) {
 	st, err := a.ConsentStatus(r.FormValue(core.ParamTicket))
 	if err != nil {
-		webutil.FailCode(w, r, core.CodeNotFound, "%s", err.Error())
+		failOp(w, r, core.CodeNotFound, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, st)
@@ -579,7 +616,7 @@ func (a *AM) handlePolicyCreate(w http.ResponseWriter, r *http.Request, actor co
 func (a *AM) handlePolicyGet(w http.ResponseWriter, r *http.Request, actor core.UserID) {
 	p, err := a.GetPolicy(core.PolicyID(r.PathValue("id")))
 	if err != nil {
-		webutil.FailCode(w, r, core.CodeNotFound, "%s", err.Error())
+		failOp(w, r, core.CodeNotFound, err)
 		return
 	}
 	if !a.CanManage(p.Owner, actor) {
@@ -640,7 +677,10 @@ func (a *AM) handlePolicyImport(w http.ResponseWriter, r *http.Request, actor co
 		webutil.Fail(w, r, err)
 		return
 	}
-	n, err := a.ImportPolicies(actor, owner, r.Body, format)
+	// The import stream bypasses ReadJSON, so it needs its own size cap;
+	// an over-cap read surfaces as *http.MaxBytesError through the policy
+	// codec's %w chain and maps to request_too_large in webutil.Fail.
+	n, err := a.ImportPolicies(actor, owner, http.MaxBytesReader(w, r.Body, webutil.MaxBodyBytes), format)
 	if err != nil {
 		webutil.Fail(w, r, err)
 		return
@@ -710,7 +750,7 @@ func (a *AM) handleUnlinkGeneral(w http.ResponseWriter, r *http.Request, actor c
 		return
 	}
 	if err := a.UnlinkGeneral(owner, core.RealmID(r.FormValue(core.ParamRealm))); err != nil {
-		webutil.FailCode(w, r, core.CodeNotFound, "%s", err.Error())
+		failOp(w, r, core.CodeNotFound, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -726,7 +766,7 @@ func (a *AM) handleUnlinkSpecific(w http.ResponseWriter, r *http.Request, actor 
 		core.HostID(r.FormValue(core.ParamHost)),
 		core.ResourceID(r.FormValue(core.ParamResource)))
 	if err != nil {
-		webutil.FailCode(w, r, core.CodeNotFound, "%s", err.Error())
+		failOp(w, r, core.CodeNotFound, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -763,7 +803,7 @@ func (a *AM) handleGroupAdd(w http.ResponseWriter, r *http.Request, actor core.U
 		owner = actor
 	}
 	if err := a.AddGroupMember(actor, owner, r.PathValue("group"), req.User); err != nil {
-		webutil.FailCode(w, r, core.CodeForbidden, "%s", err.Error())
+		failOp(w, r, core.CodeForbidden, err)
 		return
 	}
 	webutil.WriteJSON(w, http.StatusOK, a.GroupMembers(owner, r.PathValue("group")))
@@ -776,7 +816,7 @@ func (a *AM) handleGroupRemove(w http.ResponseWriter, r *http.Request, actor cor
 		return
 	}
 	if err := a.RemoveGroupMember(actor, owner, r.PathValue("group"), core.UserID(r.PathValue("user"))); err != nil {
-		webutil.FailCode(w, r, core.CodeForbidden, "%s", err.Error())
+		failOp(w, r, core.CodeForbidden, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

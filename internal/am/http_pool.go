@@ -3,10 +3,12 @@ package am
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 
 	"umac/internal/core"
+	"umac/internal/webutil"
 )
 
 // The decision routes are the AM's hot path: every cache-missing resource
@@ -32,12 +34,14 @@ const maxPooledDecisionBuf = 64 << 10
 // writeDecisionJSON is webutil.WriteJSON through a pooled buffer: the
 // response is encoded once into reusable memory and written with a single
 // Write call.
-func writeDecisionJSON(w http.ResponseWriter, v any) {
+func writeDecisionJSON(w http.ResponseWriter, r *http.Request, v any) {
 	buf := decisionBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		decisionBufPool.Put(buf)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// Through the structured funnel, not http.Error: a 500 must wear
+		// the envelope and the sanitizer, never the raw encoder message.
+		webutil.Fail(w, r, fmt.Errorf("am: encode decision response: %w: %w", core.ErrInternalFault, err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

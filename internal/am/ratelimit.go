@@ -1,0 +1,125 @@
+package am
+
+import (
+	"net"
+	"net/http"
+
+	"umac/internal/core"
+	"umac/internal/webutil"
+)
+
+// This file wires the webutil token-bucket limiter into the AM's
+// middleware stack. Three tiers, keyed by who the caller already proved
+// to be: signed Host traffic by pairing ID, session (management) traffic
+// by the authenticated actor, and the unauthenticated public routes by
+// remote IP. Admission runs AFTER authentication — keys are verified
+// identities, so a stranger cannot drain another tenant's bucket by
+// spoofing a header — and each route charges a cost class, so one policy
+// import weighs as much as a bursty run of decisions.
+
+// Limiter tier names (the keys of core.AbuseHealth.Tiers).
+const (
+	tierPairing = "pairing"
+	tierSession = "session"
+	tierIP      = "ip"
+)
+
+// Route cost classes, in bucket tokens. The decision hot path stays
+// cheap; PAP mutations weigh an order of magnitude more; import/export,
+// audit walks and consent resolution — the routes that touch whole
+// owner closures — weigh another notch. See docs/OPERATIONS.md ("Abuse
+// controls") for sizing quotas against these.
+const (
+	costDecision  = 1
+	costRead      = 2
+	costMutation  = 10
+	costExpensive = 25
+)
+
+// AbuseConfig enables and sizes the per-tenant rate limiter. Rates are
+// cost units per second; bursts are bucket capacities (<= 0 defaults to
+// 10x the rate). A tier with rate <= 0 stays unlimited; the zero value
+// disables the limiter entirely.
+type AbuseConfig struct {
+	// PairingRate / PairingBurst budget the HMAC-signed Host channel,
+	// keyed per pairing ID (decisions, protect).
+	PairingRate  float64
+	PairingBurst float64
+	// SessionRate / SessionBurst budget the session-authenticated
+	// management surface, keyed per authenticated user.
+	SessionRate  float64
+	SessionBurst float64
+	// IPRate / IPBurst budget the unauthenticated public routes (token,
+	// pair/exchange, consent stream), keyed per remote IP.
+	IPRate  float64
+	IPBurst float64
+}
+
+// enabled reports whether any tier is configured.
+func (c AbuseConfig) enabled() bool {
+	return c.PairingRate > 0 || c.SessionRate > 0 || c.IPRate > 0
+}
+
+// newLimiter builds the configured limiter (nil when disabled).
+func newLimiter(c AbuseConfig) *webutil.RateLimiter {
+	if !c.enabled() {
+		return nil
+	}
+	return webutil.NewRateLimiter(nil,
+		webutil.TierConfig{Name: tierPairing, Rate: c.PairingRate, Burst: c.PairingBurst},
+		webutil.TierConfig{Name: tierSession, Rate: c.SessionRate, Burst: c.SessionBurst},
+		webutil.TierConfig{Name: tierIP, Rate: c.IPRate, Burst: c.IPBurst},
+	)
+}
+
+// allow charges cost against the (tier, key) bucket and, when the budget
+// is exhausted, answers the structured rate_limited envelope (429,
+// retryable) with the Retry-After hint. Returns true when the request may
+// proceed. A nil limiter (abuse controls disabled) always admits.
+func (a *AM) allow(w http.ResponseWriter, r *http.Request, tier, key string, cost float64) bool {
+	if a.limiter == nil {
+		return true
+	}
+	ok, retryAfter := a.limiter.Allow(tier, key, cost)
+	if ok {
+		return true
+	}
+	e := core.APIErrorf(core.CodeRateLimited, "am: %s rate budget exhausted; retry later", tier)
+	e.RetryAfterSeconds = webutil.RetryAfterSeconds(retryAfter)
+	webutil.WriteAPIError(w, r, e)
+	return false
+}
+
+// ipLimited wraps an unauthenticated public route with the per-remote-IP
+// tier. The key is the connection's peer address — not a spoofable
+// header — so the fail-safe default holds even for strangers.
+func (a *AM) ipLimited(cost float64, h http.Handler) http.Handler {
+	if a.limiter == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !a.allow(w, r, tierIP, remoteIP(r), cost) {
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// remoteIP extracts the peer IP from RemoteAddr (the whole address when
+// it does not parse — still a stable per-peer key).
+func remoteIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// AbuseHealth snapshots the limiter gauges (nil when abuse controls are
+// disabled) for /v1/healthz and /v1/metrics.
+func (a *AM) AbuseHealth() *core.AbuseHealth {
+	if a.limiter == nil {
+		return nil
+	}
+	return a.limiter.Health()
+}

@@ -99,7 +99,7 @@ func (a *AM) handleRebalanceStart(w http.ResponseWriter, r *http.Request) {
 	}
 	plan, err := rebalance.BuildPlan(req, owners)
 	if err != nil {
-		webutil.FailCode(w, r, core.CodeBadRequest, "%s", err.Error())
+		failOp(w, r, core.CodeBadRequest, err)
 		return
 	}
 	st, err := a.rebal.Start(plan)

@@ -1,0 +1,243 @@
+package am
+
+// The 5xx sanitization audit. With a fault-injected store (every write
+// fails with a path-laden error) the suite walks EVERY registered route
+// and asserts the leak-proof contract of the error surface:
+//
+//   - no response body, whatever its status, ever carries the internal
+//     fault text (paths, WAL segment names, wrapped error chains);
+//   - every 5xx wears the structured envelope with the fixed sanitized
+//     message and a request ID;
+//   - the full cause IS captured server-side, keyed by that request ID,
+//     so operators lose nothing the wire no longer shows.
+//
+// The walk is generic on purpose: a new route added without riding the
+// webutil funnel fails here, not in a code review.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"umac/internal/core"
+	"umac/internal/httpsig"
+	"umac/internal/identity"
+	"umac/internal/webutil"
+)
+
+// secretDetail is the fault text injected into the store: it looks like
+// what a real disk failure drags along — an absolute path, a segment
+// name, an errno-style suffix. None of it may reach the wire.
+const secretDetail = "/var/lib/umac/wal/segment-000042.wal: disk full (errno 28)"
+
+// leakMarkers are the substrings the audit hunts for in response bodies.
+var leakMarkers = []string{
+	"/var/lib",
+	"segment-000042",
+	"disk full",
+	"errno",
+	"internal fault", // the core.ErrInternalFault sentinel text
+}
+
+// fillParams substitutes dummy values for the mux path wildcards.
+var fillParams = strings.NewReplacer(
+	"{id}", "p1",
+	"{group}", "g1",
+	"{user}", "carol",
+	"{owner}", "bob",
+	"{ticket}", "tkt-1",
+)
+
+// captureInternalLog swaps in a recording sink for the server-side error
+// log and returns the capture map (request ID -> full message), restoring
+// the previous sink when the test ends.
+func captureInternalLog(t *testing.T) func(requestID string) (string, bool) {
+	t.Helper()
+	var mu sync.Mutex
+	byID := map[string]string{}
+	prev := webutil.SetInternalErrorLog(func(requestID string, e *core.APIError) {
+		mu.Lock()
+		byID[requestID] = e.Message
+		mu.Unlock()
+	})
+	t.Cleanup(func() { webutil.SetInternalErrorLog(prev) })
+	return func(id string) (string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		m, ok := byID[id]
+		return m, ok
+	}
+}
+
+func TestSanitizationAuditEveryRoute(t *testing.T) {
+	f := newHTTPFixture(t)
+	lookup := captureInternalLog(t)
+
+	// Establish a pairing BEFORE the fault so the signed channel can
+	// authenticate, and a policy so mutation routes get past validation.
+	code, _ := f.am.ApprovePairing(core.PairingRequest{Host: "webpics", User: "bob"})
+	pr, err := f.am.ExchangeCode(code, "webpics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.am.RegisterRealm(pr.PairingID, core.ProtectRequest{Realm: "travel"}); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := f.am.CreatePolicy("bob", simplePolicy("bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.am.Store().FailWrites(errors.New(secretDetail))
+	t.Cleanup(func() { f.am.Store().FailWrites(nil) })
+
+	// Route-specific request bodies where an empty object would bounce off
+	// validation before reaching the store.
+	bodies := map[string]any{
+		"POST /v1/policies":               simplePolicy("bob"),
+		"PUT /v1/policies/{id}":           simplePolicy("bob"),
+		"POST /v1/groups/{group}/members": core.GroupMemberRequest{User: "carol"},
+		"POST /v1/custodians":             core.CustodianRequest{Custodian: "carol"},
+		"POST /v1/api/protect":            core.ProtectRequest{Realm: "beach"},
+		"POST /v1/links/general":          core.LinkGeneralRequest{Realm: "travel", Policy: pol.ID},
+		"POST /v1/links/specific":         core.LinkSpecificRequest{Host: "webpics", Resource: "img1", Policy: pol.ID},
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	fiveHundreds := 0
+	for _, rt := range f.am.Routes() {
+		key := rt.Method + " " + rt.Path
+		t.Run(strings.ReplaceAll(key, "/", "_"), func(t *testing.T) {
+			path := fillParams.Replace(rt.Path)
+			var body io.Reader
+			if b, ok := bodies[key]; ok {
+				raw, err := json.Marshal(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				body = bytes.NewReader(raw)
+			} else if rt.Method == http.MethodPost || rt.Method == http.MethodPut {
+				body = strings.NewReader("{}")
+			}
+			req, err := http.NewRequest(rt.Method, f.srv.URL+path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			switch {
+			case strings.HasPrefix(rt.Path, "/v1/events"):
+				// Streaming routes stay unauthenticated in the walk so they
+				// answer immediately instead of holding the connection open.
+			case strings.HasPrefix(rt.Path, "/v1/api/"):
+				if err := httpsig.Sign(req, pr.PairingID, pr.Secret); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				req.Header.Set(identity.DefaultUserHeader, "bob")
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			if err != nil {
+				t.Fatalf("%s: read body: %v", key, err)
+			}
+			for _, marker := range leakMarkers {
+				if strings.Contains(string(raw), marker) {
+					t.Fatalf("%s: status %d body leaks %q:\n%s", key, resp.StatusCode, marker, raw)
+				}
+			}
+			if resp.StatusCode < 500 {
+				return
+			}
+			fiveHundreds++
+			var e core.APIError
+			if err := json.Unmarshal(raw, &e); err != nil {
+				t.Fatalf("%s: 5xx body is not the structured envelope: %v\n%s", key, err, raw)
+			}
+			if e.Code != core.CodeInternal {
+				t.Errorf("%s: 5xx code = %q, want %q", key, e.Code, core.CodeInternal)
+			}
+			if e.Message != webutil.SanitizedMessage {
+				t.Errorf("%s: 5xx message = %q, want the fixed %q", key, e.Message, webutil.SanitizedMessage)
+			}
+			if e.RequestID == "" {
+				t.Fatalf("%s: 5xx envelope has no request ID; the server-side cause is uncorrelatable", key)
+			}
+			full, ok := lookup(e.RequestID)
+			if !ok {
+				t.Fatalf("%s: request %s produced a 500 but no server-side log entry", key, e.RequestID)
+			}
+			if !strings.Contains(full, secretDetail) {
+				t.Errorf("%s: server-side log lost the cause: %q", key, full)
+			}
+		})
+	}
+	// The audit is only meaningful if the fault injection actually drove a
+	// healthy slice of the surface into the 500 path.
+	if fiveHundreds < 5 {
+		t.Fatalf("only %d routes hit the 5xx path; the fault injection is not reaching the store", fiveHundreds)
+	}
+}
+
+// TestSanitizationDrainMessageExempt pins the one deliberate exception:
+// the unavailable (503) draining answer keeps its human-readable message —
+// it carries no internals and failover logic keys on it.
+func TestSanitizationDrainMessageExempt(t *testing.T) {
+	f := newHTTPFixture(t)
+	f.am.SetDraining(true)
+	resp, err := http.Get(f.srv.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var e core.APIError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || e.Code != core.CodeUnavailable {
+		t.Fatalf("draining readyz = %d %q, want 503 %q", resp.StatusCode, e.Code, core.CodeUnavailable)
+	}
+	if e.Message == webutil.SanitizedMessage || e.Message == "" {
+		t.Fatalf("drain message was sanitized to %q; unavailable is exempt", e.Message)
+	}
+}
+
+// TestSanitizationFunnelDirect exercises the funnel below the HTTP layer:
+// a wrapped internal fault answered via webutil.Fail must come out as the
+// sanitized 500 regardless of which handler raised it.
+func TestSanitizationFunnelDirect(t *testing.T) {
+	lookup := captureInternalLog(t)
+	rec := httptest.NewRecorder()
+	req, _ := http.NewRequest(http.MethodGet, "/x", nil)
+	handler := webutil.RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		webutil.Fail(w, r, fmt.Errorf("am: op: %w: %w", core.ErrInternalFault, errors.New(secretDetail)))
+	}))
+	handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var e core.APIError
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Message != webutil.SanitizedMessage {
+		t.Fatalf("message = %q, want %q", e.Message, webutil.SanitizedMessage)
+	}
+	full, ok := lookup(e.RequestID)
+	if !ok || !strings.Contains(full, secretDetail) {
+		t.Fatalf("server-side capture = %q, %v; want the full cause", full, ok)
+	}
+}

@@ -23,11 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"slices"
+	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"umac/internal/core"
 	"umac/internal/httpsig"
@@ -67,7 +70,24 @@ type Config struct {
 	// Legacy pins the client to the pre-v1 alias paths. Used by the
 	// compatibility tests; new code should leave it false.
 	Legacy bool
+	// Retry429 bounds how many times a rate_limited (429) answer is
+	// retried against the same endpoint before the error surfaces to the
+	// caller: 0 selects the default (3), a negative value disables
+	// retrying. Waits honor the server's Retry-After hint when present
+	// and fall back to jittered exponential backoff otherwise.
+	Retry429 int
+	// RetryBudget caps the total time one call spends sleeping between
+	// rate_limited retries (0 = default 5s). Once the budget is spent the
+	// 429 surfaces immediately — fail fast rather than pile on.
+	RetryBudget time.Duration
 }
+
+// Rate-limit retry defaults (see Config.Retry429 / Config.RetryBudget).
+const (
+	defaultRetry429    = 3
+	defaultRetryBudget = 5 * time.Second
+	retryBaseWait      = 100 * time.Millisecond
+)
 
 // Client is a typed AM API client. Methods are safe for concurrent use.
 type Client struct {
@@ -76,6 +96,10 @@ type Client struct {
 	// cur indexes the endpoint requests currently start at; failover
 	// advances it so later calls go straight to the working node.
 	cur atomic.Int32
+	// sleep and jitter are the rate-limit backoff's clock hooks; tests
+	// replace them to run the retry loop deterministically.
+	sleep  func(time.Duration)
+	jitter func() float64
 }
 
 // New constructs a Client.
@@ -99,7 +123,7 @@ func New(cfg Config) *Client {
 	if len(endpoints) == 0 {
 		endpoints = []string{""}
 	}
-	return &Client{cfg: cfg, endpoints: endpoints}
+	return &Client{cfg: cfg, endpoints: endpoints, sleep: time.Sleep, jitter: rand.Float64}
 }
 
 // WithCredential returns a copy of the client signing with the given
@@ -108,7 +132,7 @@ func (c *Client) WithCredential(pairingID, secret string) *Client {
 	cfg := c.cfg
 	cfg.PairingID = pairingID
 	cfg.Secret = secret
-	nc := &Client{cfg: cfg, endpoints: c.endpoints}
+	nc := &Client{cfg: cfg, endpoints: c.endpoints, sleep: c.sleep, jitter: c.jitter}
 	nc.cur.Store(c.cur.Load())
 	return nc
 }
@@ -256,6 +280,16 @@ func (c *Client) doRawHdr(method, path string, q url.Values, body io.Reader, con
 	}
 	tried := make([]bool, len(c.endpoints))
 	at := int(c.cur.Load())
+	retries := c.cfg.Retry429
+	if retries == 0 {
+		retries = defaultRetry429
+	}
+	budget := c.cfg.RetryBudget
+	if budget == 0 {
+		budget = defaultRetryBudget
+	}
+	var slept time.Duration
+	retried := 0
 	var lastErr error
 	for at >= 0 {
 		tried[at] = true
@@ -270,12 +304,52 @@ func (c *Client) doRawHdr(method, path string, q url.Values, body io.Reader, con
 			return nil
 		}
 		lastErr = err
+		// A rate_limited answer is retried against the SAME endpoint —
+		// the budget is per tenant, not per node, so failing over would
+		// just spend another shard's goodwill. Bounded count, bounded
+		// total sleep; past either, the 429 surfaces to the caller.
+		if hint, ok := rateLimited(err); ok {
+			if retried >= retries || slept >= budget {
+				return err
+			}
+			wait := c.backoff429(hint, retried, budget-slept)
+			retried++
+			slept += wait
+			c.sleep(wait)
+			continue
+		}
 		if len(c.endpoints) == 1 || !failoverWorthy(err) {
 			return err
 		}
 		at = c.nextEndpoint(at, tried, err)
 	}
 	return lastErr
+}
+
+// rateLimited reports whether err is the structured rate_limited answer,
+// returning the server's Retry-After hint when it carried one.
+func rateLimited(err error) (time.Duration, bool) {
+	var ae *core.APIError
+	if errors.As(err, &ae) && ae.Code == core.CodeRateLimited {
+		return time.Duration(ae.RetryAfterSeconds) * time.Second, true
+	}
+	return 0, false
+}
+
+// backoff429 picks the wait before the n-th rate_limited retry: the
+// server's Retry-After hint when present, exponential from retryBaseWait
+// otherwise, jittered into [wait/2, wait) so a herd of throttled clients
+// does not re-arrive in lockstep, and never past the remaining budget.
+func (c *Client) backoff429(hint time.Duration, n int, remaining time.Duration) time.Duration {
+	wait := hint
+	if wait <= 0 {
+		wait = retryBaseWait << uint(n)
+	}
+	wait = wait/2 + time.Duration(c.jitter()*float64(wait/2))
+	if wait > remaining {
+		wait = remaining
+	}
+	return wait
 }
 
 // doOnce performs one API call against one endpoint.
@@ -347,6 +421,11 @@ func decodeError(resp *http.Response) error {
 		}
 		if e.RequestID == "" {
 			e.RequestID = resp.Header.Get("X-Request-Id")
+		}
+		if e.RetryAfterSeconds == 0 {
+			if n, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && n > 0 {
+				e.RetryAfterSeconds = n
+			}
 		}
 		return &e
 	}

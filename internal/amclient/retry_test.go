@@ -1,0 +1,318 @@
+package amclient
+
+// In-package tests for the client's rate_limited (429) backoff: the sleep
+// and jitter hooks are injected so the retry loop runs deterministically
+// and instantly. The contract under test: honor the server's Retry-After
+// hint, fall back to jittered exponential backoff without one, retry the
+// SAME endpoint (a tenant budget follows the tenant, not the node), stop
+// after the bounded count or sleep budget, and never let a 429 burn the
+// ClusterClient's single wrong_shard chase.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"umac/internal/core"
+)
+
+// rateLimitedAnswer writes the structured 429 envelope; hintSeconds <= 0
+// omits both the header and the body field.
+func rateLimitedAnswer(w http.ResponseWriter, hintSeconds int) {
+	if hintSeconds > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(hintSeconds))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	e := core.APIError{Code: core.CodeRateLimited, Status: http.StatusTooManyRequests,
+		Message: "rate budget exhausted", Retryable: true}
+	if hintSeconds > 0 {
+		e.RetryAfterSeconds = hintSeconds
+	}
+	json.NewEncoder(w).Encode(&e)
+}
+
+// retryClient wires a client to srv with recording sleep and fixed jitter.
+func retryClient(srv *httptest.Server, cfg Config) (*Client, *[]time.Duration) {
+	cfg.BaseURL = srv.URL
+	c := New(cfg)
+	sleeps := &[]time.Duration{}
+	c.sleep = func(d time.Duration) { *sleeps = append(*sleeps, d) }
+	c.jitter = func() float64 { return 1 } // deterministic: the full wait
+	return c, sleeps
+}
+
+func TestRetry429HonorsServerHint(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			rateLimitedAnswer(w, 7)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	c, sleeps := retryClient(srv, Config{RetryBudget: time.Minute})
+	if err := c.get("/ping", nil, nil); err != nil {
+		t.Fatalf("call failed despite retries: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 429s, one success)", calls.Load())
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("client slept %d times, want 2", len(*sleeps))
+	}
+	for i, d := range *sleeps {
+		if d != 7*time.Second {
+			t.Fatalf("sleep %d = %v, want the server's 7s hint", i, d)
+		}
+	}
+}
+
+func TestRetry429ExponentialBackoffWithoutHint(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			rateLimitedAnswer(w, 0)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	c, sleeps := retryClient(srv, Config{})
+	if err := c.get("/ping", nil, nil); err != nil {
+		t.Fatalf("call failed despite retries: %v", err)
+	}
+	want := []time.Duration{retryBaseWait, 2 * retryBaseWait, 4 * retryBaseWait}
+	if len(*sleeps) != len(want) {
+		t.Fatalf("slept %v, want %v", *sleeps, want)
+	}
+	for i := range want {
+		if (*sleeps)[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (exponential from %v)", i, (*sleeps)[i], want[i], retryBaseWait)
+		}
+	}
+}
+
+func TestRetry429JitterStaysBounded(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rateLimitedAnswer(w, 10)
+	}))
+	defer srv.Close()
+	for _, j := range []float64{0, 0.25, 0.5, 0.999} {
+		c, sleeps := retryClient(srv, Config{Retry429: 1, RetryBudget: time.Minute})
+		c.jitter = func() float64 { return j }
+		c.get("/ping", nil, nil) // one retry then surface
+		if len(*sleeps) != 1 {
+			t.Fatalf("jitter %v: slept %d times, want 1", j, len(*sleeps))
+		}
+		d := (*sleeps)[0]
+		if d < 5*time.Second || d > 10*time.Second {
+			t.Fatalf("jitter %v: wait %v outside [hint/2, hint] = [5s, 10s]", j, d)
+		}
+	}
+}
+
+func TestRetry429FailsFastPastBudget(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		rateLimitedAnswer(w, 30)
+	}))
+	defer srv.Close()
+	c, sleeps := retryClient(srv, Config{RetryBudget: time.Second})
+	err := c.get("/ping", nil, nil)
+	var ae *core.APIError
+	if !asAPIError(err, &ae) || ae.Code != core.CodeRateLimited {
+		t.Fatalf("err = %v, want the surfaced rate_limited APIError", err)
+	}
+	// The first wait is clamped to the whole 1s budget; once it is spent
+	// no further retry happens, however many the count would still allow.
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2 (initial + the single in-budget retry)", calls.Load())
+	}
+	var total time.Duration
+	for _, d := range *sleeps {
+		total += d
+	}
+	if total > time.Second {
+		t.Fatalf("total sleep %v exceeds the 1s budget", total)
+	}
+}
+
+func TestRetry429ExhaustsBoundedCount(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		rateLimitedAnswer(w, 0)
+	}))
+	defer srv.Close()
+	c, _ := retryClient(srv, Config{})
+	err := c.get("/ping", nil, nil)
+	var ae *core.APIError
+	if !asAPIError(err, &ae) || ae.Code != core.CodeRateLimited {
+		t.Fatalf("err = %v, want rate_limited after exhausting retries", err)
+	}
+	if calls.Load() != defaultRetry429+1 {
+		t.Fatalf("server saw %d calls, want %d (initial + default retries)", calls.Load(), defaultRetry429+1)
+	}
+}
+
+func TestRetry429DisabledByNegativeConfig(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		rateLimitedAnswer(w, 1)
+	}))
+	defer srv.Close()
+	c, sleeps := retryClient(srv, Config{Retry429: -1})
+	err := c.get("/ping", nil, nil)
+	var ae *core.APIError
+	if !asAPIError(err, &ae) || ae.Code != core.CodeRateLimited {
+		t.Fatalf("err = %v, want an immediate rate_limited", err)
+	}
+	if calls.Load() != 1 || len(*sleeps) != 0 {
+		t.Fatalf("calls = %d, sleeps = %v; want exactly one call and no sleeping", calls.Load(), *sleeps)
+	}
+}
+
+func TestRetry429DoesNotFailOver(t *testing.T) {
+	// Two endpoints: the first answers 429 then succeeds; the second
+	// must never be contacted — a tenant budget is not a node failure.
+	var aCalls, bCalls atomic.Int32
+	srvA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if aCalls.Add(1) == 1 {
+			rateLimitedAnswer(w, 0)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srvA.Close()
+	srvB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bCalls.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer srvB.Close()
+	c, _ := retryClient(srvA, Config{Endpoints: []string{srvB.URL}})
+	if err := c.get("/ping", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if aCalls.Load() != 2 || bCalls.Load() != 0 {
+		t.Fatalf("endpoint calls = %d/%d, want 2 on the throttling node and 0 elsewhere", aCalls.Load(), bCalls.Load())
+	}
+}
+
+func TestDecodeErrorParsesRetryAfterHeader(t *testing.T) {
+	// The header alone must populate the hint when the envelope omits it.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "42")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"code":"rate_limited","status":429,"message":"slow down"}`))
+	}))
+	defer srv.Close()
+	c, _ := retryClient(srv, Config{Retry429: -1})
+	err := c.get("/ping", nil, nil)
+	var ae *core.APIError
+	if !asAPIError(err, &ae) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if ae.RetryAfterSeconds != 42 {
+		t.Fatalf("RetryAfterSeconds = %d, want 42 from the header", ae.RetryAfterSeconds)
+	}
+}
+
+func TestCluster429DoesNotBurnWrongShardChase(t *testing.T) {
+	// shard-a throttles once, then discloses the owner moved to shard-b.
+	// The client must absorb the 429 with a same-shard retry and still
+	// have its single wrong_shard chase available for the real redirect.
+	var aDecisions, bDecisions atomic.Int32
+	var srvA, srvB *httptest.Server
+	clusterInfo := func(self string) core.ClusterInfo {
+		return core.ClusterInfo{
+			Shard: self, RingVersion: 1, Vnodes: 4,
+			Shards: []core.ShardInfo{
+				{Name: "shard-a", Primary: srvA.URL},
+				{Name: "shard-b", Primary: srvB.URL},
+			},
+		}
+	}
+	srvA = httptest.NewUnstartedServer(nil)
+	srvB = httptest.NewUnstartedServer(nil)
+	srvA.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/cluster":
+			info := clusterInfo("shard-a")
+			// Pin the owner here initially so the scenario starts on the
+			// throttling shard regardless of where the hash would land.
+			info.Overrides = map[string]string{"alice": "shard-a"}
+			json.NewEncoder(w).Encode(info)
+		case "/v1/api/decision":
+			switch aDecisions.Add(1) {
+			case 1:
+				rateLimitedAnswer(w, 0)
+			default:
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusMisdirectedRequest)
+				json.NewEncoder(w).Encode(&core.APIError{
+					Code: core.CodeWrongShard, Status: http.StatusMisdirectedRequest,
+					Message: "owner lives on shard-b", Shard: srvB.URL,
+				})
+			}
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	srvB.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/cluster":
+			info := clusterInfo("shard-b")
+			// The refreshed ring pins the owner to shard-b so the
+			// re-resolved route actually lands here.
+			info.Overrides = map[string]string{"alice": "shard-b"}
+			json.NewEncoder(w).Encode(info)
+		case "/v1/api/decision":
+			bDecisions.Add(1)
+			json.NewEncoder(w).Encode(core.DecisionResponse{Decision: core.DecisionPermit.String()})
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	srvA.Start()
+	defer srvA.Close()
+	srvB.Start()
+	defer srvB.Close()
+
+	cc, err := NewCluster(Config{BaseURL: srvA.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the inner per-shard clients deterministic: no real sleeping.
+	for _, c := range cc.clients {
+		c.sleep = func(time.Duration) {}
+		c.jitter = func() float64 { return 1 }
+	}
+	resp, err := cc.Decide("alice", core.DecisionQuery{})
+	if err != nil {
+		t.Fatalf("Decide failed: %v", err)
+	}
+	if resp.Decision != core.DecisionPermit.String() {
+		t.Fatalf("decision = %q, want permit from shard-b", resp.Decision)
+	}
+	if aDecisions.Load() != 2 {
+		t.Fatalf("shard-a saw %d decision calls, want 2 (429 + wrong_shard)", aDecisions.Load())
+	}
+	if bDecisions.Load() != 1 {
+		t.Fatalf("shard-b saw %d decision calls, want 1 (the chased retry)", bDecisions.Load())
+	}
+}
+
+// asAPIError extracts the structured envelope from an error chain.
+func asAPIError(err error, target **core.APIError) bool {
+	return errors.As(err, target)
+}

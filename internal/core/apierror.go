@@ -70,6 +70,14 @@ const (
 	// in the Shard hint (its primary base URL) after refreshing the ring
 	// from GET /v1/cluster.
 	CodeWrongShard = "wrong_shard"
+	// CodeRateLimited: the caller exhausted its per-tenant token-bucket
+	// budget (pairing, session or remote-IP tier). Retry after the delay
+	// named by the Retry-After header / RetryAfterSeconds field; hammering
+	// sooner only refills the 429 counter.
+	CodeRateLimited = "rate_limited"
+	// CodeRequestTooLarge: the request body exceeds the server's size cap.
+	// Not retryable — the same payload will be rejected again.
+	CodeRequestTooLarge = "request_too_large"
 	// CodeUnknown is used client-side for error responses that carry no
 	// machine-readable code (pre-v1 servers, proxies).
 	CodeUnknown = "unknown"
@@ -95,11 +103,13 @@ var codeInfo = map[string]struct {
 	CodeNotFound:           {404, false, nil},
 	CodeConflict:           {409, false, nil},
 	CodePairingCodeInvalid: {403, false, nil},
-	CodeInternal:           {500, true, nil},
+	CodeInternal:           {500, true, ErrInternalFault},
 	CodeUnavailable:        {503, true, nil},
 	CodeNotPrimary:         {421, true, nil},
 	CodeWALTruncated:       {410, false, nil},
 	CodeWrongShard:         {421, true, nil},
+	CodeRateLimited:        {429, true, nil},
+	CodeRequestTooLarge:    {413, false, nil},
 	CodeUnknown:            {500, false, nil},
 }
 
@@ -125,6 +135,11 @@ type APIError struct {
 	// its ring. Best-effort — empty when the answering node cannot name
 	// the owner's shard.
 	Shard string `json:"shard,omitempty"`
+	// RetryAfterSeconds is the server's backoff hint on rate_limited
+	// errors: how long (in whole seconds, rounded up) until the caller's
+	// token bucket can cover the rejected request. Mirrored in the
+	// Retry-After response header.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 // Error implements error. Responses without a machine-readable code
@@ -173,6 +188,8 @@ func APIErrorFor(err error) *APIError {
 	}
 	code := CodeBadRequest
 	switch {
+	case errors.Is(err, ErrInternalFault):
+		code = CodeInternal
 	case errors.Is(err, ErrAccessDenied):
 		code = CodeAccessDenied
 	case errors.Is(err, ErrTokenInvalid):

@@ -30,6 +30,13 @@
 //     coordinator under the same two kills; afterwards the final ring
 //     (shard-b gone) must be in force everywhere and the drained node
 //     must disclaim every owner it used to serve.
+//   - abusive_tenant: one tenant floods decisions and policy churn far
+//     past its per-tenant rate budget while a victim on the SAME shard
+//     runs the standard paced mix — the abuser must drown in 429s
+//     (≥95% once over budget), the victim's decision p99 must stay
+//     within 2x its clean-run baseline, and no acknowledged write may
+//     be lost. The cluster runs with the abuse-control flags enabled
+//     (the only scenario that does; see ScenarioExtraArgs).
 //
 // Every scenario reports per-phase throughput, p50/p99 latency, error and
 // loss counters in a superset of the repo's -benchjson schema (see
@@ -85,6 +92,26 @@ var Scenarios = map[string]Scenario{
 	"consent_storm":    ConsentStorm,
 	"ring_double":      RingDouble,
 	"kill_rebalance":   KillRebalance,
+	"abusive_tenant":   AbusiveTenant,
+}
+
+// ScenarioExtraArgs returns the extra amserver flags a scenario's cluster
+// must be started with (passed through to StartCluster). Most scenarios
+// run the stock server; abusive_tenant needs the per-tenant limiter armed:
+// tight pairing/session budgets sized so the paced victim mix fits with
+// headroom while an unpaced flood is over budget within a second, and an
+// effectively unlimited IP tier because every harness client shares
+// 127.0.0.1 — the per-IP tier would otherwise punish the victim for the
+// abuser's address.
+func ScenarioExtraArgs(name string) []string {
+	if name != "abusive_tenant" {
+		return nil
+	}
+	return []string{
+		"-rate-pairing", "10", "-rate-pairing-burst", "20",
+		"-rate-session", "10", "-rate-session-burst", "20",
+		"-rate-ip", "1000000", "-rate-ip-burst", "2000000",
+	}
 }
 
 // ScenarioNames returns the registry keys sorted, for deterministic

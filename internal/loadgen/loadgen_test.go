@@ -40,11 +40,12 @@ func TestMain(m *testing.M) {
 }
 
 // startRig spawns a fresh cluster for one test and tears it down after.
-func startRig(t *testing.T) *Rig {
+// extraArgs reach every node's flag list (ScenarioExtraArgs).
+func startRig(t *testing.T, extraArgs ...string) *Rig {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(t.Context(), 30*time.Second)
 	defer cancel()
-	rig, err := StartCluster(ctx, testBinary, t.TempDir(), t.Logf)
+	rig, err := StartCluster(ctx, testBinary, t.TempDir(), t.Logf, extraArgs...)
 	if err != nil {
 		t.Fatalf("start cluster: %v", err)
 	}
@@ -63,7 +64,7 @@ func runScenarioSmoke(t *testing.T, name string) {
 	}
 	ctx, cancel := context.WithTimeout(t.Context(), 4*time.Minute)
 	defer cancel()
-	rig := startRig(t)
+	rig := startRig(t, ScenarioExtraArgs(name)...)
 
 	rec, err := sc(ctx, rig, SmokeOptions())
 	if err != nil {
@@ -105,6 +106,7 @@ func TestLoadgenKillMigration(t *testing.T)   { runScenarioSmoke(t, "kill_migrat
 func TestLoadgenConsentStorm(t *testing.T)    { runScenarioSmoke(t, "consent_storm") }
 func TestLoadgenRingDouble(t *testing.T)      { runScenarioSmoke(t, "ring_double") }
 func TestLoadgenKillRebalance(t *testing.T)   { runScenarioSmoke(t, "kill_rebalance") }
+func TestLoadgenAbusiveTenant(t *testing.T)   { runScenarioSmoke(t, "abusive_tenant") }
 
 // TestLoadgenAuditPagination drives >1000 audited operations for one
 // owner against the spawned cluster, then walks the audit log with the

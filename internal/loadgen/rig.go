@@ -113,7 +113,9 @@ func freeAddr() (string, error) {
 // durable primary and an in-memory follower, shard-b with a durable
 // primary — every node fronted by a FaultProxy and registered in the ring
 // by its proxy URL. It blocks until every node answers /v1/readyz.
-func StartCluster(ctx context.Context, binary, dir string, logf func(string, ...any)) (*Rig, error) {
+// extraArgs are appended to every node's flag list; scenarios use them to
+// start the cluster with non-default server config (ScenarioExtraArgs).
+func StartCluster(ctx context.Context, binary, dir string, logf func(string, ...any), extraArgs ...string) (*Rig, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
@@ -176,6 +178,7 @@ func StartCluster(ctx context.Context, binary, dir string, logf func(string, ...
 		"-repl-secret-file", secretFile,
 		"-token-key-file", keyFile,
 	}
+	common = append(common, extraArgs...)
 	ap.StateFile = filepath.Join(dir, "a-primary.json")
 	ap.args = append([]string{
 		"-addr", ap.Addr, "-name", ap.Name, "-base-url", ap.Proxy.URL(),

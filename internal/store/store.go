@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"umac/internal/core"
 )
@@ -131,6 +132,11 @@ type Store struct {
 	// snapshotPath is the path Open loaded from; Snapshot to this path is
 	// the WAL compaction point.
 	snapshotPath string
+
+	// failWrites, when non-nil, makes every mutation fail with the stored
+	// error (wrapped as an internal fault). Fault-injection hook for the
+	// HTTP sanitization audit; never set in production.
+	failWrites atomic.Pointer[error]
 }
 
 // New returns an empty memory-only store. Equivalent to new(Store); provided
@@ -193,6 +199,9 @@ func (s *Store) logDelete(kind, key string) error {
 // batch is on disk, so an acknowledged offset always names durable bytes.
 // Memory-only replicating stores publish synchronously.
 func (s *Store) logMutation(op, kind, key string, version int64, data json.RawMessage) error {
+	if f := s.failWrites.Load(); f != nil {
+		return internalFault(*f)
+	}
 	if s.wal == nil && s.repl == nil {
 		return nil
 	}
@@ -207,20 +216,44 @@ func (s *Store) logMutation(op, kind, key string, version int64, data json.RawMe
 	}
 	if s.walClosing || s.wal.isClosed() {
 		s.walMu.Unlock()
-		return ErrClosed
+		return internalFault(ErrClosed)
 	}
 	rec := walRecord{Seq: s.nextSeq + 1, Op: op, Kind: kind, Key: key, Version: version, Data: data}
 	buf, err := encodeRecord(rec)
 	if err != nil {
 		s.walMu.Unlock()
-		return err
+		return internalFault(err)
 	}
 	s.nextSeq++
 	b := s.enqueueLocked(buf, rec)
 	s.walMu.Unlock()
 	s.kickCommitter()
 	<-b.done
-	return b.err
+	return internalFault(b.err)
+}
+
+// internalFault classifies a storage-layer failure as a server fault: the
+// HTTP surface maps anything wrapping core.ErrInternalFault to a
+// sanitized 500 instead of a caller-blaming 400 that would echo WAL
+// paths back on the wire. errors.Is against the original error (e.g.
+// ErrClosed) keeps working through the wrap.
+func internalFault(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("store: %w: %w", core.ErrInternalFault, err)
+}
+
+// FailWrites injects err as the outcome of every subsequent mutation on
+// this store (wrapped as an internal fault); nil clears the injection.
+// Fault-injection hook for the sanitization audit — it proves that a
+// disk-full WAL append cannot leak its path through any registered route.
+func (s *Store) FailWrites(err error) {
+	if err == nil {
+		s.failWrites.Store(nil)
+		return
+	}
+	s.failWrites.Store(&err)
 }
 
 // Put stores v under (kind, key), overwriting any existing entity and

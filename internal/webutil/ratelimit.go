@@ -1,0 +1,195 @@
+package webutil
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"umac/internal/core"
+)
+
+// This file is the per-tenant token-bucket rate limiter of the abuse
+// layer. One RateLimiter holds several named tiers (pairing, session,
+// remote IP); each tier holds one token bucket per key it has seen,
+// lock-striped so concurrent tenants rarely contend on the same mutex.
+// The allow path is allocation-free at steady state: an FNV-1a stripe
+// pick, one map lookup and a float refill under a stripe mutex.
+//
+// Time is injectable (Clock) so the unit suite can prove burst, refill
+// and exact-boundary behaviour deterministically.
+
+// Clock supplies the limiter's notion of now; nil means time.Now.
+type Clock func() time.Time
+
+// rateStripes is the per-tier stripe count. Power of two so the stripe
+// pick is a mask; 64 keeps cross-tenant mutex collisions rare without
+// bloating an idle tier.
+const rateStripes = 64
+
+// TierConfig sizes one limiter tier.
+type TierConfig struct {
+	// Name labels the tier in gauges ("pairing", "session", "ip").
+	Name string
+	// Rate is the sustained budget in cost units per second. Tiers with
+	// Rate <= 0 are not installed (unlimited).
+	Rate float64
+	// Burst is the bucket capacity — how much cost a quiet tenant can
+	// spend at once. <= 0 defaults to 10x Rate (min 1).
+	Burst float64
+}
+
+// withDefaults resolves the Burst default.
+func (c TierConfig) withDefaults() TierConfig {
+	if c.Burst <= 0 {
+		c.Burst = 10 * c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	return c
+}
+
+// bucket is one tenant's token bucket. Guarded by its stripe's mutex;
+// throttled is additionally read under the stripe lock by Health.
+type bucket struct {
+	tokens    float64
+	last      int64 // clock nanos of the last refill
+	throttled int64
+}
+
+// stripe is one lock-striped slice of a tier's bucket map.
+type stripe struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// Tier is one keyed budget class of a RateLimiter.
+type Tier struct {
+	cfg       TierConfig
+	stripes   [rateStripes]stripe
+	allowed   atomic.Int64
+	throttled atomic.Int64
+}
+
+// RateLimiter is a multi-tier token-bucket admission controller. Safe for
+// concurrent use.
+type RateLimiter struct {
+	clock Clock
+	tiers map[string]*Tier
+	names []string // insertion order, for stable gauge output
+}
+
+// NewRateLimiter builds a limiter from the given tiers (those with
+// Rate <= 0 are skipped). clock nil means time.Now.
+func NewRateLimiter(clock Clock, tiers ...TierConfig) *RateLimiter {
+	if clock == nil {
+		clock = time.Now
+	}
+	l := &RateLimiter{clock: clock, tiers: make(map[string]*Tier, len(tiers))}
+	for _, cfg := range tiers {
+		if cfg.Rate <= 0 || cfg.Name == "" {
+			continue
+		}
+		t := &Tier{cfg: cfg.withDefaults()}
+		for i := range t.stripes {
+			t.stripes[i].buckets = make(map[string]*bucket)
+		}
+		l.tiers[cfg.Name] = t
+		l.names = append(l.names, cfg.Name)
+	}
+	return l
+}
+
+// stripeFor hashes key onto a stripe index (inline FNV-1a; no allocation).
+func stripeFor(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h & (rateStripes - 1))
+}
+
+// Allow charges cost against the (tier, key) bucket. It returns ok=true
+// when the bucket covers the cost; otherwise ok=false and retryAfter is
+// how long until the refill covers it. An unconfigured tier always
+// admits — enabling one tier must not silently throttle traffic keyed
+// for another.
+func (l *RateLimiter) Allow(tier, key string, cost float64) (ok bool, retryAfter time.Duration) {
+	t := l.tiers[tier]
+	if t == nil {
+		return true, 0
+	}
+	now := l.clock().UnixNano()
+	s := &t.stripes[stripeFor(key)]
+	s.mu.Lock()
+	b := s.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: t.cfg.Burst, last: now}
+		s.buckets[key] = b
+	}
+	// Refill for the time elapsed since the last charge, capped at Burst.
+	// A clock that stands still (tests) or steps backwards refills nothing.
+	if now > b.last {
+		b.tokens += float64(now-b.last) / float64(time.Second) * t.cfg.Rate
+		if b.tokens > t.cfg.Burst {
+			b.tokens = t.cfg.Burst
+		}
+		b.last = now
+	}
+	if b.tokens >= cost {
+		b.tokens -= cost
+		s.mu.Unlock()
+		t.allowed.Add(1)
+		return true, 0
+	}
+	b.throttled++
+	deficit := cost - b.tokens
+	s.mu.Unlock()
+	t.throttled.Add(1)
+	return false, time.Duration(deficit / t.cfg.Rate * float64(time.Second))
+}
+
+// RetryAfterSeconds renders a retryAfter hint as the whole-seconds value
+// the Retry-After header and envelope carry: rounded up, minimum 1.
+func RetryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// Health snapshots the limiter gauges: totals, per-tier breakdown, live
+// bucket occupancy and the top-tenant throttle share across all tiers.
+func (l *RateLimiter) Health() *core.AbuseHealth {
+	h := &core.AbuseHealth{Tiers: make(map[string]core.AbuseTierHealth, len(l.names))}
+	var maxKeyThrottled int64
+	for _, name := range l.names {
+		t := l.tiers[name]
+		th := core.AbuseTierHealth{
+			Allowed:   t.allowed.Load(),
+			Throttled: t.throttled.Load(),
+		}
+		for i := range t.stripes {
+			s := &t.stripes[i]
+			s.mu.Lock()
+			th.Buckets += len(s.buckets)
+			for _, b := range s.buckets {
+				if b.throttled > maxKeyThrottled {
+					maxKeyThrottled = b.throttled
+				}
+			}
+			s.mu.Unlock()
+		}
+		h.Allowed += th.Allowed
+		h.Throttled += th.Throttled
+		h.Buckets += th.Buckets
+		h.Tiers[name] = th
+	}
+	if h.Throttled > 0 {
+		h.TopTenantShare = float64(maxKeyThrottled) / float64(h.Throttled)
+	}
+	return h
+}

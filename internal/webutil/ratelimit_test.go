@@ -1,0 +1,236 @@
+package webutil
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced Clock for deterministic limiter tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestRateLimitBurstThenDeny(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(clk.Now, TierConfig{Name: "t", Rate: 1, Burst: 10})
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("t", "alice", 1); !ok {
+			t.Fatalf("burst request %d denied; want the full burst of 10 admitted", i)
+		}
+	}
+	ok, retry := l.Allow("t", "alice", 1)
+	if ok {
+		t.Fatal("11th request admitted; bucket should be empty")
+	}
+	if retry != time.Second {
+		t.Fatalf("retryAfter = %v, want 1s (deficit 1 token at 1 token/s)", retry)
+	}
+}
+
+func TestRateLimitRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(clk.Now, TierConfig{Name: "t", Rate: 2, Burst: 4})
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.Allow("t", "k", 1); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if ok, _ := l.Allow("t", "k", 1); ok {
+		t.Fatal("request admitted on an empty bucket with a frozen clock")
+	}
+	clk.Advance(500 * time.Millisecond) // 2/s * 0.5s = 1 token
+	if ok, _ := l.Allow("t", "k", 1); !ok {
+		t.Fatal("request denied after exactly one token refilled")
+	}
+	if ok, _ := l.Allow("t", "k", 1); ok {
+		t.Fatal("second request admitted; only one token had refilled")
+	}
+	// Refill is capped at Burst: a long quiet period does not bank credit.
+	clk.Advance(time.Hour)
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.Allow("t", "k", 1); !ok {
+			t.Fatalf("post-idle request %d denied; want Burst=4 admitted", i)
+		}
+	}
+	if ok, _ := l.Allow("t", "k", 1); ok {
+		t.Fatal("5th post-idle request admitted; refill must cap at Burst")
+	}
+}
+
+func TestRateLimitExactBoundary(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(clk.Now, TierConfig{Name: "t", Rate: 1, Burst: 5})
+	// tokens == cost exactly must admit.
+	if ok, _ := l.Allow("t", "k", 5); !ok {
+		t.Fatal("cost == full burst denied; an exact match must admit")
+	}
+	if ok, _ := l.Allow("t", "k", 1); ok {
+		t.Fatal("request admitted on a zeroed bucket")
+	}
+	clk.Advance(time.Second) // refill exactly 1.0 tokens
+	if ok, _ := l.Allow("t", "k", 1); !ok {
+		t.Fatal("cost == exactly refilled tokens denied")
+	}
+}
+
+func TestRateLimitRetryAfterScalesWithDeficit(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(clk.Now, TierConfig{Name: "t", Rate: 2, Burst: 1})
+	if ok, _ := l.Allow("t", "k", 1); !ok {
+		t.Fatal("first request denied")
+	}
+	_, retry := l.Allow("t", "k", 10)
+	if want := 5 * time.Second; retry != want { // deficit 10 tokens at 2/s
+		t.Fatalf("retryAfter = %v, want %v", retry, want)
+	}
+}
+
+func TestRateLimitKeyIsolation(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(clk.Now,
+		TierConfig{Name: "a", Rate: 1, Burst: 2},
+		TierConfig{Name: "b", Rate: 1, Burst: 2},
+	)
+	// Exhaust tenant "noisy" in tier "a".
+	l.Allow("a", "noisy", 2)
+	if ok, _ := l.Allow("a", "noisy", 1); ok {
+		t.Fatal("noisy tenant not exhausted")
+	}
+	// A different key in the same tier is untouched.
+	if ok, _ := l.Allow("a", "quiet", 1); !ok {
+		t.Fatal("quiet tenant throttled by noisy tenant's spend (key bleed)")
+	}
+	// The same key in a different tier is untouched.
+	if ok, _ := l.Allow("b", "noisy", 1); !ok {
+		t.Fatal("tier b throttled by tier a's spend (tier bleed)")
+	}
+}
+
+func TestRateLimitUnconfiguredTierAdmits(t *testing.T) {
+	l := NewRateLimiter(nil, TierConfig{Name: "t", Rate: 1})
+	if ok, _ := l.Allow("other", "k", 1e9); !ok {
+		t.Fatal("unconfigured tier denied; it must always admit")
+	}
+	// A tier configured with Rate <= 0 is skipped, i.e. unlimited.
+	l2 := NewRateLimiter(nil, TierConfig{Name: "off", Rate: 0})
+	if ok, _ := l2.Allow("off", "k", 1e9); !ok {
+		t.Fatal("Rate<=0 tier denied; it must not be installed")
+	}
+}
+
+func TestRateLimitBurstDefault(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(clk.Now, TierConfig{Name: "t", Rate: 3}) // Burst -> 30
+	if ok, _ := l.Allow("t", "k", 30); !ok {
+		t.Fatal("default burst should be 10x rate = 30")
+	}
+	if ok, _ := l.Allow("t", "k", 0.5); ok {
+		t.Fatal("bucket should be empty after spending the default burst")
+	}
+}
+
+func TestRateLimitZeroAllocAllowPath(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(clk.Now, TierConfig{Name: "t", Rate: 1000, Burst: 1e9})
+	l.Allow("t", "hot", 1) // warm up: create the bucket
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Allow("t", "hot", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Allow allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestRateLimitHealthGauges(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(clk.Now,
+		TierConfig{Name: "a", Rate: 1, Burst: 1},
+		TierConfig{Name: "b", Rate: 1, Burst: 1},
+	)
+	l.Allow("a", "k1", 1) // allowed
+	l.Allow("a", "k1", 1) // throttled
+	l.Allow("a", "k1", 1) // throttled
+	l.Allow("a", "k2", 1) // allowed
+	l.Allow("a", "k2", 1) // throttled
+	l.Allow("b", "k1", 1) // allowed
+
+	h := l.Health()
+	if h.Allowed != 3 || h.Throttled != 3 {
+		t.Fatalf("totals = %d allowed / %d throttled, want 3/3", h.Allowed, h.Throttled)
+	}
+	if h.Buckets != 3 {
+		t.Fatalf("buckets = %d, want 3 (a:k1, a:k2, b:k1)", h.Buckets)
+	}
+	a := h.Tiers["a"]
+	if a.Allowed != 2 || a.Throttled != 3 || a.Buckets != 2 {
+		t.Fatalf("tier a = %+v, want 2 allowed / 3 throttled / 2 buckets", a)
+	}
+	// k1 holds 2 of the 3 throttles: top tenant share 2/3.
+	if got, want := h.TopTenantShare, 2.0/3.0; got != want {
+		t.Fatalf("top tenant share = %v, want %v", got, want)
+	}
+}
+
+func TestRateLimitConcurrentAccounting(t *testing.T) {
+	clk := newFakeClock()
+	l := NewRateLimiter(clk.Now, TierConfig{Name: "t", Rate: 1, Burst: 100})
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("tenant-%d", w%4)
+			for i := 0; i < perWorker; i++ {
+				l.Allow("t", key, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := l.Health()
+	if total := h.Allowed + h.Throttled; total != workers*perWorker {
+		t.Fatalf("allowed+throttled = %d, want %d (no request unaccounted)", total, workers*perWorker)
+	}
+	// 4 distinct keys, 100-token frozen-clock budget each.
+	if h.Allowed != 400 {
+		t.Fatalf("allowed = %d, want 400 (4 keys x burst 100, frozen clock)", h.Allowed)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{10*time.Second + time.Nanosecond, 11},
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

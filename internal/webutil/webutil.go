@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"umac/internal/core"
 )
@@ -51,19 +53,85 @@ type apiErrorBody struct {
 	LegacyError string `json:"error"`
 }
 
+// SanitizedMessage is the only message a sanitized 5xx body carries; the
+// real cause is logged server-side under the request ID.
+const SanitizedMessage = "internal error"
+
+// internalLogSink receives the full cause of every sanitized 5xx. Stored
+// as an atomic so the sanitization audit can capture causes without
+// racing live traffic.
+var internalLogSink atomic.Value // of func(requestID string, e *core.APIError)
+
+// SetInternalErrorLog replaces the server-side sink sanitized 5xx causes
+// are reported to (nil restores the default log.Printf sink) and returns
+// the previous sink. The sink runs on the request goroutine — keep it
+// fast and never let it write to the response.
+func SetInternalErrorLog(fn func(requestID string, e *core.APIError)) func(string, *core.APIError) {
+	if fn == nil {
+		fn = defaultInternalLog
+	}
+	prev, _ := internalLogSink.Swap(fn).(func(string, *core.APIError))
+	return prev
+}
+
+// defaultInternalLog is the stock sink: one server-log line keyed by the
+// request ID, carrying everything the sanitized body withholds.
+func defaultInternalLog(requestID string, e *core.APIError) {
+	log.Printf("webutil: internal error [req %s] code=%s status=%d: %s", requestID, e.Code, e.Status, e.Message)
+}
+
+func init() { internalLogSink.Store(defaultInternalLog) }
+
+// sanitize returns the envelope actually written for e: 5xx messages are
+// replaced with SanitizedMessage after the full cause is handed to the
+// internal log sink, so filesystem paths, wrapped Go error chains and WAL
+// internals never reach the wire. The one exception is "unavailable"
+// (503): its message is the server's own drain announcement, carries no
+// internals, and clients display it. 4xx envelopes pass through — their
+// messages describe the caller's own input.
+func sanitize(e *core.APIError) *core.APIError {
+	if e.Status < http.StatusInternalServerError || e.Code == core.CodeUnavailable {
+		return e
+	}
+	if sink, ok := internalLogSink.Load().(func(string, *core.APIError)); ok {
+		sink(e.RequestID, e)
+	}
+	if e.Message == SanitizedMessage {
+		return e
+	}
+	clean := *e
+	clean.Message = SanitizedMessage
+	return &clean
+}
+
 // WriteAPIError writes the structured error envelope, stamping the request
-// ID from the request context when the error carries none.
+// ID from the request context when the error carries none. It is the
+// single funnel every error response passes through: 5xx messages are
+// sanitized (full cause to the server log, stable envelope to the wire)
+// and rate_limited hints gain their Retry-After header here, so no
+// handler can leak or forget either.
 func WriteAPIError(w http.ResponseWriter, r *http.Request, e *core.APIError) {
 	if e.RequestID == "" && r != nil {
 		e.RequestID = RequestIDFrom(r.Context())
+	}
+	e = sanitize(e)
+	if e.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))
 	}
 	w.Header().Set("Content-Type", ProblemContentType)
 	w.WriteHeader(e.Status)
 	_ = json.NewEncoder(w).Encode(apiErrorBody{APIError: e, LegacyError: e.Message})
 }
 
-// Fail classifies err (core.APIErrorFor) and writes the envelope.
+// Fail classifies err (core.APIErrorFor) and writes the envelope. Bodies
+// rejected by a MaxBytesReader cap map to request_too_large (413).
 func Fail(w http.ResponseWriter, r *http.Request, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		WriteAPIError(w, r, core.APIErrorf(core.CodeRequestTooLarge,
+			"webutil: request body exceeds %d bytes", mbe.Limit))
+		return
+	}
 	WriteAPIError(w, r, core.APIErrorFor(err))
 }
 

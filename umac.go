@@ -96,6 +96,13 @@ type (
 	ReplicationConfig = am.ReplicationConfig
 	// ReplicationRole is the primary/follower selector.
 	ReplicationRole = am.ReplicationRole
+	// AMAbuseConfig enables and sizes the AM's per-tenant token-bucket
+	// rate limiter: per-pairing, per-session-user and per-remote-IP
+	// budgets in route-cost units per second, each with a burst capacity.
+	// Over-budget requests answer the structured rate_limited error (429,
+	// retryable) with a Retry-After hint; the gauges surface on
+	// /v1/healthz and /v1/metrics. The zero value disables the limiter.
+	AMAbuseConfig = am.AbuseConfig
 )
 
 // Replication roles for ReplicationConfig.Role.
